@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``test_bench_figN.py`` regenerates the corresponding figure of the
+paper through :mod:`repro.experiments` and
+
+* times the regeneration with pytest-benchmark (one round — these are
+  end-to-end experiment harnesses, not microbenchmarks), and
+* asserts the figure's qualitative findings, so a bench run doubles as a
+  reproduction check.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Benchmark an experiment runner once and echo its table."""
+
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(lambda: fn(*args, **kwargs), rounds=1, iterations=1)
+        print()
+        print(result.to_text())
+        return result
+
+    return _run

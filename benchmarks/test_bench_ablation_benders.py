@@ -1,0 +1,52 @@
+"""Ablation: L-shaped (Benders) decomposition vs the extensive form.
+
+The paper cites Benders decomposition as a solution technique for SRRP's
+deterministic equivalent.  This bench compares the decomposition against
+solving the extensive form directly on two-stage newsvendor-style problems
+of growing scenario count, asserting objective agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.solver import solve_compiled
+from repro.solver.benders import Scenario, TwoStageProblem, extensive_form, solve_benders
+
+
+def build_problem(n_scenarios, seed=5):
+    rng = np.random.default_rng(seed)
+    demands = rng.uniform(3.0, 12.0, n_scenarios)
+    probs = rng.dirichlet(np.ones(n_scenarios))
+    scenarios = []
+    for d, p in zip(demands, probs):
+        W = np.array([[1.0, 1.0, 0.0], [1.0, 0.0, 1.0]])
+        T = np.array([[-1.0], [0.0]])
+        h = np.array([0.0, float(d)])
+        q = np.array([-1.0, -0.1, 0.0])
+        scenarios.append(Scenario(prob=float(p), q=q, W=W, T=T, h=h))
+    return TwoStageProblem(
+        c=np.array([0.6]),
+        lb=np.array([0.0]),
+        ub=np.array([100.0]),
+        integrality=np.array([0]),
+        scenarios=scenarios,
+    )
+
+
+@pytest.mark.parametrize("n_scenarios", [5, 20, 60])
+def test_bench_benders(benchmark, n_scenarios):
+    problem = build_problem(n_scenarios)
+    res = benchmark.pedantic(lambda: solve_benders(problem), rounds=1, iterations=1)
+    ext = solve_compiled(extensive_form(problem), backend="scipy", use_presolve=False)
+    assert res.objective == pytest.approx(ext.objective, abs=1e-4)
+
+
+@pytest.mark.parametrize("n_scenarios", [5, 20, 60])
+def test_bench_extensive_form(benchmark, n_scenarios):
+    problem = build_problem(n_scenarios)
+    res = benchmark.pedantic(
+        lambda: solve_compiled(extensive_form(problem), backend="scipy", use_presolve=False),
+        rounds=1,
+        iterations=1,
+    )
+    assert res.status.has_solution

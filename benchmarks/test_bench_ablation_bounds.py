@@ -1,0 +1,75 @@
+"""Ablation: the DRRP lower-bound hierarchy.
+
+    max_mu L(mu)  ~=  LP(natural)  <=  LP(facility-location)  ==  OPT
+
+Times each bound on the same 24 h instance and checks the chain.  The
+Lagrangian needs no LP solver at all (two closed-form subproblems per
+iteration), the natural LP one HiGHS solve, the facility-location LP a
+larger solve that is already integral.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DRRPInstance, NormalDemand, on_demand_schedule, solve_drrp
+from repro.core.drrp import build_drrp_model
+from repro.core.lagrangian import lagrangian_bound
+from repro.core.reformulation import build_facility_location_model
+from repro.market import ec2_catalog
+from repro.solver.scipy_backend import solve_lp_scipy
+
+BOUNDS = {}
+
+
+def _instance():
+    vm = ec2_catalog()["m1.large"]
+    return DRRPInstance(
+        demand=NormalDemand().sample(24, 2012),
+        costs=on_demand_schedule(vm, 24),
+        vm_name=vm.name,
+    )
+
+
+def test_bench_bound_lagrangian(benchmark):
+    inst = _instance()
+    res = benchmark.pedantic(lambda: lagrangian_bound(inst, iterations=300), rounds=1, iterations=1)
+    BOUNDS["lagrangian"] = res.best_bound
+    print(f"\nlagrangian bound: {res.best_bound:.4f}")
+
+
+def test_bench_bound_natural_lp(benchmark):
+    inst = _instance()
+
+    def solve_lp():
+        model, _ = build_drrp_model(inst)
+        compiled = model.compile()
+        compiled.integrality[:] = 0
+        return solve_lp_scipy(compiled).objective
+
+    BOUNDS["natural-lp"] = benchmark.pedantic(solve_lp, rounds=1, iterations=1)
+    print(f"\nnatural LP bound: {BOUNDS['natural-lp']:.4f}")
+
+
+def test_bench_bound_facility_location_lp(benchmark):
+    inst = _instance()
+
+    def solve_fl():
+        model, _x, _chi = build_facility_location_model(inst)
+        compiled = model.compile()
+        compiled.integrality[:] = 0
+        return solve_lp_scipy(compiled).objective
+
+    BOUNDS["fl-lp"] = benchmark.pedantic(solve_fl, rounds=1, iterations=1)
+    print(f"\nfacility-location LP bound: {BOUNDS['fl-lp']:.4f}")
+
+
+def test_bench_bound_hierarchy_holds(benchmark):
+    inst = _instance()
+    opt = benchmark.pedantic(
+        lambda: solve_drrp(inst, backend="scipy").total_cost, rounds=1, iterations=1
+    )
+    BOUNDS["opt"] = opt
+    print(f"\nMILP optimum: {opt:.4f}  | chain: {BOUNDS}")
+    assert BOUNDS["lagrangian"] <= BOUNDS["natural-lp"] + 1e-5
+    assert BOUNDS["natural-lp"] <= BOUNDS["fl-lp"] + 1e-5
+    assert BOUNDS["fl-lp"] == pytest.approx(opt, abs=1e-4)

@@ -1,0 +1,43 @@
+"""Ablation: Wagner–Whitin DP vs the MILP on growing horizons.
+
+DESIGN.md calls out the DP as both a correctness oracle and a fast path
+for long deterministic horizons; this bench quantifies the speedup and
+re-checks exact agreement at each size.
+"""
+
+import pytest
+
+from repro.core import (
+    DRRPInstance,
+    NormalDemand,
+    on_demand_schedule,
+    solve_drrp,
+    solve_wagner_whitin,
+)
+from repro.market import ec2_catalog
+
+
+def make_instance(horizon):
+    vm = ec2_catalog()["m1.xlarge"]
+    return DRRPInstance(
+        demand=NormalDemand().sample(horizon, 99),
+        costs=on_demand_schedule(vm, horizon),
+        vm_name=vm.name,
+    )
+
+
+@pytest.mark.parametrize("horizon", [24, 72, 168])
+def test_bench_wagner_whitin(benchmark, horizon):
+    inst = make_instance(horizon)
+    plan = benchmark.pedantic(lambda: solve_wagner_whitin(inst), rounds=1, iterations=1)
+    milp = solve_drrp(inst, backend="scipy")
+    assert plan.total_cost == pytest.approx(milp.total_cost, abs=1e-5)
+
+
+@pytest.mark.parametrize("horizon", [24, 72, 168])
+def test_bench_milp(benchmark, horizon):
+    inst = make_instance(horizon)
+    plan = benchmark.pedantic(
+        lambda: solve_drrp(inst, backend="scipy"), rounds=1, iterations=1
+    )
+    assert plan.status.has_solution

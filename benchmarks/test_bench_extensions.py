@@ -1,0 +1,26 @@
+"""Benches for the extension experiments (EVPI/VSS, availability, horizon)."""
+
+from repro.experiments import ext_availability, ext_horizon, ext_risk, ext_value
+
+
+def test_bench_ext_value(run_experiment):
+    result = run_experiment(ext_value.run)
+    assert result.findings["chain_ws_le_sp_le_eev"]
+
+
+def test_bench_ext_availability(run_experiment):
+    result = run_experiment(ext_availability.run)
+    assert result.findings["availability_bids_ordered"]
+    assert result.findings["mean_bid_risks_outages"]
+
+
+def test_bench_ext_horizon(run_experiment):
+    result = run_experiment(ext_horizon.run)
+    assert result.findings["longer_horizons_never_cost_more"]
+    assert result.findings["day_horizon_captures_most_value"]
+
+
+def test_bench_ext_risk(run_experiment):
+    result = run_experiment(ext_risk.run)
+    assert result.findings["cvar_never_increases_with_risk_weight"]
+    assert result.findings["expected_cost_never_decreases"]

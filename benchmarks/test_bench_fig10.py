@@ -1,0 +1,11 @@
+"""Bench: Figure 10 — DRRP vs no-planning, and the DRRP cost structure."""
+
+from repro.experiments import fig10_drrp_costs
+
+
+def test_bench_fig10(run_experiment):
+    result = run_experiment(fig10_drrp_costs.run)
+    assert result.findings["drrp_always_cheaper"]
+    assert result.findings["reduction_grows_with_class_power"]
+    assert result.findings["xlarge_reduction_near_half"]
+    assert result.findings["io_share_grows_with_class_power"]

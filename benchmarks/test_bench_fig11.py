@@ -1,0 +1,10 @@
+"""Bench: Figure 11 — DRRP sensitivity to cost weights and demand mean."""
+
+from repro.experiments import fig11_sensitivity
+
+
+def test_bench_fig11(run_experiment):
+    result = run_experiment(fig11_sensitivity.run)
+    assert result.findings["cpu_cost_up_ratio_down"]
+    assert result.findings["io_cost_up_ratio_up"]
+    assert result.findings["heavy_demand_kills_saving"]

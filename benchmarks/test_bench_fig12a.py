@@ -1,0 +1,19 @@
+"""Bench: Figure 12(a) — overpay vs ideal cost for the five schemes.
+
+The heaviest experiment (hundreds of rolling MILP solves); bounded here to
+two VM classes and a 48 h window so the bench suite stays minutes-scale.
+The full three-class, 72 h version is ``fig12a_overpay.run()``'s default.
+"""
+
+from repro.experiments import fig12a_overpay
+
+
+def test_bench_fig12a(run_experiment):
+    result = run_experiment(
+        fig12a_overpay.run,
+        horizon=48,
+        classes=("c1.medium", "m1.large"),
+    )
+    assert result.findings["overpay_all_nonnegative"]
+    assert result.findings["on_demand_worst_everywhere"]
+    assert result.findings["srrp_beats_drrp_in_most_pairs"]

@@ -1,0 +1,10 @@
+"""Bench: Figure 12(b) — SRRP cost error vs bid approximation precision."""
+
+from repro.experiments import fig12b_precision
+
+
+def test_bench_fig12b(run_experiment):
+    result = run_experiment(fig12b_precision.run)
+    assert result.findings["errors_grow_with_imprecision"]
+    assert result.findings["underbidding_hurts_at_least_as_much"]
+    assert len(result.rows) == 10

@@ -1,0 +1,10 @@
+"""Bench: Figure 3 — spot-price box-whisker outlier analysis."""
+
+from repro.experiments import fig3_outliers
+
+
+def test_bench_fig3(run_experiment):
+    result = run_experiment(fig3_outliers.run)
+    assert result.findings["outliers_below_3pct_everywhere"]
+    assert result.findings["outliers_increase_with_class_power"]
+    assert len(result.rows) == 4

@@ -1,0 +1,10 @@
+"""Bench: Figure 4 — daily spot-price update frequency variation."""
+
+from repro.experiments import fig4_updates
+
+
+def test_bench_fig4(run_experiment):
+    result = run_experiment(fig4_updates.run)
+    assert result.findings["sampling_is_irregular"]
+    assert result.findings["daily_rate_varies_widely"]
+    assert result.series["daily_update_counts"].size > 400

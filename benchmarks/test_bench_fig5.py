@@ -1,0 +1,9 @@
+"""Bench: Figure 5 — histogram/density vs normal approximation."""
+
+from repro.experiments import fig5_histogram
+
+
+def test_bench_fig5(run_experiment):
+    result = run_experiment(fig5_histogram.run)
+    assert result.findings["normality_rejected_shapiro"]
+    assert result.findings["normality_rejected_jarque_bera"]

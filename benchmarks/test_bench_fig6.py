@@ -1,0 +1,9 @@
+"""Bench: Figure 6 — seasonal decomposition of the selected series."""
+
+from repro.experiments import fig6_decompose
+
+
+def test_bench_fig6(run_experiment):
+    result = run_experiment(fig6_decompose.run)
+    assert result.findings["no_clear_trend"]
+    assert result.findings["cyclic_pattern_present"]

@@ -1,0 +1,10 @@
+"""Bench: Figure 7 — ACF/PACF correlograms."""
+
+from repro.experiments import fig7_correlogram
+
+
+def test_bench_fig7(run_experiment):
+    result = run_experiment(fig7_correlogram.run)
+    assert result.findings["some_lags_significant"]
+    assert result.findings["correlation_weak_overall"]
+    assert len(result.rows) == 30

@@ -1,0 +1,10 @@
+"""Bench: Figure 8 — day-ahead SARIMA prediction vs the mean predictor."""
+
+from repro.experiments import fig8_prediction
+
+
+def test_bench_fig8(run_experiment):
+    result = run_experiment(fig8_prediction.run)
+    assert result.findings["no_substantial_skill_over_mean"]
+    assert result.findings["improvement_over_mean_small"]
+    assert result.findings["forecasts_hover_near_mean"]

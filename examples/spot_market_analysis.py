@@ -1,0 +1,89 @@
+"""Spot-market predictability study — the paper's §IV-A pipeline end-to-end.
+
+Reproduces the analysis chain on the bundled reference dataset:
+
+  outliers (Fig. 3) -> update frequency (Fig. 4) -> hourly resampling ->
+  normality (Fig. 5) -> decomposition (Fig. 6) -> correlograms (Fig. 7) ->
+  SARIMA selection + day-ahead forecast vs the mean predictor (Fig. 8)
+
+and prints the paper's conclusion in numbers: the best SARIMA fit has no
+usable skill over the trivial expected-mean predictor, which is why the
+stochastic planner (SRRP) exists.
+
+Run:  python examples/spot_market_analysis.py
+"""
+
+import numpy as np
+
+from repro.market import (
+    ANALYSIS_CLASSES,
+    daily_update_counts,
+    paper_window,
+    reference_dataset,
+)
+from repro.stats import iqr_outliers, mspe, shapiro_wilk
+from repro.timeseries import (
+    AutoARIMASpec,
+    auto_arima,
+    correlogram,
+    decompose_additive,
+    mean_forecast,
+)
+
+
+def main() -> None:
+    dataset = reference_dataset()
+
+    print("== Step 1: outlier analysis (Fig. 3) ==")
+    for name in ANALYSIS_CLASSES:
+        _, stats = iqr_outliers(dataset[name].prices)
+        print(
+            f"  {name:10s}  median ${stats.median:.3f}  "
+            f"IQR ${stats.iqr:.3f}  outliers {stats.outlier_fraction:.2%}"
+        )
+
+    trace = dataset["c1.medium"]
+    counts = daily_update_counts(trace)
+    print("\n== Step 2: update frequency (Fig. 4) ==")
+    print(f"  c1.medium: {counts.min()}-{counts.max()} updates/day (mean {counts.mean():.1f})")
+    print("  -> irregular sampling: resample to an hourly grid (LOCF)")
+
+    window = paper_window(trace)
+    prices = window.estimation
+    sw = shapiro_wilk(prices)
+    print("\n== Step 3: normality of the selected window (Fig. 5) ==")
+    print(f"  2-month window [Dec 1 2010, Feb 1 2011): n={prices.size}")
+    print(f"  Shapiro-Wilk W={sw.statistic:.4f}, p={sw.p_value:.2e} -> normality rejected")
+
+    d = decompose_additive(prices, period=24)
+    print("\n== Step 4: decomposition (Fig. 6) ==")
+    print(f"  trend range        : {d.trend_range():.4f} (no clear trend)")
+    print(f"  seasonal amplitude : {d.seasonal_amplitude:.4f} (mild daily cycle)")
+    print(f"  seasonal strength  : {d.seasonal_strength():.3f}")
+
+    cg = correlogram(prices, 30)
+    sig = cg.significant_acf_lags()
+    print("\n== Step 5: correlograms (Fig. 7) ==")
+    print(f"  95% band ±{cg.confidence_limit:.3f}; significant lags: {sig[:6].tolist()}...")
+    print(f"  max |ACF| beyond lag 0: {cg.max_abs_acf():.3f} (weak: far from 1)")
+
+    print("\n== Step 6: SARIMA selection + day-ahead forecast (Fig. 8) ==")
+    spec = AutoARIMASpec(max_p=2, max_q=2, max_P=2, max_Q=0, s=24)
+    model = auto_arima(prices, spec)
+    predicted = model.forecast(24)
+    actual = window.validation
+    m_model = mspe(actual, predicted)
+    m_mean = mspe(actual, mean_forecast(prices, 24))
+    print(f"  selected model : {model.order.label} (AIC {model.aic:.1f})")
+    print(f"  model MSPE     : {m_model:.3e}")
+    print(f"  mean  MSPE     : {m_mean:.3e}")
+    ratio = m_model / m_mean
+    print(f"  -> model/mean MSPE ratio {ratio:.2f}: no usable forecasting skill;")
+    print("     deterministic planning on predictions is unreliable -> use SRRP.")
+
+    rmse = float(np.sqrt(m_model))
+    print(f"  (day-ahead RMSE ${rmse:.4f} vs price quantum $0.001)")
+
+
+if __name__ == "__main__":
+    main()

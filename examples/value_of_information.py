@@ -1,0 +1,77 @@
+"""How much are forecasts and stochastic models actually worth?
+
+The paper shows empirically (Fig. 12a) that SRRP beats deterministic
+planning; this example computes the two textbook quantities behind that
+result for an SRRP instance built from the reference market:
+
+* **EVPI** — the expected value of perfect information: what a perfect
+  spot-price forecaster would save over the stochastic plan.  This bounds
+  what *any* prediction scheme (Fig. 8's SARIMA included) can ever be
+  worth — and motivates why the paper bothers with predictability analysis.
+* **VSS** — the value of the stochastic solution: what SRRP saves over
+  planning at the expected price (the "det-exp-mean" mindset).
+
+It then shows how both react to the out-of-bid risk by sweeping the bid
+level: low bids make losing the auction likely, inflating both values.
+
+Run:  python examples/value_of_information.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    NormalDemand,
+    SRRPInstance,
+    bid_adjusted_stage_distributions,
+    build_tree,
+    evaluate_stochastic_value,
+    on_demand_schedule,
+)
+from repro.market import ec2_catalog, paper_window, reference_dataset
+from repro.stats import EmpiricalDistribution
+
+
+def build_instance(vm, history, bid, horizon=6, branching=3, seed=5):
+    base = EmpiricalDistribution(history)
+    dists = bid_adjusted_stage_distributions(
+        base, np.full(horizon - 1, bid), vm.on_demand_price, branching
+    )
+    tree = build_tree(bid, dists)
+    return SRRPInstance(
+        demand=NormalDemand().sample(horizon, seed),
+        costs=on_demand_schedule(vm, horizon),
+        tree=tree,
+        vm_name=vm.name,
+    )
+
+
+def main() -> None:
+    vm = ec2_catalog()["m1.xlarge"]
+    history = paper_window(reference_dataset()["m1.xlarge"]).estimation
+    mean_price = float(history.mean())
+    print(f"{vm.name}: historical mean spot ${mean_price:.3f}, on-demand ${vm.on_demand_price:.2f}\n")
+
+    print(f"{'bid':>8s} {'P(out-of-bid)':>14s} {'WS':>8s} {'SP':>8s} {'EEV':>8s} {'EVPI':>8s} {'VSS':>8s}")
+    base = EmpiricalDistribution(history)
+    for factor in (0.95, 1.0, 1.05, 1.15):
+        bid = mean_price * factor
+        oob = base.prob_above(bid)
+        report = evaluate_stochastic_value(build_instance(vm, history, bid))
+        print(
+            f"${bid:7.3f} {oob:14.2%} {report.wait_and_see:8.4f} "
+            f"{report.stochastic:8.4f} {report.expected_value_policy:8.4f} "
+            f"{report.evpi:8.4f} {report.vss:8.4f}"
+        )
+
+    print(
+        "\nReading the table: EVPI > 0 everywhere — perfect forecasts would"
+        "\nalways help, which is why the paper studies predictability first."
+        "\nSince Fig. 8 shows forecasts are no better than the mean, the only"
+        "\nrecoverable slice is VSS: the saving SRRP realizes by planning"
+        "\nagainst the price *distribution* instead of its mean, largest when"
+        "\nthe out-of-bid probability is substantial."
+    )
+
+
+if __name__ == "__main__":
+    main()

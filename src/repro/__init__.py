@@ -1,0 +1,26 @@
+"""repro — reproduction of "Optimal Resource Rental Planning for Elastic
+Applications in Cloud Market" (Zhao et al., IPDPS 2012).
+
+The library has three layers:
+
+* substrates — :mod:`repro.solver` (LP/MILP stack), :mod:`repro.stats` and
+  :mod:`repro.timeseries` (the paper's spot-price analysis toolkit),
+  :mod:`repro.market` (EC2 price catalog, synthetic spot traces, auction
+  semantics), :mod:`repro.parallel` (process-pool sweeps);
+* core — :mod:`repro.core`: the DRRP MILP, the SRRP multistage stochastic
+  program on scenario trees, baselines, and the rolling-horizon simulator;
+* experiments — :mod:`repro.experiments`: one module per figure of the
+  paper's evaluation, each regenerating the reported series.
+
+Quickstart::
+
+    from repro.core import DRRPInstance, solve_drrp
+
+    inst = DRRPInstance.example()      # 24h horizon, N(0.4, 0.2) GB/h demand
+    plan = solve_drrp(inst)
+    print(plan.total_cost, plan.rent_slots)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["solver", "stats", "timeseries", "market", "core", "parallel", "experiments"]

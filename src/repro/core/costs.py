@@ -1,0 +1,109 @@
+"""Cost schedules: the time-indexed parameters of DRRP/SRRP (Table I).
+
+A :class:`CostSchedule` carries, for one VM class over a horizon of ``T``
+slots, the paper's five cost parameters:
+
+* ``compute[t]`` — instance rental cost Cp(i, t) ($/instance-slot);
+* ``storage[t]`` — data storage cost Cs(t) ($/GB-slot);
+* ``io[t]`` — data I/O cost Cio(t) ($/GB-slot);
+* ``transfer_in[t]`` / ``transfer_out[t]`` — network cost C±f(t) ($/GB).
+
+Builders cover the three ways the paper instantiates them: fixed on-demand
+prices (§III), realized spot prices (the oracle), and bid-dependent prices
+(what a planner believes it will pay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.market.catalog import CostRates, VMClass
+
+__all__ = ["CostSchedule", "on_demand_schedule", "spot_schedule"]
+
+
+@dataclass(frozen=True)
+class CostSchedule:
+    """Per-slot cost parameters for one VM class (arrays of length T)."""
+
+    compute: np.ndarray
+    storage: np.ndarray
+    io: np.ndarray
+    transfer_in: np.ndarray
+    transfer_out: np.ndarray
+
+    def __post_init__(self) -> None:
+        arrays = {
+            "compute": np.asarray(self.compute, dtype=float),
+            "storage": np.asarray(self.storage, dtype=float),
+            "io": np.asarray(self.io, dtype=float),
+            "transfer_in": np.asarray(self.transfer_in, dtype=float),
+            "transfer_out": np.asarray(self.transfer_out, dtype=float),
+        }
+        T = arrays["compute"].shape[0]
+        for name, arr in arrays.items():
+            if arr.shape != (T,):
+                raise ValueError(f"{name} must be a 1-D array of length {T}")
+            if np.any(arr < 0):
+                raise ValueError(f"{name} contains negative costs")
+            object.__setattr__(self, name, arr)
+
+    @property
+    def horizon(self) -> int:
+        return self.compute.shape[0]
+
+    @property
+    def holding(self) -> np.ndarray:
+        """Per-GB-slot inventory cost Cs(t) + Cio(t) — the coefficient of β."""
+        return self.storage + self.io
+
+    def with_compute(self, compute: np.ndarray) -> "CostSchedule":
+        """Copy with the compute-price series replaced (bid/realized prices)."""
+        compute = np.asarray(compute, dtype=float)
+        if compute.shape != (self.horizon,):
+            raise ValueError("replacement compute series has the wrong length")
+        return replace(self, compute=compute)
+
+    def slice(self, start: int, stop: int) -> "CostSchedule":
+        """Sub-horizon view [start, stop)."""
+        if not 0 <= start < stop <= self.horizon:
+            raise ValueError("bad slice bounds")
+        return CostSchedule(
+            compute=self.compute[start:stop],
+            storage=self.storage[start:stop],
+            io=self.io[start:stop],
+            transfer_in=self.transfer_in[start:stop],
+            transfer_out=self.transfer_out[start:stop],
+        )
+
+
+def on_demand_schedule(vm: VMClass, horizon: int, rates: CostRates | None = None) -> CostSchedule:
+    """Deterministic schedule at fixed on-demand prices (paper §III / §V-A)."""
+    rates = rates or CostRates()
+    T = int(horizon)
+    if T < 1:
+        raise ValueError("horizon must be >= 1")
+    return CostSchedule(
+        compute=np.full(T, vm.on_demand_price),
+        storage=np.full(T, rates.storage_per_gb_hour),
+        io=np.full(T, rates.io_per_gb),
+        transfer_in=np.full(T, rates.transfer_in_per_gb),
+        transfer_out=np.full(T, rates.transfer_out_per_gb),
+    )
+
+
+def spot_schedule(
+    vm: VMClass,
+    spot_prices: np.ndarray,
+    rates: CostRates | None = None,
+) -> CostSchedule:
+    """Schedule whose compute series is a given spot-price path.
+
+    Feeding *realized* prices builds the oracle's input; feeding *bid* or
+    *forecast* prices builds what deterministic planning believes.
+    """
+    spot_prices = np.asarray(spot_prices, dtype=float)
+    base = on_demand_schedule(vm, spot_prices.shape[0], rates)
+    return base.with_compute(spot_prices)

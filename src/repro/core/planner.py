@@ -1,0 +1,167 @@
+"""High-level facade: one object that plans like the paper's ASP.
+
+:class:`Planner` wires the substrates together for the common workflows so
+downstream users don't have to touch model builders directly:
+
+* ``plan_deterministic`` — DRRP over a horizon at on-demand prices (§III);
+* ``plan_stochastic`` — SRRP over a bid-adjusted tree from a price history
+  (§IV);
+* ``evaluate_policies`` — rolling-horizon bake-off against a realized
+  price path, returning overpay percentages vs the oracle (Figure 12(a)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.market.auction import BidStrategy, MeanBids
+from repro.market.catalog import CostRates, VMClass, ec2_catalog
+from repro.stats.empirical import EmpiricalDistribution
+from .costs import on_demand_schedule
+from .demand import DemandModel, NormalDemand
+from .drrp import DRRPInstance, RentalPlan, solve_drrp
+from .noplan import solve_noplan
+from .rolling import (
+    DeterministicPolicy,
+    OnDemandPolicy,
+    OraclePolicy,
+    Policy,
+    SimulationResult,
+    StochasticPolicy,
+    simulate_policy,
+)
+from .scenario import bid_adjusted_stage_distributions, build_tree
+from .srrp import SRRPInstance, SRRPPlan, solve_srrp
+
+__all__ = ["Planner", "PolicyComparison"]
+
+
+@dataclass
+class PolicyComparison:
+    """Realized costs and overpay-vs-oracle for a set of policies."""
+
+    results: dict[str, SimulationResult]
+    ideal_cost: float
+
+    def overpay_percentages(self) -> dict[str, float]:
+        """(cost - ideal)/ideal × 100 for each policy — Fig. 12(a)'s y-axis."""
+        return {
+            name: 100.0 * (res.total_cost - self.ideal_cost) / self.ideal_cost
+            for name, res in self.results.items()
+        }
+
+
+class Planner:
+    """Paper-faithful planning entry point for one VM class."""
+
+    def __init__(
+        self,
+        vm: VMClass | str = "m1.large",
+        rates: CostRates | None = None,
+        demand_model: DemandModel | None = None,
+        backend: str = "auto",
+    ) -> None:
+        self.vm = ec2_catalog()[vm] if isinstance(vm, str) else vm
+        self.rates = rates or CostRates()
+        self.demand_model = demand_model or NormalDemand()
+        self.backend = backend
+
+    # -- deterministic -------------------------------------------------------
+    def plan_deterministic(
+        self,
+        demand: np.ndarray | None = None,
+        horizon: int = 24,
+        seed: int | None = 0,
+    ) -> tuple[RentalPlan, RentalPlan]:
+        """Solve DRRP and the no-plan baseline; returns ``(drrp, noplan)``."""
+        if demand is None:
+            demand = self.demand_model.sample(horizon, seed)
+        demand = np.asarray(demand, dtype=float)
+        inst = DRRPInstance(
+            demand=demand,
+            costs=on_demand_schedule(self.vm, demand.shape[0], self.rates),
+            phi=self.rates.input_output_ratio,
+            vm_name=self.vm.name,
+        )
+        return solve_drrp(inst, backend=self.backend), solve_noplan(inst)
+
+    # -- stochastic ----------------------------------------------------------
+    def plan_stochastic(
+        self,
+        price_history: np.ndarray,
+        bids: np.ndarray,
+        demand: np.ndarray | None = None,
+        current_price: float | None = None,
+        max_branching: int = 3,
+        seed: int | None = 0,
+    ) -> SRRPPlan:
+        """Solve one SRRP instance from a price history and a bid vector.
+
+        ``bids[0]`` applies to the current slot (root), the rest to future
+        stages; ``current_price`` defaults to the last history value.
+        """
+        bids = np.asarray(bids, dtype=float)
+        horizon = bids.shape[0]
+        if demand is None:
+            demand = self.demand_model.sample(horizon, seed)
+        demand = np.asarray(demand, dtype=float)
+        base = EmpiricalDistribution(price_history)
+        spot_now = float(price_history[-1]) if current_price is None else current_price
+        from repro.market.auction import effective_hourly_price
+
+        root_price = effective_hourly_price(float(bids[0]), spot_now, self.vm.on_demand_price)
+        stage_dists = bid_adjusted_stage_distributions(
+            base, bids[1:], self.vm.on_demand_price, max_branching
+        )
+        tree = build_tree(root_price, stage_dists)
+        inst = SRRPInstance(
+            demand=demand,
+            costs=on_demand_schedule(self.vm, horizon, self.rates),
+            tree=tree,
+            phi=self.rates.input_output_ratio,
+            vm_name=self.vm.name,
+        )
+        return solve_srrp(inst, backend=self.backend)
+
+    # -- evaluation ----------------------------------------------------------
+    def evaluate_policies(
+        self,
+        realized_spot: np.ndarray,
+        demand: np.ndarray,
+        price_history: np.ndarray,
+        policies: dict[str, Policy] | None = None,
+        bid_strategy: BidStrategy | None = None,
+        lookahead: int = 6,
+    ) -> PolicyComparison:
+        """Run the Fig. 12(a) bake-off (or a caller-supplied policy set)."""
+        realized_spot = np.asarray(realized_spot, dtype=float)
+        demand = np.asarray(demand, dtype=float)
+        base = EmpiricalDistribution(price_history)
+        if policies is None:
+            strategy = bid_strategy or MeanBids()
+            policies = {
+                "on-demand": OnDemandPolicy(lookahead=lookahead, backend=self.backend),
+                f"det-{strategy.name}": DeterministicPolicy(
+                    strategy, lookahead=lookahead, backend=self.backend
+                ),
+                f"sto-{strategy.name}": StochasticPolicy(
+                    strategy, lookahead=lookahead, backend=self.backend
+                ),
+            }
+        history = np.asarray(price_history, dtype=float)
+        oracle = OraclePolicy(realized_spot, backend=self.backend)
+        ideal = simulate_policy(
+            oracle, realized_spot, demand, self.vm, self.rates, base,
+            price_history=history,
+        )
+        results = {
+            name: simulate_policy(
+                pol, realized_spot, demand, self.vm, self.rates, base,
+                price_history=history,
+            )
+            for name, pol in policies.items()
+        }
+        results["oracle"] = ideal
+        return PolicyComparison(results=results, ideal_cost=ideal.total_cost)

@@ -1,0 +1,179 @@
+"""Multistage scenario trees and bid-dependent dynamic sampling (§IV-C/D).
+
+A scenario tree G = (V, E) represents the evolution of the uncertain spot
+price over the planning horizon: the root is the current state of the world
+(stage 0, price known), and each vertex at depth ``t`` is a distinguishable
+price state for slot ``t``.  Every leaf-root path is a *scenario*; interior
+vertices carry the non-anticipativity structure for free, because SRRP's
+recourse variables are indexed by vertex (decisions at a vertex are shared
+by every scenario through it).
+
+Stage distributions come from the paper's bid-dependent dynamic sampling:
+take the *base* empirical distribution of historical prices, keep the mass
+at or below the bid, and collapse the rest onto the on-demand price λ —
+eq. (10)'s out-of-bid event.  Supports are then coarsened to a branching
+factor so the tree stays tractable (the paper solves a 6 h SRRP horizon for
+the same reason).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.stats.empirical import EmpiricalDistribution
+
+__all__ = ["ScenarioNode", "ScenarioTree", "build_tree", "bid_adjusted_stage_distributions"]
+
+
+@dataclass
+class ScenarioNode:
+    """One vertex of the tree.
+
+    ``price`` is the compute price Cp in force at this vertex's slot;
+    ``cond_prob`` the branch probability from the parent; ``abs_prob`` the
+    product along the root path (p_v in eq. (13)).
+    """
+
+    index: int
+    parent: int          # -1 for the root
+    depth: int           # slot index τ(v)
+    price: float
+    cond_prob: float
+    abs_prob: float
+    children: list[int] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+@dataclass
+class ScenarioTree:
+    """A perfectly balanced-depth scenario tree (all leaves at depth T-1)."""
+
+    nodes: list[ScenarioNode]
+    horizon: int
+
+    @property
+    def root(self) -> ScenarioNode:
+        return self.nodes[0]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def leaves(self) -> list[ScenarioNode]:
+        return [n for n in self.nodes if n.depth == self.horizon - 1]
+
+    @property
+    def num_scenarios(self) -> int:
+        return len(self.leaves())
+
+    def path(self, node_index: int) -> list[ScenarioNode]:
+        """Root-to-node vertex list P(v)."""
+        path = []
+        idx = node_index
+        while idx >= 0:
+            node = self.nodes[idx]
+            path.append(node)
+            idx = node.parent
+        return list(reversed(path))
+
+    def scenario_prices(self) -> tuple[np.ndarray, np.ndarray]:
+        """(S, T) price matrix and length-S probability vector, one row per
+        scenario — the joint realizations the leaves encode."""
+        leaves = self.leaves()
+        S = len(leaves)
+        prices = np.zeros((S, self.horizon))
+        probs = np.zeros(S)
+        for s, leaf in enumerate(leaves):
+            for node in self.path(leaf.index):
+                prices[s, node.depth] = node.price
+            probs[s] = leaf.abs_prob
+        return prices, probs
+
+    def stage_probabilities_sum_to_one(self, tol: float = 1e-9) -> bool:
+        """Invariant of §IV-D: Σ_{τ(v)=t} p_v = 1 for every stage t."""
+        sums = np.zeros(self.horizon)
+        for n in self.nodes:
+            sums[n.depth] += n.abs_prob
+        return bool(np.all(np.abs(sums - 1.0) <= tol))
+
+    def validate(self) -> None:
+        """Structural sanity checks (used by tests and at build time)."""
+        if not self.nodes or self.nodes[0].parent != -1:
+            raise ValueError("tree must start with a root of parent -1")
+        for n in self.nodes[1:]:
+            p = self.nodes[n.parent]
+            if n.depth != p.depth + 1:
+                raise ValueError(f"node {n.index} depth inconsistent with parent")
+            if n.index not in p.children:
+                raise ValueError(f"node {n.index} missing from parent's children")
+        if not self.stage_probabilities_sum_to_one():
+            raise ValueError("stage probabilities do not sum to one")
+
+
+def build_tree(
+    root_price: float,
+    stage_distributions: list[tuple[np.ndarray, np.ndarray]],
+    horizon: int | None = None,
+) -> ScenarioTree:
+    """Build a tree: known root price, then one (values, probs) pair per
+    later stage.  Stage distributions are assumed independent across stages
+    (the empirical base distribution is stationary over the window, per the
+    paper's stationarity analysis).
+
+    ``horizon`` defaults to ``1 + len(stage_distributions)``.
+    """
+    T = horizon if horizon is not None else 1 + len(stage_distributions)
+    if T != 1 + len(stage_distributions):
+        raise ValueError("horizon must equal 1 + number of stage distributions")
+    nodes = [ScenarioNode(index=0, parent=-1, depth=0, price=float(root_price), cond_prob=1.0, abs_prob=1.0)]
+    frontier = [0]
+    for depth in range(1, T):
+        values, probs = stage_distributions[depth - 1]
+        values = np.asarray(values, dtype=float)
+        probs = np.asarray(probs, dtype=float)
+        if values.size == 0 or values.shape != probs.shape:
+            raise ValueError(f"bad stage distribution at depth {depth}")
+        if abs(probs.sum() - 1.0) > 1e-9:
+            raise ValueError(f"stage {depth} probabilities sum to {probs.sum()}")
+        new_frontier = []
+        for parent_idx in frontier:
+            parent = nodes[parent_idx]
+            for v, p in zip(values, probs):
+                node = ScenarioNode(
+                    index=len(nodes), parent=parent_idx, depth=depth,
+                    price=float(v), cond_prob=float(p), abs_prob=parent.abs_prob * float(p),
+                )
+                nodes.append(node)
+                parent.children.append(node.index)
+                new_frontier.append(node.index)
+        frontier = new_frontier
+    tree = ScenarioTree(nodes=nodes, horizon=T)
+    tree.validate()
+    return tree
+
+
+def bid_adjusted_stage_distributions(
+    base: EmpiricalDistribution,
+    bids: np.ndarray,
+    on_demand_price: float,
+    max_branching: int = 3,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Per-stage (values, probs) after bid truncation and coarsening.
+
+    For each future slot ``t`` (bids[0] is the *second* tree stage — the
+    root price is known), apply eq. (10): keep base mass at values ≤ bid,
+    move the rest to λ, then coarsen the support to ``max_branching`` states
+    so the tree stays solvable.
+    """
+    bids = np.asarray(bids, dtype=float)
+    out = []
+    for bid in bids:
+        d = base.truncate_at_bid(float(bid), on_demand_price)
+        d = d.coarsen(max_branching)
+        out.append((d.values, d.probabilities))
+    return out

@@ -1,0 +1,79 @@
+"""Planning-level sensitivity: what is a marginal GB of demand worth?
+
+Fixing the optimal rental pattern χ* and reading the duals of the
+inventory-balance rows gives the *marginal serving cost* per slot — the
+price signal an ASP would quote a customer for one more GB requested in
+slot t, under the current plan.  Slots served out of inventory inherit the
+(generation + holding) cost of the slot that produced for them; slots
+generating fresh data see the local generation cost.
+
+Built on :func:`repro.solver.sensitivity.lp_sensitivity`; the MILP's
+integer decisions are frozen first (standard fix-and-price analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solver.sensitivity import lp_sensitivity
+from .drrp import DRRPInstance, RentalPlan, build_drrp_model, solve_drrp
+
+__all__ = ["DemandPriceReport", "demand_shadow_prices"]
+
+
+@dataclass(frozen=True)
+class DemandPriceReport:
+    """Marginal cost per GB of demand, per slot, under a fixed plan."""
+
+    marginal_cost: np.ndarray  # length T, $/GB
+    plan: RentalPlan
+
+    @property
+    def horizon(self) -> int:
+        return self.marginal_cost.shape[0]
+
+    def most_expensive_slot(self) -> int:
+        return int(np.argmax(self.marginal_cost))
+
+
+def demand_shadow_prices(
+    instance: DRRPInstance,
+    plan: RentalPlan | None = None,
+    backend: str = "auto",
+) -> DemandPriceReport:
+    """Compute per-slot marginal serving costs for a DRRP instance.
+
+    Parameters
+    ----------
+    instance:
+        The planning problem.
+    plan:
+        A solved plan whose rental pattern to freeze; solved fresh if
+        omitted.
+    """
+    if plan is None:
+        plan = solve_drrp(instance, backend=backend)
+    model, vars_ = build_drrp_model(instance)
+    # freeze the integer pattern: chi_t == chi*_t
+    for t, chi_var in enumerate(vars_["chi"]):
+        model.add_constr(chi_var == float(plan.chi[t]), name=f"fix_chi[{t}]")
+    compiled = model.compile()
+    compiled.integrality[:] = 0  # now a pure LP
+    report = lp_sensitivity(compiled)
+    # balance rows are the first T equality rows by construction order;
+    # identify them by name through the model's constraints instead of
+    # relying on position arithmetic.
+    eq_names = [c.name for c in model.constraints if c.sense.value == "=="]
+    marginals = {}
+    for name, dual in zip(eq_names, report.duals_eq):
+        if name.startswith("balance["):
+            t = int(name[len("balance[") : -1])
+            marginals[t] = dual
+    T = instance.horizon
+    marginal = np.array([marginals.get(t, 0.0) for t in range(T)])
+    # add the transfer-out cost, which the objective charges per GB of
+    # demand directly (a constant in the model, but real marginal cost)
+    marginal = marginal + instance.costs.transfer_out
+    return DemandPriceReport(marginal_cost=marginal, plan=plan)

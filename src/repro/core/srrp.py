@@ -1,0 +1,180 @@
+"""Stochastic Resource Rental Planning — the paper's SRRP model (§IV).
+
+SRRP minimizes the *expected* rental cost over the price uncertainty
+encoded in a scenario tree.  Following §IV-E we solve the deterministic
+equivalent: every DRRP variable becomes a family of vertex-indexed recourse
+variables, and the inventory balance links each vertex to its parent —
+which enforces non-anticipativity structurally (a decision at vertex v is
+shared by every scenario whose path passes through v):
+
+    min  Σ_v p_v [ C+f·Φ·α_v + (Cs+Cio)·β_v + C−f·D(τ(v)) + Cp(v)·χ_v ]   (13)
+    s.t. β_{π(v)} + α_v − β_v = D(τ(v))                                   (14)
+         α_v ≤ B·χ_v                                                      (16)
+         β_root-parent = ε                                                (17)
+         α, β ≥ 0, χ ∈ {0,1}                                              (18–19)
+
+The bottleneck rows (15) are omitted exactly as §V-A omits them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.solver import Model, SolverStatus, lin_sum, solve
+from .costs import CostSchedule
+from .scenario import ScenarioTree
+
+__all__ = ["SRRPInstance", "SRRPPlan", "build_srrp_model", "solve_srrp"]
+
+
+@dataclass(frozen=True)
+class SRRPInstance:
+    """A stochastic planning problem over a scenario tree.
+
+    ``costs`` supplies the deterministic cost components (storage, I/O,
+    transfer); the per-slot compute price comes from the tree's vertices.
+    ``demand`` must span the tree horizon.
+    """
+
+    demand: np.ndarray
+    costs: CostSchedule
+    tree: ScenarioTree
+    phi: float = 0.5
+    initial_storage: float = 0.0
+    vm_name: str = "vm"
+
+    def __post_init__(self) -> None:
+        demand = np.asarray(self.demand, dtype=float)
+        object.__setattr__(self, "demand", demand)
+        if demand.shape[0] != self.tree.horizon:
+            raise ValueError(
+                f"demand length {demand.shape[0]} != tree horizon {self.tree.horizon}"
+            )
+        if demand.shape[0] != self.costs.horizon:
+            raise ValueError("cost schedule must span the tree horizon")
+        if np.any(demand < 0):
+            raise ValueError("demand must be nonnegative")
+        if self.initial_storage < 0:
+            raise ValueError("initial storage must be nonnegative")
+
+    @property
+    def horizon(self) -> int:
+        return self.tree.horizon
+
+    @property
+    def forcing_bound(self) -> float:
+        return float(max(self.demand.sum() - self.initial_storage, 0.0)) or 1.0
+
+
+@dataclass
+class SRRPPlan:
+    """Solved SRRP policy.
+
+    ``alpha`` / ``beta`` / ``chi`` are vertex-indexed (the full recourse
+    policy); ``first_alpha`` / ``first_chi`` are the root (here-and-now)
+    decisions a rolling-horizon controller implements.  ``expected_cost``
+    is objective (13).
+    """
+
+    alpha: np.ndarray
+    beta: np.ndarray
+    chi: np.ndarray
+    expected_cost: float
+    status: SolverStatus
+    tree: ScenarioTree
+    vm_name: str = "vm"
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def first_alpha(self) -> float:
+        return float(self.alpha[0])
+
+    @property
+    def first_chi(self) -> bool:
+        return bool(self.chi[0] > 0.5)
+
+    def decisions_for_scenario(self, leaf_index: int) -> dict[str, np.ndarray]:
+        """The (α, β, χ) path a given scenario would execute."""
+        path = self.tree.path(leaf_index)
+        idx = [n.index for n in path]
+        return {
+            "alpha": self.alpha[idx],
+            "beta": self.beta[idx],
+            "chi": self.chi[idx],
+            "prices": np.array([n.price for n in path]),
+        }
+
+    def validate(self, instance: SRRPInstance, tol: float = 1e-6) -> None:
+        """Check tree-indexed balance/forcing constraints (test helper)."""
+        for node in instance.tree.nodes:
+            prev = instance.initial_storage if node.parent < 0 else self.beta[node.parent]
+            lhs = prev + self.alpha[node.index] - self.beta[node.index]
+            if abs(lhs - instance.demand[node.depth]) > tol:
+                raise AssertionError(f"balance violated at vertex {node.index}")
+            if self.alpha[node.index] > instance.forcing_bound * (self.chi[node.index] > 0.5) + tol:
+                raise AssertionError(f"forcing violated at vertex {node.index}")
+
+
+def build_srrp_model(instance: SRRPInstance) -> tuple[Model, dict[str, list]]:
+    """Construct the deterministic-equivalent MILP over the scenario tree."""
+    tree = instance.tree
+    c = instance.costs
+    m = Model(f"srrp[{instance.vm_name}]")
+    n = tree.num_nodes
+    alpha = m.add_vars(n, "alpha")
+    beta = m.add_vars(n, "beta")
+    chi = m.add_vars(n, "chi", vtype="binary")
+    holding = c.holding
+    # Per-stage forcing bound (see build_drrp_model): generation at a vertex
+    # never usefully exceeds the demand still ahead of its stage.
+    remaining = np.concatenate([np.cumsum(instance.demand[::-1])[::-1], [0.0]])
+
+    for node in tree.nodes:
+        t = node.depth
+        prev = instance.initial_storage if node.parent < 0 else beta[node.parent]
+        m.add_constr(
+            prev + alpha[node.index] - beta[node.index] == float(instance.demand[t]),
+            name=f"balance[{node.index}]",
+        )
+        B_t = max(float(remaining[t]), 1e-9)
+        m.add_constr(alpha[node.index] <= B_t * chi[node.index], name=f"forcing[{node.index}]")
+
+    const_term = 0.0
+    terms = []
+    for node in tree.nodes:
+        t = node.depth
+        p = node.abs_prob
+        terms.append(
+            p
+            * (
+                float(c.transfer_in[t]) * instance.phi * alpha[node.index]
+                + float(holding[t]) * beta[node.index]
+                + node.price * chi[node.index]
+            )
+        )
+        const_term += p * float(c.transfer_out[t]) * float(instance.demand[t])
+    m.set_objective(lin_sum(terms) + const_term)
+    return m, {"alpha": alpha, "beta": beta, "chi": chi}
+
+
+def solve_srrp(instance: SRRPInstance, backend: str = "auto", **solve_kwargs) -> SRRPPlan:
+    """Solve the deterministic equivalent and extract the recourse policy."""
+    model, vars_ = build_srrp_model(instance)
+    res = solve(model, backend=backend, **solve_kwargs)
+    if not res.status.has_solution:
+        raise RuntimeError(f"SRRP solve failed with status {res.status.value}")
+    alpha = np.maximum(np.array([res.value_of(v) for v in vars_["alpha"]]), 0.0)
+    beta = np.maximum(np.array([res.value_of(v) for v in vars_["beta"]]), 0.0)
+    chi = np.round(np.array([res.value_of(v) for v in vars_["chi"]]))
+    return SRRPPlan(
+        alpha=alpha,
+        beta=beta,
+        chi=chi,
+        expected_cost=res.objective,
+        status=res.status,
+        tree=instance.tree,
+        vm_name=instance.vm_name,
+        extra={"nodes": res.nodes, "iterations": res.iterations, "tree_size": instance.tree.num_nodes},
+    )

@@ -1,0 +1,7 @@
+"""One module per figure of the paper's evaluation (§IV analysis + §V
+simulations); each exposes ``run(...) -> ExperimentResult`` with the
+paper's parameters as defaults.  ``report.run_all()`` regenerates all."""
+
+from .base import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

@@ -1,0 +1,71 @@
+"""Shared experiment result container and rendering helpers.
+
+Every ``figN_*`` module exposes ``run(...) -> ExperimentResult`` that
+regenerates the corresponding figure's data series with the paper's
+parameters as defaults.  Results render to aligned-text tables so the
+benchmark harness and EXPERIMENTS.md show exactly the rows the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+def format_table(rows: list[dict[str, Any]], float_fmt: str = "{:.4f}") -> str:
+    """Render dict-rows as an aligned text table (column order from row 0)."""
+    if not rows:
+        return "(no rows)"
+    cols = list(rows[0].keys())
+
+    def fmt(v) -> str:
+        if isinstance(v, (float, np.floating)):
+            return float_fmt.format(float(v))
+        return str(v)
+
+    rendered = [[fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in rendered)) for i, c in enumerate(cols)]
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in rendered)
+    return f"{header}\n{sep}\n{body}"
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced figure.
+
+    Attributes
+    ----------
+    experiment:
+        Identifier ("fig3", "fig12a", ...).
+    title:
+        What the paper's figure shows.
+    rows:
+        Tabular data (the rows/series the paper reports).
+    series:
+        Raw arrays for callers who want to re-plot.
+    findings:
+        Checked claims: mapping of claim -> bool/str (the paper's
+        qualitative statements, verified on the reproduction).
+    """
+
+    experiment: str
+    title: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    series: dict[str, np.ndarray] = field(default_factory=dict)
+    findings: dict[str, Any] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        parts = [f"== {self.experiment}: {self.title} ==", format_table(self.rows)]
+        if self.findings:
+            parts.append("findings:")
+            parts.extend(f"  - {k}: {v}" for k, v in self.findings.items())
+        return "\n".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()

@@ -1,0 +1,103 @@
+"""Figure 11 — sensitivity of DRRP's cost ratio to cost weights and demand.
+
+Left panel: starting from the m1.large base ratio (~67 % of the no-plan
+cost), raise the I/O cost in one direction and the CPU cost in the other,
+in steps of 0.1: the ratio rises toward 1 with costlier I/O and falls with
+costlier compute ("cost reduction ... more salient for expensive
+computational resources").
+
+Right panel: raise the demand mean from 0.2 to 1.6 GB/h: processors stay
+busy, inventory stops paying off, and the ratio approaches 1 ("cost
+reduction is not noticeable for heavy service demand").
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core import DRRPInstance, NormalDemand, on_demand_schedule, solve_drrp, solve_noplan
+from repro.market import ec2_catalog
+from .base import ExperimentResult
+
+__all__ = ["run"]
+
+
+def _cost_ratio(instance: DRRPInstance, backend: str) -> float:
+    plan = solve_drrp(instance, backend=backend)
+    base = solve_noplan(instance)
+    return plan.total_cost / base.total_cost
+
+
+def run(
+    horizon: int = 24,
+    seed: int = 2012,
+    n_trials: int = 3,
+    steps: int = 4,
+    step_size: float = 0.1,
+    demand_means: tuple[float, ...] = (0.2, 0.4, 0.8, 1.2, 1.6),
+    backend: str = "auto",
+) -> ExperimentResult:
+    """Regenerate Fig. 11's two sweeps around the m1.large base point."""
+    vm = ec2_catalog()["m1.large"]
+    demand_model = NormalDemand()
+
+    def avg_ratio(make_instance) -> float:
+        vals = []
+        for k in range(n_trials):
+            vals.append(_cost_ratio(make_instance(seed + k), backend))
+        return float(np.mean(vals))
+
+    base_costs = on_demand_schedule(vm, horizon)
+
+    def base_instance(s, costs=None, mean=0.4):
+        model = NormalDemand(mean=mean, std=0.2) if mean != 0.4 else demand_model
+        return DRRPInstance(
+            demand=model.sample(horizon, s),
+            costs=costs if costs is not None else base_costs,
+            vm_name=vm.name,
+        )
+
+    rows = []
+    # CPU direction: compute cost + k*step
+    cpu_ratios = []
+    for k in range(steps + 1):
+        costs = base_costs.with_compute(base_costs.compute + k * step_size)
+        r = avg_ratio(lambda s, c=costs: base_instance(s, costs=c))
+        cpu_ratios.append(r)
+        rows.append({"sweep": "cpu", "delta": k * step_size, "cost_ratio": r})
+    # I/O direction: io cost + k*step
+    io_ratios = []
+    for k in range(steps + 1):
+        costs = replace(base_costs, io=base_costs.io + k * step_size)
+        r = avg_ratio(lambda s, c=costs: base_instance(s, costs=c))
+        io_ratios.append(r)
+        rows.append({"sweep": "io", "delta": k * step_size, "cost_ratio": r})
+    # demand direction
+    demand_ratios = []
+    for mean in demand_means:
+        r = avg_ratio(lambda s, m=mean: base_instance(s, mean=m))
+        demand_ratios.append(r)
+        rows.append({"sweep": "demand", "delta": mean, "cost_ratio": r})
+
+    return ExperimentResult(
+        experiment="fig11",
+        title="DRRP sensitivity: cost ratio vs CPU/I-O weights and demand mean",
+        rows=rows,
+        series={
+            "cpu_ratios": np.array(cpu_ratios),
+            "io_ratios": np.array(io_ratios),
+            "demand_ratios": np.array(demand_ratios),
+            "demand_means": np.array(demand_means),
+        },
+        findings={
+            "base_ratio": cpu_ratios[0],
+            "cpu_cost_up_ratio_down": cpu_ratios[-1] < cpu_ratios[0],
+            "io_cost_up_ratio_up": io_ratios[-1] > io_ratios[0],
+            "heavy_demand_kills_saving": demand_ratios[-1] > 0.85,
+            "demand_trend_monotone_up": bool(
+                np.all(np.diff(np.array(demand_ratios)) > -0.05)
+            ),
+        },
+    )

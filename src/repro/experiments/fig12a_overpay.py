@@ -1,0 +1,123 @@
+"""Figure 12(a) — overpay vs the perfect-information ideal cost.
+
+For each planning class, five schemes run in the rolling-horizon simulator
+against the same realized spot-price day:
+
+* ``on-demand``   — planning, but renting at the fixed price λ;
+* ``det-predict`` — DRRP fed the SARIMA day-ahead predictions as bids;
+* ``sto-predict`` — SRRP with the same predictions as bids;
+* ``det-exp-mean`` / ``sto-exp-mean`` — the common fixed-bid strategy
+  (expected mean of the history) under DRRP / SRRP.
+
+The ideal cost is the oracle's (DRRP over the realized prices).  The
+paper's qualitative results: on-demand overpays by far the most, and SRRP
+outperforms its DRRP counterpart.  The default evaluation spans three days
+from Feb 1 2011 rather than the paper's single day: out-of-bid events are
+what separates SRRP from DRRP ("SRRP performs significantly better than
+DRRP only when the chance of losing the spot instance auction is
+nontrivial", §V-D), and a longer window averages over their incidence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    DeterministicPolicy,
+    NormalDemand,
+    OnDemandPolicy,
+    Planner,
+    StochasticPolicy,
+)
+from repro.market import (
+    MeanBids,
+    PLANNING_CLASSES,
+    ScheduleBids,
+    hourly_series,
+    hours_since_epoch,
+    paper_window,
+    reference_dataset,
+)
+from .base import ExperimentResult
+from .fig8_prediction import fit_paper_forecaster
+
+__all__ = ["run"]
+
+
+def run(
+    horizon: int = 72,
+    lookahead: int = 6,
+    max_branching: int = 3,
+    seed: int = 2012,
+    backend: str = "auto",
+    classes: tuple[str, ...] = PLANNING_CLASSES,
+    forecast_spec=None,
+) -> ExperimentResult:
+    """Regenerate Fig. 12(a): overpay percentages per class and scheme."""
+    dataset = reference_dataset()
+    demand = NormalDemand().sample(horizon, seed)
+    rows = []
+    findings = {"on_demand_worst_everywhere": True}
+    sto_wins = 0
+    pairs = 0
+
+    from datetime import date
+
+    eval_start = hours_since_epoch(date(2011, 2, 1))
+    for name in classes:
+        window = paper_window(dataset[name])
+        history = window.estimation
+        realized = hourly_series(dataset[name], eval_start, eval_start + horizon)
+        model = fit_paper_forecaster(history, forecast_spec)
+        predicted = model.forecast(horizon)
+
+        mean_bids = MeanBids()
+        predict_bids = ScheduleBids(values=predicted)
+        planner = Planner(name, backend=backend)
+        policies = {
+            "on-demand": OnDemandPolicy(lookahead=lookahead, backend=backend),
+            "det-predict": DeterministicPolicy(
+                predict_bids, lookahead=lookahead, backend=backend, name="det-predict"
+            ),
+            "sto-predict": StochasticPolicy(
+                predict_bids, lookahead=lookahead, max_branching=max_branching,
+                backend=backend, name="sto-predict",
+            ),
+            "det-exp-mean": DeterministicPolicy(
+                mean_bids, lookahead=lookahead, backend=backend, name="det-exp-mean"
+            ),
+            "sto-exp-mean": StochasticPolicy(
+                mean_bids, lookahead=lookahead, max_branching=max_branching,
+                backend=backend, name="sto-exp-mean",
+            ),
+        }
+        comparison = planner.evaluate_policies(
+            realized, demand, history, policies=policies, lookahead=lookahead
+        )
+        over = comparison.overpay_percentages()
+        rows.append(
+            {
+                "vm_class": name,
+                "ideal_cost": comparison.ideal_cost,
+                **{k: over[k] for k in policies},
+            }
+        )
+        for strategy in ("predict", "exp-mean"):
+            pairs += 1
+            if over[f"sto-{strategy}"] <= over[f"det-{strategy}"] + 1e-9:
+                sto_wins += 1
+        if over["on-demand"] < max(v for k, v in over.items() if k != "oracle") - 1e-9:
+            findings["on_demand_worst_everywhere"] = False
+
+    findings["srrp_beats_drrp_in_most_pairs"] = sto_wins >= (pairs + 1) // 2
+    findings["srrp_win_rate"] = f"{sto_wins}/{pairs}"
+    findings["overpay_all_nonnegative"] = all(
+        all(v >= -1e-6 for k, v in row.items() if k not in ("vm_class", "ideal_cost"))
+        for row in rows
+    )
+    return ExperimentResult(
+        experiment="fig12a",
+        title="Overpay percentage vs ideal-case cost, five schemes x three classes",
+        rows=rows,
+        findings=findings,
+    )

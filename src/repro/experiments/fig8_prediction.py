@@ -1,0 +1,92 @@
+"""Figure 8 — day-ahead SARIMA prediction for the selected series.
+
+The paper fits the best SARIMA (auto-selected; mostly
+SARIMA(2,0,1 or 2)×(2,0,0)₂₄) on the two-month estimation window, predicts
+the next 24 hours, and finds the forecasts "mostly hanging over the average
+price line": the MSPE is "only slightly better than the simple prediction
+using the expected mean value" — the motivation for SRRP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.market import paper_window, reference_dataset
+from repro.stats import mspe
+from repro.timeseries import (
+    AutoARIMASpec,
+    adf_test,
+    auto_arima,
+    fit_holt_winters,
+    mean_forecast,
+    naive_forecast,
+)
+from .base import ExperimentResult
+
+__all__ = ["run", "fit_paper_forecaster"]
+
+
+def fit_paper_forecaster(history: np.ndarray, spec: AutoARIMASpec | None = None):
+    """Fit the paper's model-selection pipeline; returns the fitted result."""
+    spec = spec or AutoARIMASpec(max_p=2, max_q=2, max_P=2, max_Q=0, s=24)
+    return auto_arima(np.asarray(history, dtype=float), spec)
+
+
+def run(
+    vm_class: str = "c1.medium",
+    horizon: int = 24,
+    seed: int | None = None,
+    spec: AutoARIMASpec | None = None,
+) -> ExperimentResult:
+    """Regenerate Fig. 8: fitted model, day-ahead forecasts, MSPE comparison."""
+    dataset = reference_dataset() if seed is None else reference_dataset(seed)
+    window = paper_window(dataset[vm_class])
+    history, actual = window.estimation, window.validation[:horizon]
+
+    model = fit_paper_forecaster(history, spec)
+    predicted = model.forecast(horizon)
+    mean_pred = mean_forecast(history, horizon)
+    naive_pred = naive_forecast(history, horizon)
+
+    hw = fit_holt_winters(history, period=24)
+    hw_pred = hw.forecast(horizon)
+
+    model_mspe = mspe(actual, predicted)
+    mean_mspe = mspe(actual, mean_pred)
+    naive_mspe = mspe(actual, naive_pred)
+    hw_mspe = mspe(actual, hw_pred)
+
+    rows = [
+        {"predictor": model.order.label, "mspe_x1e6": 1e6 * model_mspe},
+        {"predictor": "holt-winters(24)", "mspe_x1e6": 1e6 * hw_mspe},
+        {"predictor": "expected-mean", "mspe_x1e6": 1e6 * mean_mspe},
+        {"predictor": "naive-last-value", "mspe_x1e6": 1e6 * naive_mspe},
+    ]
+    # "hanging over the average line": mean absolute gap between the
+    # forecast path and the historical mean is small vs price spread
+    spread = float(history.max() - history.min())
+    hover = float(np.mean(np.abs(predicted - history.mean()))) / spread if spread else 0.0
+    return ExperimentResult(
+        experiment="fig8",
+        title="Day-ahead prediction for the selected series",
+        rows=rows,
+        series={
+            "history_tail": history[-48:],
+            "actual": actual,
+            "predicted": predicted,
+            "mean_line": mean_pred,
+        },
+        findings={
+            "selected_order": model.order.label,
+            # the paper's punchline inverted as a check: SARIMA never achieves
+            # a *substantial* MSPE improvement over the trivial mean predictor
+            "no_substantial_skill_over_mean": model_mspe >= 0.5 * mean_mspe,
+            "improvement_over_mean_small": (1 - model_mspe / mean_mspe) < 0.5,
+            "forecasts_hover_near_mean": hover < 0.3,
+            "rmse_within_two_price_quanta": float(np.sqrt(model_mspe)) < 0.002,
+            # the paper verifies stationarity before fitting d=0 models
+            "series_stationary_adf": adf_test(history).rejects_unit_root(),
+            # robustness: Holt-Winters extracts no substantial skill either
+            "holt_winters_no_substantial_skill": hw_mspe >= 0.5 * mean_mspe,
+        },
+    )

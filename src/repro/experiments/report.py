@@ -1,0 +1,76 @@
+"""Run every experiment and render a combined report.
+
+``python -m repro.experiments.report`` regenerates all ten figures' data
+and prints them — the programmatic backbone of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import ExperimentResult
+from . import (
+    ext_availability,
+    ext_horizon,
+    ext_risk,
+    ext_value,
+    fig3_outliers,
+    fig4_updates,
+    fig5_histogram,
+    fig6_decompose,
+    fig7_correlogram,
+    fig8_prediction,
+    fig10_drrp_costs,
+    fig11_sensitivity,
+    fig12a_overpay,
+    fig12b_precision,
+)
+
+__all__ = ["ALL_EXPERIMENTS", "run_all", "render_report"]
+
+#: Experiment id -> zero-argument runner with the paper's default parameters.
+ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "fig3": fig3_outliers.run,
+    "fig4": fig4_updates.run,
+    "fig5": fig5_histogram.run,
+    "fig6": fig6_decompose.run,
+    "fig7": fig7_correlogram.run,
+    "fig8": fig8_prediction.run,
+    "fig10": fig10_drrp_costs.run,
+    "fig11": fig11_sensitivity.run,
+    "fig12a": fig12a_overpay.run,
+    "fig12b": fig12b_precision.run,
+    # extensions beyond the paper (see EXPERIMENTS.md)
+    "ext_value": ext_value.run,
+    "ext_availability": ext_availability.run,
+    "ext_horizon": ext_horizon.run,
+    "ext_risk": ext_risk.run,
+}
+
+
+def run_all(only: list[str] | None = None) -> dict[str, ExperimentResult]:
+    """Run all (or a subset of) experiments; returns id -> result."""
+    ids = only or list(ALL_EXPERIMENTS)
+    unknown = set(ids) - set(ALL_EXPERIMENTS)
+    if unknown:
+        raise ValueError(f"unknown experiment ids: {sorted(unknown)}")
+    return {eid: ALL_EXPERIMENTS[eid]() for eid in ids}
+
+
+def render_report(results: dict[str, ExperimentResult]) -> str:
+    """Render results into one text report."""
+    return "\n\n".join(results[eid].to_text() for eid in results)
+
+
+def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Regenerate the paper's figures")
+    parser.add_argument("experiments", nargs="*", help="subset of experiment ids")
+    args = parser.parse_args(argv)
+    results = run_all(args.experiments or None)
+    print(render_report(results))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

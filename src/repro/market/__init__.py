@@ -1,0 +1,75 @@
+"""Cloud-market substrate: the EC2 price catalog, synthetic spot traces,
+hourly resampling, auction semantics, and the bundled reference dataset."""
+
+from .catalog import (
+    ANALYSIS_CLASSES,
+    HOURS_PER_MONTH,
+    PLANNING_CLASSES,
+    CostRates,
+    VMClass,
+    ec2_catalog,
+)
+from .traces import SpotPriceTrace, TraceParams, generate_spot_trace
+from .resample import daily_update_counts, hourly_series, update_interval_stats
+from .auction import (
+    BidStrategy,
+    FixedBids,
+    ForecastBids,
+    MeanBids,
+    PerturbedActualBids,
+    ScheduleBids,
+    effective_hourly_price,
+    is_out_of_bid,
+)
+from .io import read_trace_csv, traces_from_csv_dir, traces_to_csv_dir, write_trace_csv
+from .availability import (
+    AvailabilityCurve,
+    availability_curve,
+    availability_of_bid,
+    bid_for_availability,
+    expected_cost_of_bid,
+)
+from .dataset import (
+    TRACE_EPOCH,
+    PaperWindow,
+    hours_since_epoch,
+    paper_window,
+    reference_dataset,
+)
+
+__all__ = [
+    "ANALYSIS_CLASSES",
+    "HOURS_PER_MONTH",
+    "PLANNING_CLASSES",
+    "CostRates",
+    "VMClass",
+    "ec2_catalog",
+    "SpotPriceTrace",
+    "TraceParams",
+    "generate_spot_trace",
+    "daily_update_counts",
+    "hourly_series",
+    "update_interval_stats",
+    "BidStrategy",
+    "FixedBids",
+    "ForecastBids",
+    "MeanBids",
+    "PerturbedActualBids",
+    "ScheduleBids",
+    "effective_hourly_price",
+    "is_out_of_bid",
+    "TRACE_EPOCH",
+    "PaperWindow",
+    "hours_since_epoch",
+    "paper_window",
+    "reference_dataset",
+    "read_trace_csv",
+    "traces_from_csv_dir",
+    "traces_to_csv_dir",
+    "write_trace_csv",
+    "AvailabilityCurve",
+    "availability_curve",
+    "availability_of_bid",
+    "bid_for_availability",
+    "expected_cost_of_bid",
+]

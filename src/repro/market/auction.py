@@ -1,0 +1,149 @@
+"""Spot-auction semantics and bidding strategies.
+
+Amazon's spot market is a uniform-price auction: every winner pays the spot
+price (the lowest winning bid) regardless of what it bid.  An ASP whose bid
+falls below the current spot price suffers an *out-of-bid event* and — per
+the paper's assumption — rents the needed capacity from the on-demand
+market at the fixed price λ instead.
+
+:func:`effective_hourly_price` encodes those two rules; the bid strategies
+reproduce the policies compared in Figure 12(a):
+
+* ``ForecastBids`` — bid the SARIMA day-ahead predictions (the paper's
+  "best approximation values we can get using statistical analysis");
+* ``MeanBids`` — bid the expected mean of the historical data (the "common
+  bid strategy" also evaluated);
+* ``FixedBids`` / ``PerturbedActualBids`` — supporting strategies for the
+  Fig. 12(b) approximation-precision study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "is_out_of_bid",
+    "effective_hourly_price",
+    "BidStrategy",
+    "FixedBids",
+    "MeanBids",
+    "ForecastBids",
+    "PerturbedActualBids",
+    "ScheduleBids",
+]
+
+
+def is_out_of_bid(bid: float, spot_price: float) -> bool:
+    """An out-of-bid event occurs when the ASP's bid is below the spot price."""
+    return bid < spot_price
+
+
+def effective_hourly_price(bid: float, spot_price: float, on_demand_price: float) -> float:
+    """Price actually paid for one instance-hour.
+
+    Winners pay the uniform spot price; losers fall back to on-demand at λ.
+    """
+    if is_out_of_bid(bid, spot_price):
+        return on_demand_price
+    return spot_price
+
+
+@dataclass(frozen=True)
+class BidStrategy:
+    """Interface: map a price history to per-slot bids for a horizon.
+
+    ``t`` is the absolute evaluation-slot index of the first bid — rolling
+    policies pass it so schedule-style strategies (precomputed forecasts,
+    perturbed actual prices) can align their bid windows.
+    """
+
+    name: str = "abstract"
+
+    def bids(self, history: np.ndarray, horizon: int, t: int = 0) -> np.ndarray:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedBids(BidStrategy):
+    """Bid a constant value every slot."""
+
+    value: float = 0.0
+    name: str = "fixed"
+
+    def bids(self, history: np.ndarray, horizon: int, t: int = 0) -> np.ndarray:
+        return np.full(horizon, self.value)
+
+
+@dataclass(frozen=True)
+class MeanBids(BidStrategy):
+    """Bid the expected mean of the historical price series every slot."""
+
+    name: str = "exp-mean"
+
+    def bids(self, history: np.ndarray, horizon: int, t: int = 0) -> np.ndarray:
+        return np.full(horizon, float(np.asarray(history, dtype=float).mean()))
+
+
+@dataclass(frozen=True)
+class ForecastBids(BidStrategy):
+    """Bid the model's h-step-ahead forecasts (SARIMA by default).
+
+    The fitted forecaster is supplied by the caller as a function
+    ``history, horizon -> np.ndarray`` so the strategy stays decoupled from
+    any particular model class.
+    """
+
+    forecaster: object = None  # Callable[[np.ndarray, int], np.ndarray]
+    name: str = "predict"
+
+    def bids(self, history: np.ndarray, horizon: int, t: int = 0) -> np.ndarray:
+        if self.forecaster is None:
+            raise ValueError("ForecastBids requires a forecaster callable")
+        out = np.asarray(self.forecaster(np.asarray(history, dtype=float), horizon), dtype=float)
+        if out.shape != (horizon,):
+            raise ValueError(f"forecaster returned shape {out.shape}, expected ({horizon},)")
+        return out
+
+
+@dataclass(frozen=True)
+class PerturbedActualBids(BidStrategy):
+    """Bid the *actual* future prices deviated by a fixed relative error.
+
+    Figure 12(b)'s instrument: "we create artificial bid prices that are
+    +/-2 % to 10 % deviated from the actual price realizations".  Requires
+    the realized prices, so it only makes sense inside a simulation.
+    """
+
+    actual: np.ndarray = None
+    deviation: float = 0.0  # e.g. +0.04 or -0.10
+    name: str = "perturbed-actual"
+
+    def bids(self, history: np.ndarray, horizon: int, t: int = 0) -> np.ndarray:
+        actual = np.asarray(self.actual, dtype=float)
+        window = actual[t : t + horizon]
+        if window.size < horizon:
+            raise ValueError("not enough actual prices for the requested horizon")
+        return window * (1.0 + self.deviation)
+
+
+@dataclass(frozen=True)
+class ScheduleBids(BidStrategy):
+    """Bid a precomputed per-slot schedule (e.g. a day-ahead SARIMA forecast).
+
+    ``values[k]`` is the bid for evaluation slot ``k``; windows beyond the
+    schedule carry the final value forward.  This is how the paper uses its
+    Figure 8 predictions: computed once on the estimation window, then fed
+    to planning as bid prices.
+    """
+
+    values: np.ndarray = None
+    name: str = "predict"
+
+    def bids(self, history: np.ndarray, horizon: int, t: int = 0) -> np.ndarray:
+        values = np.asarray(self.values, dtype=float)
+        if values.size == 0:
+            raise ValueError("ScheduleBids requires a nonempty schedule")
+        idx = np.minimum(np.arange(t, t + horizon), values.size - 1)
+        return values[idx]

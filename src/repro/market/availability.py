@@ -1,0 +1,94 @@
+"""Bid-price vs availability analysis.
+
+The paper's related-work section points at availability-guarantee studies
+(Andrzejak et al., Mazzucco & Dumas) as the other response to spot-price
+risk: instead of re-planning, pick a bid that keeps the instance alive a
+target fraction of the time.  This module provides that analysis over a
+price history, both as a consumer sanity-check ("what would bidding the
+mean have survived?") and as input to bid selection:
+
+* :func:`availability_of_bid` — fraction of hourly slots a bid wins;
+* :func:`bid_for_availability` — smallest bid achieving a target
+  availability (a quantile of the price series);
+* :func:`availability_curve` — the whole bid→availability map;
+* :func:`expected_cost_of_bid` — expected per-rental price under the
+  out-of-bid fallback to λ, the quantity DRRP implicitly mis-estimates
+  when it treats the bid as the price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "availability_of_bid",
+    "bid_for_availability",
+    "availability_curve",
+    "expected_cost_of_bid",
+    "AvailabilityCurve",
+]
+
+
+def availability_of_bid(prices: np.ndarray, bid: float) -> float:
+    """Fraction of slots with ``spot <= bid`` (the bid keeps the instance)."""
+    prices = np.asarray(prices, dtype=float)
+    if prices.size == 0:
+        raise ValueError("empty price history")
+    return float(np.mean(prices <= bid))
+
+
+def bid_for_availability(prices: np.ndarray, target: float) -> float:
+    """Smallest bid whose historical availability reaches ``target``."""
+    if not 0.0 < target <= 1.0:
+        raise ValueError("target availability must be in (0, 1]")
+    prices = np.sort(np.asarray(prices, dtype=float))
+    idx = int(np.ceil(target * prices.size)) - 1
+    return float(prices[max(idx, 0)])
+
+
+@dataclass(frozen=True)
+class AvailabilityCurve:
+    """The bid → availability / expected-cost map over a price history."""
+
+    bids: np.ndarray
+    availability: np.ndarray
+    expected_price: np.ndarray
+
+    def as_rows(self) -> list[dict]:
+        return [
+            {
+                "bid": float(b),
+                "availability": float(a),
+                "expected_price": float(c),
+            }
+            for b, a, c in zip(self.bids, self.availability, self.expected_price)
+        ]
+
+
+def expected_cost_of_bid(prices: np.ndarray, bid: float, on_demand_price: float) -> float:
+    """Mean effective hourly price of always renting at ``bid``.
+
+    Winning slots pay the spot price, losing slots pay λ — the true
+    expectation the SRRP scenario tree encodes and DRRP ignores.
+    """
+    prices = np.asarray(prices, dtype=float)
+    win = prices <= bid
+    return float(np.where(win, prices, on_demand_price).mean())
+
+
+def availability_curve(
+    prices: np.ndarray,
+    on_demand_price: float,
+    num: int = 50,
+) -> AvailabilityCurve:
+    """Sweep bids across the observed price range (plus λ)."""
+    prices = np.asarray(prices, dtype=float)
+    if prices.size == 0:
+        raise ValueError("empty price history")
+    lo, hi = float(prices.min()), float(max(prices.max(), on_demand_price))
+    bids = np.linspace(lo, hi, num)
+    availability = np.array([availability_of_bid(prices, b) for b in bids])
+    expected = np.array([expected_cost_of_bid(prices, b, on_demand_price) for b in bids])
+    return AvailabilityCurve(bids=bids, availability=availability, expected_price=expected)

@@ -1,0 +1,109 @@
+"""EC2-style price catalog (the paper's §V-A parameter setting).
+
+All monetary constants the evaluation uses, in one place:
+
+* hourly on-demand instance prices ``{$0.2, $0.4, $0.8}`` for
+  ``c1.medium / m1.large / m1.xlarge`` (the three planning classes);
+* EBS storage at $0.10 per GB-month, normalized I/O cost of $0.20 per GB
+  (from the Berriman et al. Montage cost study the paper cites);
+* network transfer in/out at $0.10 / $0.17 per GB;
+* the application's average input-output ratio Φ = 0.5.
+
+``c1.xlarge`` is included as a fourth class for the spot-price analysis
+figures (Fig. 3 uses four linux classes); it is not part of the planning
+experiments, matching the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["VMClass", "ec2_catalog", "PLANNING_CLASSES", "ANALYSIS_CLASSES", "HOURS_PER_MONTH"]
+
+HOURS_PER_MONTH = 730.0  # Amazon's billing convention for per-month rates
+
+
+@dataclass(frozen=True)
+class VMClass:
+    """One instance class and its market characteristics.
+
+    Attributes
+    ----------
+    name:
+        EC2-style class name.
+    on_demand_price:
+        Fixed hourly rental cost in the on-demand market ($/h) — the λ of
+        §IV-C, charged on an out-of-bid event.
+    spot_discount:
+        Long-run mean of spot price as a fraction of on-demand (calibrated
+        to ≈0.30 from the paper's Figure 5, where c1.medium spot sits at
+        $0.056–0.064 against a $0.20 on-demand price).
+    spot_volatility:
+        Relative dispersion of the spot process around its mean.
+    outlier_rate:
+        Probability that a price update is a spike; the paper observes more
+        outliers for more powerful classes, all below 3 % (Fig. 3).
+    power_rank:
+        Ordering key used only for presentation (Fig. 3's x-axis order).
+    """
+
+    name: str
+    on_demand_price: float
+    spot_discount: float = 0.30
+    spot_volatility: float = 0.02
+    outlier_rate: float = 0.01
+    power_rank: int = 0
+
+    @property
+    def mean_spot_price(self) -> float:
+        return self.on_demand_price * self.spot_discount
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def ec2_catalog() -> dict[str, VMClass]:
+    """The calibrated instance-class catalog used throughout the library."""
+    return {
+        "c1.medium": VMClass(
+            name="c1.medium", on_demand_price=0.20,
+            spot_volatility=0.018, outlier_rate=0.006, power_rank=1,
+        ),
+        "m1.large": VMClass(
+            name="m1.large", on_demand_price=0.40,
+            spot_volatility=0.022, outlier_rate=0.012, power_rank=2,
+        ),
+        "m1.xlarge": VMClass(
+            name="m1.xlarge", on_demand_price=0.80,
+            spot_volatility=0.028, outlier_rate=0.020, power_rank=3,
+        ),
+        "c1.xlarge": VMClass(
+            name="c1.xlarge", on_demand_price=1.60,
+            spot_volatility=0.034, outlier_rate=0.028, power_rank=4,
+        ),
+    }
+
+
+#: The three classes the planning experiments use (paper §V-A).
+PLANNING_CLASSES = ("c1.medium", "m1.large", "m1.xlarge")
+
+#: The four classes of the spot-price analysis (paper Fig. 3), in Fig. 3's order.
+ANALYSIS_CLASSES = ("m1.large", "m1.xlarge", "c1.medium", "c1.xlarge")
+
+
+@dataclass(frozen=True)
+class CostRates:
+    """Non-compute cost rates shared by every class (paper §V-A)."""
+
+    storage_per_gb_month: float = 0.10
+    io_per_gb: float = 0.20
+    transfer_in_per_gb: float = 0.10
+    transfer_out_per_gb: float = 0.17
+    input_output_ratio: float = 0.50  # Φ
+
+    @property
+    def storage_per_gb_hour(self) -> float:
+        return self.storage_per_gb_month / HOURS_PER_MONTH
+
+
+__all__.append("CostRates")

@@ -1,0 +1,85 @@
+"""The bundled reference dataset and the paper's analysis windows.
+
+:func:`reference_dataset` deterministically regenerates the stand-in for
+the cloudexchange.org crawl: one synthetic trace per linux VM class over
+Feb 1 2010 – Jun 22 2011 (506 days).  :func:`paper_window` exposes the
+calendar windows §IV-A2 uses — estimation over [Dec 1 2010, Feb 1 2011) and
+validation on Feb 1 2011 — as hour offsets from the trace epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+import numpy as np
+
+from repro.stats.rng import spawn_rngs
+from .catalog import ANALYSIS_CLASSES, VMClass, ec2_catalog
+from .resample import hourly_series
+from .traces import SpotPriceTrace, TraceParams, generate_spot_trace
+
+__all__ = ["TRACE_EPOCH", "hours_since_epoch", "reference_dataset", "paper_window", "PaperWindow"]
+
+#: Calendar origin of every bundled trace (start of the paper's crawl).
+TRACE_EPOCH = date(2010, 2, 1)
+
+#: Last day of the crawl.
+TRACE_END = date(2011, 6, 22)
+
+DEFAULT_SEED = 20120521  # IPDPS 2012 conference date; any fixed constant works
+
+
+def hours_since_epoch(day: date) -> float:
+    """Hour offset of midnight on ``day`` from the trace epoch."""
+    return (day - TRACE_EPOCH).days * 24.0
+
+
+def reference_dataset(
+    seed: int = DEFAULT_SEED,
+    classes: tuple[str, ...] = ANALYSIS_CLASSES,
+) -> dict[str, SpotPriceTrace]:
+    """Generate the four-class reference dataset (deterministic per seed).
+
+    Each class gets an independent RNG stream spawned from ``seed``, so
+    adding/removing classes never perturbs the other traces.
+    """
+    catalog = ec2_catalog()
+    duration = (TRACE_END - TRACE_EPOCH).days
+    params = TraceParams(duration_days=float(duration))
+    rngs = spawn_rngs(seed, len(classes))
+    return {
+        name: generate_spot_trace(catalog[name], rng, params)
+        for name, rng in zip(classes, rngs)
+    }
+
+
+@dataclass(frozen=True)
+class PaperWindow:
+    """The §IV-A2 estimation/validation split, as hourly price arrays."""
+
+    estimation: np.ndarray   # hourly prices, [Dec 1 2010, Feb 1 2011)
+    validation: np.ndarray   # hourly prices, Feb 1 2011 (24 points)
+    estimation_start_hour: float
+    validation_start_hour: float
+
+    @property
+    def combined(self) -> np.ndarray:
+        return np.concatenate([self.estimation, self.validation])
+
+
+def paper_window(trace: SpotPriceTrace) -> PaperWindow:
+    """Extract the representative two-month-plus-one-day analysis window."""
+    est_start = hours_since_epoch(date(2010, 12, 1))
+    val_start = hours_since_epoch(date(2011, 2, 1))
+    val_end = val_start + 24.0
+    if trace.duration_hours < val_end:
+        raise ValueError("trace too short for the paper's analysis window")
+    estimation = hourly_series(trace, est_start, val_start)
+    validation = hourly_series(trace, val_start, val_end)
+    return PaperWindow(
+        estimation=estimation,
+        validation=validation,
+        estimation_start_hour=est_start,
+        validation_start_hour=val_start,
+    )

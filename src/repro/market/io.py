@@ -1,0 +1,90 @@
+"""Trace serialization: CSV import/export for spot-price histories.
+
+Lets users swap the synthetic reference dataset for real price logs (e.g.
+a modern `aws ec2 describe-spot-price-history` dump) without touching any
+other module: everything downstream consumes :class:`SpotPriceTrace`.
+
+Format: a header line, then one ``hours_since_epoch,price`` row per update
+(hours as floats relative to the trace's own epoch).  A leading comment
+block carries the class name so round-trips are lossless.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+
+import numpy as np
+
+from .traces import SpotPriceTrace
+
+__all__ = ["write_trace_csv", "read_trace_csv", "traces_to_csv_dir", "traces_from_csv_dir"]
+
+_HEADER = "hours,price"
+
+
+def write_trace_csv(trace: SpotPriceTrace, path: str | Path) -> None:
+    """Write one trace to ``path`` (creates parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(f"# vm_class={trace.vm_class}\n")
+        fh.write(_HEADER + "\n")
+        for t, p in zip(trace.times, trace.prices):
+            fh.write(f"{t:.6f},{p:.6f}\n")
+
+
+def read_trace_csv(path: str | Path) -> SpotPriceTrace:
+    """Read a trace written by :func:`write_trace_csv` (or hand-authored
+    in the same two-column format; the class name defaults to the stem)."""
+    path = Path(path)
+    vm_class = path.stem
+    times: list[float] = []
+    prices: list[float] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if "vm_class=" in line:
+                    vm_class = line.split("vm_class=", 1)[1].strip()
+                continue
+            if line == _HEADER:
+                continue
+            parts = line.split(",")
+            if len(parts) != 2:
+                raise ValueError(f"{path}: malformed row {line!r}")
+            times.append(float(parts[0]))
+            prices.append(float(parts[1]))
+    if not times:
+        raise ValueError(f"{path}: no data rows")
+    return SpotPriceTrace(
+        vm_class=vm_class,
+        times=np.asarray(times),
+        prices=np.asarray(prices),
+    )
+
+
+def traces_to_csv_dir(traces: dict[str, SpotPriceTrace], directory: str | Path) -> list[Path]:
+    """Write a dataset (class -> trace) as one CSV per class; returns paths."""
+    directory = Path(directory)
+    out = []
+    for name, trace in traces.items():
+        p = directory / f"{name}.csv"
+        write_trace_csv(trace, p)
+        out.append(p)
+    return out
+
+
+def traces_from_csv_dir(directory: str | Path) -> dict[str, SpotPriceTrace]:
+    """Load every ``*.csv`` in ``directory`` as a trace, keyed by class."""
+    directory = Path(directory)
+    files = sorted(directory.glob("*.csv"))
+    if not files:
+        raise ValueError(f"no trace CSVs found in {directory}")
+    out = {}
+    for f in files:
+        trace = read_trace_csv(f)
+        out[trace.vm_class] = trace
+    return out

@@ -1,0 +1,52 @@
+"""Process-pool mapping for embarrassingly parallel sweeps.
+
+Used by the auto-ARIMA grid search and the experiment harness when a sweep
+has many independent cells (e.g. the Fig. 11 sensitivity grid).  Keeps the
+dependency surface tiny: :mod:`concurrent.futures` with chunking, ordered
+results, and a serial fallback for ``n_workers <= 1`` (which also makes unit
+tests deterministic and debuggable).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["parallel_map", "default_workers"]
+
+
+def default_workers(cap: int = 8) -> int:
+    """A sensible worker count: physical parallelism minus one, capped."""
+    cpus = os.cpu_count() or 1
+    return max(1, min(cap, cpus - 1))
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T] | Iterable[T],
+    n_workers: int | None = None,
+    chunksize: int | None = None,
+) -> list[R]:
+    """Map ``fn`` over ``items``, preserving order.
+
+    ``n_workers <= 1`` runs serially in-process (no pickling requirements);
+    otherwise a :class:`ProcessPoolExecutor` is used, with a chunksize of
+    roughly ``len(items) / (4 * workers)`` so scheduling overhead stays small
+    relative to task cost.
+
+    ``fn`` and the items must be picklable in the parallel path (module-level
+    functions, plain data) — the usual multiprocessing contract.
+    """
+    items = list(items)
+    if n_workers is None:
+        n_workers = default_workers()
+    if n_workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    if chunksize is None:
+        chunksize = max(1, len(items) // (4 * n_workers))
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))

@@ -1,0 +1,287 @@
+"""Linear-algebraic modeling primitives: variables, expressions, constraints.
+
+This module provides the small algebraic modeling layer that the rest of the
+library builds optimization problems with.  The paper solved its MILPs with
+CPLEX behind AIMMS; here the same role is played by :class:`Variable` /
+:class:`LinExpr` / :class:`Constraint` objects collected into a
+:class:`repro.solver.model.Model` and handed to one of the solver backends.
+
+The layer is intentionally dense-free: expressions are sparse mappings from
+variable to coefficient, so models with tens of thousands of variables (large
+scenario trees) compile without materializing dense rows until the backend
+asks for matrices.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Iterable, Mapping
+
+__all__ = [
+    "VarType",
+    "Variable",
+    "LinExpr",
+    "ConstraintSense",
+    "Constraint",
+    "lin_sum",
+]
+
+
+class VarType(enum.Enum):
+    """Domain of a decision variable."""
+
+    CONTINUOUS = "continuous"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+
+class Variable:
+    """A single decision variable.
+
+    Variables are created through :meth:`repro.solver.model.Model.add_var`,
+    which assigns the ``index`` used to address the variable in compiled
+    matrices.  Arithmetic on a variable produces :class:`LinExpr` objects;
+    comparisons produce :class:`Constraint` objects, so models read close to
+    the paper's notation::
+
+        model.add_constr(beta[t - 1] + alpha[t] - beta[t] == demand[t])
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (used in solutions and error messages).
+    index:
+        Column index in the compiled problem.
+    lb, ub:
+        Bounds; ``-inf``/``+inf`` allowed for continuous variables.
+    vtype:
+        Variable domain.  ``BINARY`` forces bounds into ``[0, 1]``.
+    """
+
+    __slots__ = ("name", "index", "lb", "ub", "vtype")
+
+    def __init__(
+        self,
+        name: str,
+        index: int,
+        lb: float = 0.0,
+        ub: float = math.inf,
+        vtype: VarType = VarType.CONTINUOUS,
+    ) -> None:
+        if vtype is VarType.BINARY:
+            lb, ub = max(0.0, lb), min(1.0, ub)
+        if lb > ub:
+            raise ValueError(f"variable {name!r}: lb {lb} > ub {ub}")
+        self.name = name
+        self.index = index
+        self.lb = float(lb)
+        self.ub = float(ub)
+        self.vtype = vtype
+
+    # -- conversion ---------------------------------------------------------
+    def to_expr(self) -> "LinExpr":
+        """Return this variable as a single-term linear expression."""
+        return LinExpr({self: 1.0}, 0.0)
+
+    @property
+    def is_integral(self) -> bool:
+        """Whether the variable must take integer values."""
+        return self.vtype in (VarType.INTEGER, VarType.BINARY)
+
+    # -- arithmetic (delegates to LinExpr) ----------------------------------
+    def __add__(self, other):
+        return self.to_expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self.to_expr() - other
+
+    def __rsub__(self, other):
+        return (-self.to_expr()) + other
+
+    def __mul__(self, coef):
+        return self.to_expr() * coef
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, denom):
+        return self.to_expr() / denom
+
+    def __neg__(self):
+        return self.to_expr() * -1.0
+
+    # -- comparisons build constraints --------------------------------------
+    def __le__(self, other):
+        return self.to_expr() <= other
+
+    def __ge__(self, other):
+        return self.to_expr() >= other
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self.to_expr() == other
+
+    def __hash__(self) -> int:  # identity hashing: each Variable is unique
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r}, lb={self.lb}, ub={self.ub}, {self.vtype.value})"
+
+
+class LinExpr:
+    """An affine expression ``sum(coef_i * var_i) + constant``.
+
+    Immutable by convention: arithmetic returns new expressions.  Terms with
+    zero coefficient are dropped eagerly so expression size tracks true
+    sparsity.
+    """
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(self, terms: Mapping[Variable, float] | None = None, constant: float = 0.0) -> None:
+        self.terms: dict[Variable, float] = {}
+        if terms:
+            for var, coef in terms.items():
+                if coef != 0.0:
+                    self.terms[var] = float(coef)
+        self.constant = float(constant)
+
+    # -- helpers -------------------------------------------------------------
+    @staticmethod
+    def _coerce(value) -> "LinExpr":
+        """Coerce scalars, variables and expressions to ``LinExpr``."""
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Variable):
+            return value.to_expr()
+        if isinstance(value, (int, float)):
+            return LinExpr(None, float(value))
+        raise TypeError(f"cannot build a linear expression from {type(value).__name__}")
+
+    def copy(self) -> "LinExpr":
+        out = LinExpr(None, self.constant)
+        out.terms = dict(self.terms)
+        return out
+
+    def value(self, assignment: Mapping[Variable, float]) -> float:
+        """Evaluate the expression under a variable assignment."""
+        return self.constant + sum(coef * assignment[var] for var, coef in self.terms.items())
+
+    # -- arithmetic -----------------------------------------------------------
+    def __add__(self, other) -> "LinExpr":
+        other = self._coerce(other)
+        out = self.copy()
+        out.constant += other.constant
+        for var, coef in other.terms.items():
+            new = out.terms.get(var, 0.0) + coef
+            if new == 0.0:
+                out.terms.pop(var, None)
+            else:
+                out.terms[var] = new
+        return out
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "LinExpr":
+        return self + (self._coerce(other) * -1.0)
+
+    def __rsub__(self, other) -> "LinExpr":
+        return (self * -1.0) + other
+
+    def __mul__(self, coef) -> "LinExpr":
+        if not isinstance(coef, (int, float)):
+            raise TypeError("linear expressions only support scalar multiplication")
+        if coef == 0.0:
+            return LinExpr()
+        out = LinExpr(None, self.constant * coef)
+        out.terms = {var: c * coef for var, c in self.terms.items()}
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, denom) -> "LinExpr":
+        if not isinstance(denom, (int, float)):
+            raise TypeError("linear expressions only support scalar division")
+        return self * (1.0 / denom)
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- comparisons → constraints --------------------------------------------
+    def __le__(self, other) -> "Constraint":
+        return Constraint(self - other, ConstraintSense.LE)
+
+    def __ge__(self, other) -> "Constraint":
+        return Constraint(self - other, ConstraintSense.GE)
+
+    def __eq__(self, other) -> "Constraint":  # type: ignore[override]
+        return Constraint(self - other, ConstraintSense.EQ)
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        parts = [f"{coef:+g}*{var.name}" for var, coef in self.terms.items()]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return " ".join(parts)
+
+
+class ConstraintSense(enum.Enum):
+    """Relational sense of a constraint, after moving everything left."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class Constraint:
+    """A normalized linear constraint ``expr (<=|>=|==) 0``.
+
+    The right-hand side is folded into the expression's constant; backends
+    read ``lhs_terms (sense) -constant``.
+    """
+
+    __slots__ = ("expr", "sense", "name")
+
+    def __init__(self, expr: LinExpr, sense: ConstraintSense, name: str = "") -> None:
+        self.expr = expr
+        self.sense = sense
+        self.name = name
+
+    @property
+    def rhs(self) -> float:
+        """Right-hand side after moving the constant across the relation."""
+        return -self.expr.constant
+
+    def violation(self, assignment: Mapping[Variable, float]) -> float:
+        """Amount by which the assignment violates the constraint (0 if satisfied)."""
+        lhs = self.expr.value(assignment) - self.expr.constant  # pure linear part
+        if self.sense is ConstraintSense.LE:
+            return max(0.0, lhs - self.rhs)
+        if self.sense is ConstraintSense.GE:
+            return max(0.0, self.rhs - lhs)
+        return abs(lhs - self.rhs)
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.expr!r} {self.sense.value} 0)"
+
+
+def lin_sum(items: Iterable) -> LinExpr:
+    """Sum variables/expressions/scalars into one ``LinExpr``.
+
+    Unlike built-in :func:`sum`, this accumulates into a single mutable
+    expression, so summing ``n`` terms is ``O(n)`` rather than ``O(n^2)``.
+    """
+    out = LinExpr()
+    for item in items:
+        piece = LinExpr._coerce(item)
+        out.constant += piece.constant
+        for var, coef in piece.terms.items():
+            new = out.terms.get(var, 0.0) + coef
+            if new == 0.0:
+                out.terms.pop(var, None)
+            else:
+                out.terms[var] = new
+    return out

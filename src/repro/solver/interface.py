@@ -1,0 +1,82 @@
+"""Unified solve entry points dispatching across backends.
+
+Callers build a :class:`~repro.solver.model.Model` and call :func:`solve`;
+the backend string picks the engine:
+
+``"auto"``
+    HiGHS (`scipy`) when available for the problem class, otherwise the
+    pure-Python stack.  This is the default everywhere in the library.
+``"simplex"``
+    Pure-Python two-phase simplex (LP) / simplex-based branch-and-bound
+    (MILP).  The from-scratch reference implementation.
+``"simplex+cuts"``
+    Same, with Gomory mixed-integer cuts at the root.
+``"scipy"``
+    ``scipy.optimize.linprog`` / ``scipy.optimize.milp`` (HiGHS).
+``"bb-scipy"``
+    Our branch-and-bound driver over HiGHS LP relaxations — used by the
+    solver ablation benchmark to time the B&B machinery itself.
+"""
+
+from __future__ import annotations
+
+from .branch_bound import BranchAndBoundOptions, branch_and_bound
+from .model import CompiledProblem, Model
+from .presolve import presolve
+from .result import SolverResult, SolverStatus
+from .scipy_backend import solve_lp_scipy, solve_milp_scipy
+from .simplex import solve_lp_simplex
+
+__all__ = ["solve", "solve_compiled", "BACKENDS"]
+
+BACKENDS = ("auto", "simplex", "simplex+cuts", "scipy", "bb-scipy")
+
+
+def solve_compiled(
+    problem: CompiledProblem,
+    backend: str = "auto",
+    use_presolve: bool = True,
+    bb_options: BranchAndBoundOptions | None = None,
+    **backend_kwargs,
+) -> SolverResult:
+    """Solve a compiled problem; see module docstring for backend names."""
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+
+    if use_presolve:
+        pre = presolve(problem)
+        if pre.infeasible:
+            return SolverResult(status=SolverStatus.INFEASIBLE, extra={"presolve": pre})
+        problem = pre.problem
+
+    is_mip = bool(problem.integrality.any())
+
+    if backend == "auto":
+        backend = "scipy"
+
+    if backend == "scipy":
+        if is_mip:
+            return solve_milp_scipy(problem, **backend_kwargs)
+        return solve_lp_scipy(problem, **backend_kwargs)
+
+    if backend == "bb-scipy":
+        if not is_mip:
+            return solve_lp_scipy(problem, **backend_kwargs)
+        return branch_and_bound(problem, solve_lp_scipy, options=bb_options)
+
+    # pure-python stack
+    if not is_mip:
+        return solve_lp_simplex(problem)
+    opts = bb_options or BranchAndBoundOptions()
+    if backend == "simplex+cuts":
+        opts = BranchAndBoundOptions(**{**opts.__dict__, "use_root_cuts": True})
+    return branch_and_bound(problem, solve_lp_simplex, options=opts)
+
+
+def solve(model: Model, backend: str = "auto", **kwargs) -> SolverResult:
+    """Compile and solve a :class:`Model`.
+
+    Returns a :class:`SolverResult`; read variable values back with
+    ``result.value_of(var)``.
+    """
+    return solve_compiled(model.compile(), backend=backend, **kwargs)

@@ -1,0 +1,73 @@
+"""Common result/status types shared by every solver backend."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SolverStatus", "SolverResult"]
+
+
+class SolverStatus(enum.Enum):
+    """Termination status taxonomy (a deliberate superset of what each
+    backend reports natively, so callers can switch backends freely)."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+    NODE_LIMIT = "node_limit"
+    TIME_LIMIT = "time_limit"
+    FEASIBLE = "feasible"  # incumbent found but optimality not proven
+    ERROR = "error"
+
+    @property
+    def has_solution(self) -> bool:
+        return self in (SolverStatus.OPTIMAL, SolverStatus.FEASIBLE)
+
+
+@dataclass
+class SolverResult:
+    """Outcome of an LP/MILP solve.
+
+    Attributes
+    ----------
+    status:
+        Termination status.
+    x:
+        Primal solution in the *original* variable order of the compiled
+        problem (``None`` unless ``status.has_solution``).
+    objective:
+        Objective value in the model's own sense.
+    bound:
+        Best proven bound on the optimum (equals ``objective`` at
+        ``OPTIMAL``; for MILP it is the global dual bound).
+    iterations / nodes:
+        Work counters (simplex pivots, branch-and-bound nodes).
+    extra:
+        Backend-specific diagnostics (e.g. number of Gomory cuts added).
+    """
+
+    status: SolverStatus
+    x: np.ndarray | None = None
+    objective: float = float("nan")
+    bound: float = float("nan")
+    iterations: int = 0
+    nodes: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def value_of(self, var) -> float:
+        """Value of a model :class:`~repro.solver.expr.Variable` in ``x``."""
+        if self.x is None:
+            raise ValueError(f"no solution available (status={self.status.value})")
+        return float(self.x[var.index])
+
+    @property
+    def gap(self) -> float:
+        """Relative optimality gap between incumbent and bound."""
+        if np.isnan(self.objective) or np.isnan(self.bound):
+            return float("inf")
+        denom = max(1.0, abs(self.objective))
+        return abs(self.objective - self.bound) / denom

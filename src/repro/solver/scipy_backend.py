@@ -1,0 +1,101 @@
+"""HiGHS-backed LP/MILP solving via :mod:`scipy.optimize`.
+
+The pure-Python simplex (:mod:`repro.solver.simplex`) is the from-scratch
+reference implementation; this module provides the fast path used by default
+for large scenario-tree MILPs.  Both speak the same
+:class:`~repro.solver.model.CompiledProblem` / :class:`~repro.solver.result.SolverResult`
+interface, and the test suite cross-checks them against each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize as sciopt
+
+from .model import CompiledProblem
+from .result import SolverResult, SolverStatus
+
+__all__ = ["solve_lp_scipy", "solve_milp_scipy"]
+
+_STATUS_FROM_LINPROG = {
+    0: SolverStatus.OPTIMAL,
+    1: SolverStatus.ITERATION_LIMIT,
+    2: SolverStatus.INFEASIBLE,
+    3: SolverStatus.UNBOUNDED,
+    4: SolverStatus.ERROR,
+}
+
+
+def _bounds(problem: CompiledProblem) -> list[tuple[float | None, float | None]]:
+    return [
+        (lb if np.isfinite(lb) else None, ub if np.isfinite(ub) else None)
+        for lb, ub in zip(problem.lb, problem.ub)
+    ]
+
+
+def _finish(problem: CompiledProblem, status: SolverStatus, x, iterations: int = 0, nodes: int = 0, bound=None) -> SolverResult:
+    if status.has_solution and x is not None:
+        x = np.asarray(x, dtype=float)
+        obj = problem.objective_value(x)
+        b = obj if bound is None else (-bound if problem.maximize else bound)
+        return SolverResult(status=status, x=x, objective=obj, bound=b, iterations=iterations, nodes=nodes)
+    return SolverResult(status=status, iterations=iterations, nodes=nodes)
+
+
+def solve_lp_scipy(problem: CompiledProblem, **kwargs) -> SolverResult:
+    """Solve the LP relaxation with ``scipy.optimize.linprog(method='highs')``."""
+    res = sciopt.linprog(
+        c=problem.c,
+        A_ub=problem.A_ub if problem.A_ub.size else None,
+        b_ub=problem.b_ub if problem.b_ub.size else None,
+        A_eq=problem.A_eq if problem.A_eq.size else None,
+        b_eq=problem.b_eq if problem.b_eq.size else None,
+        bounds=_bounds(problem),
+        method="highs",
+        **kwargs,
+    )
+    status = _STATUS_FROM_LINPROG.get(res.status, SolverStatus.ERROR)
+    iters = int(getattr(res, "nit", 0) or 0)
+    return _finish(problem, status, res.x if res.success else None, iterations=iters)
+
+
+def solve_milp_scipy(
+    problem: CompiledProblem,
+    time_limit: float | None = None,
+    mip_rel_gap: float | None = None,
+) -> SolverResult:
+    """Solve the MILP with ``scipy.optimize.milp`` (HiGHS branch-and-cut)."""
+    constraints = []
+    if problem.A_ub.size:
+        constraints.append(
+            sciopt.LinearConstraint(problem.A_ub, -np.inf, problem.b_ub)
+        )
+    if problem.A_eq.size:
+        constraints.append(
+            sciopt.LinearConstraint(problem.A_eq, problem.b_eq, problem.b_eq)
+        )
+    options = {}
+    if time_limit is not None:
+        options["time_limit"] = time_limit
+    if mip_rel_gap is not None:
+        options["mip_rel_gap"] = mip_rel_gap
+    res = sciopt.milp(
+        c=problem.c,
+        constraints=constraints or None,
+        integrality=problem.integrality,
+        bounds=sciopt.Bounds(problem.lb, problem.ub),
+        options=options or None,
+    )
+    if res.status == 0:
+        status = SolverStatus.OPTIMAL
+    elif res.status == 2:
+        status = SolverStatus.INFEASIBLE
+    elif res.status == 3:
+        status = SolverStatus.UNBOUNDED
+    elif res.status == 1 and res.x is not None:
+        status = SolverStatus.FEASIBLE  # stopped at a limit with incumbent
+    else:
+        status = SolverStatus.ERROR
+    bound = getattr(res, "mip_dual_bound", None)
+    nodes = int(getattr(res, "mip_node_count", 0) or 0)
+    return _finish(problem, status, res.x, nodes=nodes, bound=bound)

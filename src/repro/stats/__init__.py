@@ -1,0 +1,31 @@
+"""Statistics substrate: empirical distributions, KDE, normality tests,
+descriptive summaries, and deterministic RNG plumbing."""
+
+from .empirical import BoxWhiskerStats, EmpiricalDistribution, five_number_summary, iqr_outliers
+from .kde import GaussianKDE, histogram, silverman_bandwidth
+from .normality import NormalityResult, jarque_bera, normal_fit, normal_pdf, shapiro_wilk
+from .descriptive import SeriesSummary, mape, mspe, relative_change, summarize
+from .rng import ensure_rng, spawn_rngs, truncated_normal
+
+__all__ = [
+    "BoxWhiskerStats",
+    "EmpiricalDistribution",
+    "five_number_summary",
+    "iqr_outliers",
+    "GaussianKDE",
+    "histogram",
+    "silverman_bandwidth",
+    "NormalityResult",
+    "jarque_bera",
+    "normal_fit",
+    "normal_pdf",
+    "shapiro_wilk",
+    "SeriesSummary",
+    "mape",
+    "mspe",
+    "relative_change",
+    "summarize",
+    "ensure_rng",
+    "spawn_rngs",
+    "truncated_normal",
+]

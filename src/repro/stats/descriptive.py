@@ -1,0 +1,69 @@
+"""Descriptive statistics helpers shared across experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SeriesSummary", "summarize", "mspe", "mape", "relative_change"]
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Compact numeric summary of a 1-D series."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict form, convenient for tabular experiment output."""
+        return {
+            "n": self.n, "mean": self.mean, "std": self.std,
+            "min": self.minimum, "q1": self.q1, "median": self.median,
+            "q3": self.q3, "max": self.maximum,
+        }
+
+
+def summarize(sample: np.ndarray) -> SeriesSummary:
+    """Standard eight-number summary."""
+    x = np.asarray(sample, dtype=float).ravel()
+    if x.size == 0:
+        raise ValueError("empty sample")
+    q1, med, q3 = np.percentile(x, [25, 50, 75])
+    return SeriesSummary(
+        n=int(x.size), mean=float(x.mean()), std=float(x.std(ddof=1)) if x.size > 1 else 0.0,
+        minimum=float(x.min()), q1=float(q1), median=float(med), q3=float(q3),
+        maximum=float(x.max()),
+    )
+
+
+def mspe(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean squared prediction error — the paper's forecast accuracy metric."""
+    a = np.asarray(actual, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if a.shape != p.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {p.shape}")
+    return float(np.mean((a - p) ** 2))
+
+
+def mape(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute percentage error (secondary diagnostic)."""
+    a = np.asarray(actual, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if np.any(a == 0):
+        raise ValueError("MAPE undefined when actual values contain zeros")
+    return float(np.mean(np.abs((a - p) / a)))
+
+
+def relative_change(new: float, base: float) -> float:
+    """(new - base) / base; used for overpay percentages in Fig. 12(a)."""
+    if base == 0:
+        raise ValueError("relative change undefined for zero base")
+    return (new - base) / base

@@ -1,0 +1,194 @@
+"""Empirical distributions, quantiles, and box-whisker outlier analysis.
+
+Implements the statistics behind two parts of the paper:
+
+* Figure 3's box-and-whisker outlier identification ("points beyond
+  1.5 IQR of the upper quartile", with the observed <3 % outlier share);
+* the *base probability distribution* of §IV-C — "the summarized discrete
+  probability distribution over a selected historical price series" — which
+  the bid-dependent dynamic sampling of SRRP truncates at the bid price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["five_number_summary", "iqr_outliers", "BoxWhiskerStats", "EmpiricalDistribution"]
+
+
+@dataclass(frozen=True)
+class BoxWhiskerStats:
+    """Box-and-whisker summary of one sample (Tukey fences at 1.5·IQR)."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    lower_fence: float
+    upper_fence: float
+    n_outliers: int
+    n_total: int
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    @property
+    def outlier_fraction(self) -> float:
+        return self.n_outliers / self.n_total if self.n_total else 0.0
+
+
+def five_number_summary(sample: np.ndarray) -> tuple[float, float, float, float, float]:
+    """(min, Q1, median, Q3, max) with linear-interpolation quantiles."""
+    sample = np.asarray(sample, dtype=float)
+    if sample.size == 0:
+        raise ValueError("empty sample")
+    q1, med, q3 = np.percentile(sample, [25, 50, 75])
+    return float(sample.min()), float(q1), float(med), float(q3), float(sample.max())
+
+
+def iqr_outliers(sample: np.ndarray, k: float = 1.5) -> tuple[np.ndarray, BoxWhiskerStats]:
+    """Tukey outlier mask and the box-whisker summary.
+
+    Parameters
+    ----------
+    sample:
+        Observations (1-D).
+    k:
+        Fence multiplier; 1.5 is the paper's (and Tukey's) convention.
+
+    Returns
+    -------
+    mask, stats:
+        Boolean array marking outliers, and the summary statistics.
+    """
+    sample = np.asarray(sample, dtype=float)
+    mn, q1, med, q3, mx = five_number_summary(sample)
+    iqr = q3 - q1
+    lo, hi = q1 - k * iqr, q3 + k * iqr
+    mask = (sample < lo) | (sample > hi)
+    stats = BoxWhiskerStats(
+        minimum=mn, q1=q1, median=med, q3=q3, maximum=mx,
+        lower_fence=lo, upper_fence=hi,
+        n_outliers=int(mask.sum()), n_total=sample.size,
+    )
+    return mask, stats
+
+
+class EmpiricalDistribution:
+    """Discrete distribution summarized from observations.
+
+    Observations are grouped into their distinct values (optionally rounded
+    to ``decimals`` to merge near-ties, mirroring how spot prices quantize to
+    $0.001) with relative frequencies as probabilities.  This is exactly the
+    paper's *base distribution* input to SRRP's scenario sampling.
+    """
+
+    def __init__(self, observations: np.ndarray, decimals: int | None = 4) -> None:
+        obs = np.asarray(observations, dtype=float)
+        if obs.size == 0:
+            raise ValueError("cannot summarize an empty series")
+        if decimals is not None:
+            obs = np.round(obs, decimals)
+        values, counts = np.unique(obs, return_counts=True)
+        self.values: np.ndarray = values              # ascending, unique
+        self.probabilities: np.ndarray = counts / counts.sum()
+        self._cdf = np.cumsum(self.probabilities)
+
+    # -- basic queries --------------------------------------------------------
+    @property
+    def support_size(self) -> int:
+        return self.values.size
+
+    def mean(self) -> float:
+        return float(self.values @ self.probabilities)
+
+    def var(self) -> float:
+        mu = self.mean()
+        return float(((self.values - mu) ** 2) @ self.probabilities)
+
+    def std(self) -> float:
+        return float(np.sqrt(self.var()))
+
+    def cdf(self, x: float) -> float:
+        """P(X <= x)."""
+        idx = np.searchsorted(self.values, x, side="right")
+        return float(self._cdf[idx - 1]) if idx > 0 else 0.0
+
+    def quantile(self, p: float) -> float:
+        """Smallest support value with CDF >= p."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        idx = int(np.searchsorted(self._cdf, p, side="left"))
+        idx = min(idx, self.values.size - 1)
+        return float(self.values[idx])
+
+    def prob_above(self, x: float) -> float:
+        """P(X > x) — in SRRP terms, the out-of-bid probability at bid ``x``."""
+        return 1.0 - self.cdf(x)
+
+    # -- transforms used by SRRP ----------------------------------------------
+    def truncate_at_bid(self, bid: float, overflow_value: float) -> "EmpiricalDistribution":
+        """Bid-dependent dynamic sampling (paper eq. (10)).
+
+        Keep the mass of support values ``<= bid``; move all remaining mass
+        onto ``overflow_value`` (the on-demand price λ, the cost incurred on
+        an out-of-bid event).
+        """
+        keep = self.values <= bid
+        vals = list(self.values[keep])
+        probs = list(self.probabilities[keep])
+        overflow = 1.0 - sum(probs)
+        if overflow > 1e-12:
+            if vals and np.isclose(overflow_value, vals[-1]):
+                probs[-1] += overflow
+            else:
+                vals.append(overflow_value)
+                probs.append(overflow)
+        out = object.__new__(EmpiricalDistribution)
+        order = np.argsort(vals)
+        out.values = np.asarray(vals, dtype=float)[order]
+        out.probabilities = np.asarray(probs, dtype=float)[order]
+        out._cdf = np.cumsum(out.probabilities)
+        return out
+
+    def coarsen(self, max_support: int) -> "EmpiricalDistribution":
+        """Reduce support to ``max_support`` points by probability-weighted
+        merging of adjacent quantile cells (keeps mean approximately).
+
+        Scenario trees grow as ``support^T``; coarsening is how callers keep
+        the SRRP deterministic equivalent tractable (§V-A uses short
+        horizons for the same reason).
+        """
+        if max_support < 1:
+            raise ValueError("max_support must be >= 1")
+        if self.support_size <= max_support:
+            return self
+        edges = np.linspace(0.0, 1.0, max_support + 1)
+        cell = np.clip(np.searchsorted(edges, self._cdf, side="left"), 1, max_support) - 1
+        vals = np.zeros(max_support)
+        probs = np.zeros(max_support)
+        for i in range(self.support_size):
+            c = cell[i]
+            probs[c] += self.probabilities[i]
+            vals[c] += self.probabilities[i] * self.values[i]
+        keep = probs > 0
+        vals = vals[keep] / probs[keep]
+        out = object.__new__(EmpiricalDistribution)
+        out.values = vals
+        out.probabilities = probs[keep]
+        out._cdf = np.cumsum(out.probabilities)
+        return out
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw iid samples from the discrete distribution."""
+        return rng.choice(self.values, size=size, p=self.probabilities)
+
+    def __repr__(self) -> str:
+        return (
+            f"EmpiricalDistribution(support={self.support_size}, "
+            f"mean={self.mean():.4f}, std={self.std():.4f})"
+        )

@@ -1,0 +1,63 @@
+"""Gaussian kernel density estimation (Figure 5's density curve).
+
+A small, vectorized KDE: the paper overlays an empirical density over the
+price histogram and contrasts it with a normal fit of the same mean and
+variance.  Bandwidth defaults to Silverman's rule of thumb.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["silverman_bandwidth", "GaussianKDE", "histogram"]
+
+
+def silverman_bandwidth(sample: np.ndarray) -> float:
+    """Silverman's rule-of-thumb bandwidth ``0.9 min(sd, IQR/1.34) n^{-1/5}``."""
+    sample = np.asarray(sample, dtype=float)
+    n = sample.size
+    if n < 2:
+        raise ValueError("need at least two observations")
+    sd = float(np.std(sample, ddof=1))
+    q75, q25 = np.percentile(sample, [75, 25])
+    iqr = q75 - q25
+    spread = min(sd, iqr / 1.34) if iqr > 0 else sd
+    if spread <= 0:
+        spread = max(abs(float(np.mean(sample))), 1.0) * 1e-3  # degenerate sample
+    return 0.9 * spread * n ** (-1 / 5)
+
+
+class GaussianKDE:
+    """Gaussian-kernel density estimator.
+
+    Evaluation is a broadcasted ``(m, n)`` kernel matrix reduced over the
+    sample axis — one vectorized pass, no Python loops (HPC guide idiom).
+    """
+
+    def __init__(self, sample: np.ndarray, bandwidth: float | None = None) -> None:
+        self.sample = np.asarray(sample, dtype=float).ravel()
+        if self.sample.size < 2:
+            raise ValueError("need at least two observations")
+        self.bandwidth = bandwidth if bandwidth is not None else silverman_bandwidth(self.sample)
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def __call__(self, x: np.ndarray | float) -> np.ndarray:
+        x = np.atleast_1d(np.asarray(x, dtype=float))
+        z = (x[:, None] - self.sample[None, :]) / self.bandwidth
+        dens = np.exp(-0.5 * z * z).sum(axis=1)
+        dens /= self.sample.size * self.bandwidth * np.sqrt(2 * np.pi)
+        return dens
+
+    def grid(self, num: int = 256, pad: float = 3.0) -> tuple[np.ndarray, np.ndarray]:
+        """Evaluate on an evenly spaced grid padded by ``pad`` bandwidths."""
+        lo = self.sample.min() - pad * self.bandwidth
+        hi = self.sample.max() + pad * self.bandwidth
+        xs = np.linspace(lo, hi, num)
+        return xs, self(xs)
+
+
+def histogram(sample: np.ndarray, bins: int = 30) -> tuple[np.ndarray, np.ndarray]:
+    """Counts and bin edges (thin wrapper kept for a stable public API)."""
+    counts, edges = np.histogram(np.asarray(sample, dtype=float), bins=bins)
+    return counts, edges

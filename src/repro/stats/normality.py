@@ -1,0 +1,84 @@
+"""Normality testing for spot-price windows (paper §IV-A2, Figure 5).
+
+The paper rejects normality of the selected price series via the
+Shapiro–Wilk test.  We provide:
+
+* :func:`jarque_bera` — implemented from scratch (skewness/kurtosis based);
+* :func:`shapiro_wilk` — delegated to :mod:`scipy.stats` (the reference
+  implementation of the W statistic);
+* :func:`normal_fit` — the mean/variance normal approximation the paper
+  overlays in Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scistats
+
+__all__ = ["NormalityResult", "jarque_bera", "shapiro_wilk", "normal_fit", "normal_pdf"]
+
+
+@dataclass(frozen=True)
+class NormalityResult:
+    """Outcome of a normality test."""
+
+    statistic: float
+    p_value: float
+    test: str
+
+    def rejects_normality(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+def jarque_bera(sample: np.ndarray) -> NormalityResult:
+    """Jarque–Bera test: ``JB = n/6 (S^2 + K^2/4)`` ~ chi2(2) under H0.
+
+    ``S`` is sample skewness and ``K`` excess kurtosis, both computed with
+    biased (moment) estimators as in the original test.
+    """
+    x = np.asarray(sample, dtype=float).ravel()
+    n = x.size
+    if n < 8:
+        raise ValueError("Jarque-Bera needs at least 8 observations")
+    mu = x.mean()
+    centered = x - mu
+    m2 = np.mean(centered**2)
+    if m2 == 0:
+        # constant series: maximally non-normal in the degenerate sense
+        return NormalityResult(statistic=np.inf, p_value=0.0, test="jarque-bera")
+    m3 = np.mean(centered**3)
+    m4 = np.mean(centered**4)
+    skew = m3 / m2**1.5
+    kurt = m4 / m2**2 - 3.0
+    jb = n / 6.0 * (skew**2 + kurt**2 / 4.0)
+    p = float(scistats.chi2.sf(jb, df=2))
+    return NormalityResult(statistic=float(jb), p_value=p, test="jarque-bera")
+
+
+def shapiro_wilk(sample: np.ndarray) -> NormalityResult:
+    """Shapiro–Wilk W test (the test the paper reports)."""
+    x = np.asarray(sample, dtype=float).ravel()
+    if x.size < 3:
+        raise ValueError("Shapiro-Wilk needs at least 3 observations")
+    # scipy warns above 5000 samples; subsample deterministically like R does not,
+    # but keep the test well-defined for long windows.
+    if x.size > 5000:
+        idx = np.linspace(0, x.size - 1, 5000).astype(int)
+        x = x[idx]
+    stat, p = scistats.shapiro(x)
+    return NormalityResult(statistic=float(stat), p_value=float(p), test="shapiro-wilk")
+
+
+def normal_fit(sample: np.ndarray) -> tuple[float, float]:
+    """Mean and standard deviation of the matched normal approximation."""
+    x = np.asarray(sample, dtype=float)
+    return float(x.mean()), float(x.std(ddof=1))
+
+
+def normal_pdf(x: np.ndarray, mean: float, std: float) -> np.ndarray:
+    """Density of N(mean, std^2), vectorized."""
+    x = np.asarray(x, dtype=float)
+    z = (x - mean) / std
+    return np.exp(-0.5 * z * z) / (std * np.sqrt(2 * np.pi))

@@ -1,0 +1,54 @@
+"""Time-series substrate: differencing, ACF/PACF, classical decomposition,
+SARIMA estimation/forecasting, automatic order search, and diagnostics —
+the toolkit behind the paper's spot-price predictability study (§IV-A)."""
+
+from .differencing import DifferencingTransform, difference, seasonal_difference
+from .acf import Correlogram, acf, correlogram, pacf
+from .decompose import SeasonalDecomposition, decompose_additive
+from .arima import ARIMAOrder, ARIMAResult, fit_arima, mean_forecast, naive_forecast
+from .auto import AutoARIMASpec, auto_arima, candidate_orders
+from .bootstrap import default_block_length, moving_block_bootstrap
+from .spectral import Periodogram, dominant_period, periodogram
+from .holtwinters import HoltWintersResult, fit_holt_winters
+from .stationarity import ADFResult, adf_test
+from .diagnostics import (
+    ForecastComparison,
+    LjungBoxResult,
+    compare_to_mean_forecast,
+    is_weakly_stationary,
+    ljung_box,
+)
+
+__all__ = [
+    "DifferencingTransform",
+    "difference",
+    "seasonal_difference",
+    "Correlogram",
+    "acf",
+    "correlogram",
+    "pacf",
+    "SeasonalDecomposition",
+    "decompose_additive",
+    "ARIMAOrder",
+    "ARIMAResult",
+    "fit_arima",
+    "mean_forecast",
+    "naive_forecast",
+    "AutoARIMASpec",
+    "auto_arima",
+    "candidate_orders",
+    "ForecastComparison",
+    "LjungBoxResult",
+    "compare_to_mean_forecast",
+    "is_weakly_stationary",
+    "ljung_box",
+    "HoltWintersResult",
+    "fit_holt_winters",
+    "ADFResult",
+    "adf_test",
+    "default_block_length",
+    "moving_block_bootstrap",
+    "Periodogram",
+    "dominant_period",
+    "periodogram",
+]

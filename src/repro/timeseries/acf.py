@@ -1,0 +1,93 @@
+"""Autocorrelation and partial autocorrelation functions (Figure 7).
+
+ACF uses the standard biased estimator (divide by ``n`` and ``c0``), PACF
+uses the Durbin–Levinson recursion on the ACF.  Both return the 95 %
+white-noise confidence limit ``1.96/sqrt(n)`` the paper's correlograms draw,
+so the experiment module can count "significant but weak" lags exactly the
+way §IV-A2 discusses them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["acf", "pacf", "Correlogram", "correlogram"]
+
+
+def acf(x: np.ndarray, max_lag: int) -> np.ndarray:
+    """Sample autocorrelations r_0..r_max_lag (r_0 == 1).
+
+    Computed as one vectorized correlation per lag on the demeaned series;
+    the biased normalization keeps the sequence positive semidefinite (which
+    Durbin–Levinson requires).
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    n = x.size
+    if n < 2:
+        raise ValueError("series too short for autocorrelation")
+    if max_lag >= n:
+        raise ValueError(f"max_lag {max_lag} must be < series length {n}")
+    xc = x - x.mean()
+    denom = float(xc @ xc)
+    if denom == 0.0:
+        raise ValueError("constant series has undefined autocorrelation")
+    out = np.empty(max_lag + 1)
+    out[0] = 1.0
+    for k in range(1, max_lag + 1):
+        out[k] = float(xc[k:] @ xc[:-k]) / denom
+    return out
+
+
+def pacf(x: np.ndarray, max_lag: int) -> np.ndarray:
+    """Partial autocorrelations φ_11..φ_kk via Durbin–Levinson (index 0 is 1)."""
+    r = acf(x, max_lag)
+    out = np.empty(max_lag + 1)
+    out[0] = 1.0
+    if max_lag == 0:
+        return out
+    phi_prev = np.zeros(max_lag + 1)
+    phi_prev[1] = r[1]
+    out[1] = r[1]
+    for k in range(2, max_lag + 1):
+        num = r[k] - float(phi_prev[1:k] @ r[1:k][::-1])
+        den = 1.0 - float(phi_prev[1:k] @ r[1:k])
+        phi_kk = num / den if abs(den) > 1e-12 else 0.0
+        phi = phi_prev.copy()
+        phi[k] = phi_kk
+        phi[1:k] = phi_prev[1:k] - phi_kk * phi_prev[1:k][::-1]
+        out[k] = phi_kk
+        phi_prev = phi
+    return out
+
+
+@dataclass(frozen=True)
+class Correlogram:
+    """ACF/PACF values plus the white-noise confidence band."""
+
+    lags: np.ndarray
+    acf_values: np.ndarray
+    pacf_values: np.ndarray
+    confidence_limit: float
+
+    def significant_acf_lags(self) -> np.ndarray:
+        """Lags (>=1) whose ACF exceeds the 95 % band — the paper's
+        "certain degree of correlation with its past at certain lag value"."""
+        mask = np.abs(self.acf_values[1:]) > self.confidence_limit
+        return self.lags[1:][mask]
+
+    def max_abs_acf(self) -> float:
+        """Largest |ACF| beyond lag 0 — the paper's 'greatly deviated from 1'."""
+        return float(np.abs(self.acf_values[1:]).max())
+
+
+def correlogram(x: np.ndarray, max_lag: int) -> Correlogram:
+    """Compute ACF and PACF together with the 1.96/sqrt(n) band."""
+    x = np.asarray(x, dtype=float).ravel()
+    return Correlogram(
+        lags=np.arange(max_lag + 1),
+        acf_values=acf(x, max_lag),
+        pacf_values=pacf(x, max_lag),
+        confidence_limit=1.96 / np.sqrt(x.size),
+    )

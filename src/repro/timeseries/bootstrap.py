@@ -1,0 +1,57 @@
+"""Moving-block bootstrap for dependent series.
+
+The SRRP samplers in :mod:`repro.core.reduction` draw *iid* stage prices
+from the empirical distribution, which discards the (weak but significant)
+autocorrelation Figure 7 documents.  The moving-block bootstrap resamples
+contiguous blocks of the history, so sampled paths inherit the short-range
+dependence without assuming any parametric model — the standard
+nonparametric alternative.
+
+Block length defaults to the ``n^{1/3}`` rule of thumb.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.rng import ensure_rng
+
+__all__ = ["default_block_length", "moving_block_bootstrap"]
+
+
+def default_block_length(n: int) -> int:
+    """The common ``ceil(n^{1/3})`` heuristic (>= 2 for any usable n)."""
+    if n < 4:
+        raise ValueError("series too short to bootstrap")
+    return max(2, int(np.ceil(n ** (1.0 / 3.0))))
+
+
+def moving_block_bootstrap(
+    series: np.ndarray,
+    n_paths: int,
+    horizon: int,
+    block_length: int | None = None,
+    rng: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Sample ``(n_paths, horizon)`` paths of overlapping history blocks.
+
+    Each path concatenates uniformly chosen length-``block_length`` windows
+    of ``series`` until ``horizon`` values are collected (the last block is
+    truncated).  Values are drawn from the observed marginal by
+    construction, and within-block transitions are real transitions.
+    """
+    series = np.asarray(series, dtype=float).ravel()
+    n = series.size
+    if horizon < 1 or n_paths < 1:
+        raise ValueError("n_paths and horizon must be positive")
+    L = block_length if block_length is not None else default_block_length(n)
+    if not 1 <= L <= n:
+        raise ValueError(f"block_length must be in [1, {n}]")
+    rng = ensure_rng(rng)
+    n_blocks = int(np.ceil(horizon / L))
+    starts = rng.integers(0, n - L + 1, size=(n_paths, n_blocks))
+    # gather blocks: shape (n_paths, n_blocks, L) via fancy indexing
+    offsets = np.arange(L)
+    idx = starts[:, :, None] + offsets[None, None, :]
+    paths = series[idx].reshape(n_paths, n_blocks * L)
+    return paths[:, :horizon]

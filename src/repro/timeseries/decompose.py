@@ -1,0 +1,98 @@
+"""Classical seasonal decomposition (Figure 6).
+
+Splits a series into trend + seasonal + remainder the way R's
+``decompose()`` (additive) does — the paper's Figure 6 shows exactly this
+three-panel decomposition of the hourly resampled price series with a
+24-hour season:
+
+* trend: centered moving average of window = period (with the usual
+  half-weight endpoints for even periods);
+* seasonal: per-season means of the detrended series, centered to sum to 0;
+* remainder: series - trend - seasonal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SeasonalDecomposition", "decompose_additive"]
+
+
+@dataclass(frozen=True)
+class SeasonalDecomposition:
+    """Additive decomposition ``observed = trend + seasonal + remainder``.
+
+    ``trend`` and ``remainder`` carry NaN at the edges the moving average
+    cannot cover (period//2 points each side), like R's ``decompose``.
+    """
+
+    observed: np.ndarray
+    trend: np.ndarray
+    seasonal: np.ndarray
+    remainder: np.ndarray
+    period: int
+
+    @property
+    def seasonal_amplitude(self) -> float:
+        """Peak-to-trough height of one seasonal cycle."""
+        cycle = self.seasonal[: self.period]
+        return float(cycle.max() - cycle.min())
+
+    def trend_range(self) -> float:
+        """Spread of the trend component (NaN-aware)."""
+        t = self.trend[~np.isnan(self.trend)]
+        return float(t.max() - t.min()) if t.size else 0.0
+
+    def seasonal_strength(self) -> float:
+        """1 - Var(remainder)/Var(seasonal+remainder), clipped to [0, 1].
+
+        The standard 'strength of seasonality' measure (Hyndman); ~0 means
+        no seasonality, ~1 means the seasonal component dominates.
+        """
+        mask = ~np.isnan(self.remainder)
+        rem = self.remainder[mask]
+        com = rem + self.seasonal[mask]
+        var_com = float(np.var(com))
+        if var_com == 0:
+            return 0.0
+        return float(np.clip(1.0 - np.var(rem) / var_com, 0.0, 1.0))
+
+
+def _centered_moving_average(x: np.ndarray, period: int) -> np.ndarray:
+    """Centered MA with half-weights at both ends for even periods."""
+    n = x.size
+    if period % 2 == 1:
+        kernel = np.full(period, 1.0 / period)
+        half = period // 2
+    else:
+        kernel = np.full(period + 1, 1.0 / period)
+        kernel[0] = kernel[-1] = 0.5 / period
+        half = period // 2
+    smoothed = np.convolve(x, kernel, mode="valid")
+    out = np.full(n, np.nan)
+    out[half : half + smoothed.size] = smoothed
+    return out
+
+
+def decompose_additive(x: np.ndarray, period: int) -> SeasonalDecomposition:
+    """Classical additive decomposition with the given seasonal period."""
+    x = np.asarray(x, dtype=float).ravel()
+    if period < 2:
+        raise ValueError("period must be >= 2")
+    if x.size < 2 * period:
+        raise ValueError("need at least two full seasonal cycles")
+    trend = _centered_moving_average(x, period)
+    detrended = x - trend
+    seasonal_means = np.zeros(period)
+    for s in range(period):
+        vals = detrended[s::period]
+        vals = vals[~np.isnan(vals)]
+        seasonal_means[s] = vals.mean() if vals.size else 0.0
+    seasonal_means -= seasonal_means.mean()  # center to zero net effect
+    seasonal = np.tile(seasonal_means, x.size // period + 1)[: x.size]
+    remainder = x - trend - seasonal
+    return SeasonalDecomposition(
+        observed=x, trend=trend, seasonal=seasonal, remainder=remainder, period=period
+    )

@@ -1,0 +1,104 @@
+"""Model and series diagnostics: Ljung–Box, stationarity heuristics, and
+forecast-accuracy comparisons (the MSPE analysis behind Figure 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scistats
+
+from .acf import acf
+from .arima import mean_forecast
+from repro.stats.descriptive import mspe
+
+__all__ = [
+    "LjungBoxResult",
+    "ljung_box",
+    "is_weakly_stationary",
+    "ForecastComparison",
+    "compare_to_mean_forecast",
+]
+
+
+@dataclass(frozen=True)
+class LjungBoxResult:
+    """Ljung–Box portmanteau test for residual autocorrelation."""
+
+    statistic: float
+    p_value: float
+    lags: int
+
+    def residuals_look_white(self, alpha: float = 0.05) -> bool:
+        return self.p_value >= alpha
+
+
+def ljung_box(residuals: np.ndarray, lags: int = 10, fitted_params: int = 0) -> LjungBoxResult:
+    """Q = n(n+2) Σ r_k²/(n-k) ~ chi²(lags - fitted_params) under whiteness."""
+    r = np.asarray(residuals, dtype=float).ravel()
+    n = r.size
+    if lags >= n:
+        raise ValueError("lags must be < series length")
+    rho = acf(r, lags)[1:]
+    k = np.arange(1, lags + 1)
+    q = n * (n + 2) * float(np.sum(rho**2 / (n - k)))
+    dof = max(lags - fitted_params, 1)
+    p = float(scistats.chi2.sf(q, df=dof))
+    return LjungBoxResult(statistic=q, p_value=p, lags=lags)
+
+
+def is_weakly_stationary(x: np.ndarray, n_splits: int = 4, tol: float = 0.5) -> bool:
+    """Cheap stationarity screen: split the series into segments and compare
+    segment means/variances against the overall spread.
+
+    This mirrors the paper's informal check ("statistical properties such as
+    mean and variance are constant over time") rather than a full ADF test;
+    the SARIMA study only needs a go/no-go on further differencing.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    if x.size < 4 * n_splits:
+        raise ValueError("series too short for the stationarity screen")
+    segments = np.array_split(x, n_splits)
+    means = np.array([s.mean() for s in segments])
+    stds = np.array([s.std() for s in segments])
+    overall_std = x.std()
+    if overall_std == 0:
+        return True
+    mean_drift = (means.max() - means.min()) / overall_std
+    std_ratio = (stds.max() - stds.min()) / overall_std
+    return bool(mean_drift <= 2 * tol and std_ratio <= 2 * tol)
+
+
+@dataclass(frozen=True)
+class ForecastComparison:
+    """MSPE of a model forecast against the expected-mean benchmark.
+
+    ``improvement`` is the fractional MSPE reduction; the paper's punchline
+    is that the best SARIMA achieves only a *slight* improvement, hence
+    prediction-driven DRRP is inadequate and SRRP is needed.
+    """
+
+    model_mspe: float
+    mean_mspe: float
+
+    @property
+    def improvement(self) -> float:
+        if self.mean_mspe == 0:
+            return 0.0
+        return 1.0 - self.model_mspe / self.mean_mspe
+
+    @property
+    def model_beats_mean(self) -> bool:
+        return self.model_mspe < self.mean_mspe
+
+
+def compare_to_mean_forecast(
+    history: np.ndarray, actual: np.ndarray, predicted: np.ndarray
+) -> ForecastComparison:
+    """Score ``predicted`` against the historical-mean predictor on ``actual``."""
+    actual = np.asarray(actual, dtype=float)
+    baseline = mean_forecast(history, actual.size)
+    return ForecastComparison(
+        model_mspe=mspe(actual, predicted),
+        mean_mspe=mspe(actual, baseline),
+    )

@@ -1,0 +1,114 @@
+"""Ordinary and seasonal differencing with exact inversion.
+
+SARIMA estimation works on the differenced series; forecasting needs to
+integrate differenced-scale predictions back to the original scale.  The
+:class:`DifferencingTransform` records the initial values consumed by each
+pass so that inversion is exact (round-trip property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["difference", "seasonal_difference", "DifferencingTransform"]
+
+
+def difference(x: np.ndarray, order: int = 1) -> np.ndarray:
+    """Apply ``order`` passes of first differencing."""
+    x = np.asarray(x, dtype=float)
+    for _ in range(order):
+        x = np.diff(x)
+    return x
+
+
+def seasonal_difference(x: np.ndarray, period: int, order: int = 1) -> np.ndarray:
+    """Apply ``order`` passes of lag-``period`` differencing."""
+    x = np.asarray(x, dtype=float)
+    for _ in range(order):
+        if x.size <= period:
+            raise ValueError("series shorter than seasonal period")
+        x = x[period:] - x[:-period]
+    return x
+
+
+@dataclass
+class DifferencingTransform:
+    """Invertible (d, D, s) differencing pipeline.
+
+    Seasonal differencing is applied first, then ordinary differencing —
+    matching the Box–Jenkins convention ``(1-L)^d (1-L^s)^D x_t``.  The
+    operators commute algebraically; fixing an order makes the recorded
+    initial values unambiguous.
+    """
+
+    d: int = 0
+    D: int = 0
+    period: int = 0
+    _seasonal_heads: list[np.ndarray] = field(default_factory=list, repr=False)
+    _ordinary_heads: list[float] = field(default_factory=list, repr=False)
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Difference ``x``, recording what inversion will need."""
+        x = np.asarray(x, dtype=float)
+        if self.D and self.period <= 0:
+            raise ValueError("seasonal differencing requires a positive period")
+        self._seasonal_heads.clear()
+        self._ordinary_heads.clear()
+        for _ in range(self.D):
+            if x.size <= self.period:
+                raise ValueError("series shorter than seasonal period")
+            self._seasonal_heads.append(x[: self.period].copy())
+            x = x[self.period :] - x[: -self.period]
+        for _ in range(self.d):
+            if x.size < 2:
+                raise ValueError("series too short to difference")
+            self._ordinary_heads.append(float(x[0]))
+            x = np.diff(x)
+        return x
+
+    def invert(self, w: np.ndarray) -> np.ndarray:
+        """Exact inverse of :meth:`apply` (returns the original series)."""
+        x = np.asarray(w, dtype=float)
+        for head in reversed(self._ordinary_heads):
+            x = np.concatenate([[head], head + np.cumsum(x)])
+        for head in reversed(self._seasonal_heads):
+            n = x.size + self.period
+            out = np.empty(n)
+            out[: self.period] = head
+            for t in range(self.period, n):
+                out[t] = x[t - self.period] + out[t - self.period]
+            x = out
+        return x
+
+    def extend_forecast(self, history: np.ndarray, w_forecast: np.ndarray) -> np.ndarray:
+        """Integrate differenced-scale forecasts to the original scale.
+
+        ``history`` is the original (undifferenced) series the model was fit
+        on; ``w_forecast`` the h-step predictions on the differenced scale.
+        """
+        history = np.asarray(history, dtype=float)
+        h = w_forecast.size
+        # Rebuild the partially differenced histories (seasonal first).
+        levels = [history]
+        x = history
+        for _ in range(self.D):
+            x = x[self.period :] - x[: -self.period]
+            levels.append(x)
+        for _ in range(self.d):
+            x = np.diff(x)
+            levels.append(x)
+        # Integrate forecasts back up through the stack.
+        fc = np.asarray(w_forecast, dtype=float)
+        for k in range(self.d):
+            base = levels[self.D + self.d - 1 - k]
+            fc = base[-1] + np.cumsum(fc)
+        for k in range(self.D):
+            base = levels[self.D - 1 - k]
+            out = np.empty(h)
+            for i in range(h):
+                prev = base[i - self.period] if i < self.period else out[i - self.period]
+                out[i] = fc[i] + prev
+            fc = out
+        return fc

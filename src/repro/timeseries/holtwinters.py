@@ -1,0 +1,117 @@
+"""Holt–Winters (triple exponential smoothing) forecaster.
+
+A second forecasting family alongside SARIMA, used as an extra baseline in
+the prediction study: if *neither* model family extracts day-ahead skill
+from spot prices, the paper's "prediction is insufficient" conclusion is
+robust to model choice, not an ARIMA artifact.
+
+Additive formulation with optional damped trend:
+
+    level_t    = a (x_t - seas_{t-s}) + (1-a)(level_{t-1} + b_t-1)
+    trend_t    = b (level_t - level_{t-1}) + (1-b) trend_{t-1}
+    seas_t     = g (x_t - level_t) + (1-g) seas_{t-s}
+    forecast   = level + h*trend + seas[(n+h) mod s]
+
+Smoothing weights are fit by SSE minimization (L-BFGS-B within (0,1)
+boxes), initialized from the first seasonal cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize as sciopt
+
+__all__ = ["HoltWintersResult", "fit_holt_winters"]
+
+
+@dataclass
+class HoltWintersResult:
+    """Fitted smoothing state ready to forecast."""
+
+    alpha: float
+    beta: float
+    gamma: float
+    level: float
+    trend: float
+    seasonal: np.ndarray  # length s (or length 1 when non-seasonal)
+    period: int
+    sse: float
+    n_obs: int
+    fitted: np.ndarray
+
+    def forecast(self, steps: int) -> np.ndarray:
+        """h-step-ahead forecasts from the final state."""
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        h = np.arange(1, steps + 1)
+        out = self.level + h * self.trend
+        if self.period > 1:
+            idx = (self.n_obs + h - 1) % self.period
+            out = out + self.seasonal[idx]
+        return out
+
+
+def _run_filter(x: np.ndarray, period: int, alpha: float, beta: float, gamma: float):
+    """One smoothing pass; returns (sse, level, trend, seasonal, fitted)."""
+    n = x.size
+    s = period
+    if s > 1:
+        seasonal = x[:s] - x[:s].mean()
+        level = float(x[:s].mean())
+    else:
+        seasonal = np.zeros(1)
+        level = float(x[0])
+    trend = float((x[min(s, n - 1)] - x[0]) / max(min(s, n - 1), 1))
+    fitted = np.zeros(n)
+    sse = 0.0
+    seas = seasonal.copy()
+    for t in range(n):
+        si = t % s if s > 1 else 0
+        pred = level + trend + (seas[si] if s > 1 else 0.0)
+        fitted[t] = pred
+        err = x[t] - pred
+        sse += err * err
+        new_level = alpha * (x[t] - (seas[si] if s > 1 else 0.0)) + (1 - alpha) * (level + trend)
+        trend = beta * (new_level - level) + (1 - beta) * trend
+        if s > 1:
+            seas[si] = gamma * (x[t] - new_level) + (1 - gamma) * seas[si]
+        level = new_level
+    return sse, level, trend, seas, fitted
+
+
+def fit_holt_winters(
+    x: np.ndarray,
+    period: int = 0,
+    initial_params: tuple[float, float, float] = (0.3, 0.05, 0.1),
+) -> HoltWintersResult:
+    """Fit additive Holt–Winters by SSE.
+
+    ``period = 0`` or ``1`` disables the seasonal component (Holt's linear
+    trend method).
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    s = int(period) if period and period > 1 else 1
+    if x.size < max(2 * s, 6):
+        raise ValueError("series too short for Holt-Winters")
+
+    def objective(params):
+        a, b, g = params
+        if not (0 < a < 1 and 0 <= b < 1 and 0 <= g < 1):
+            return 1e18
+        return _run_filter(x, s, a, b, g)[0]
+
+    res = sciopt.minimize(
+        objective,
+        np.asarray(initial_params),
+        method="L-BFGS-B",
+        bounds=[(1e-4, 1 - 1e-4), (0.0, 1 - 1e-4), (0.0, 1 - 1e-4)],
+    )
+    a, b, g = res.x
+    sse, level, trend, seasonal, fitted = _run_filter(x, s, a, b, g)
+    return HoltWintersResult(
+        alpha=float(a), beta=float(b), gamma=float(g),
+        level=level, trend=trend, seasonal=seasonal,
+        period=s, sse=float(sse), n_obs=x.size, fitted=fitted,
+    )

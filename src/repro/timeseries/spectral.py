@@ -1,0 +1,71 @@
+"""Periodogram-based seasonality detection.
+
+A frequency-domain companion to the classical decomposition: Figure 6's
+"certain cyclic pattern" shows up as a periodogram peak near the daily
+frequency.  Used by tests and the analysis example to *detect* the season
+length rather than assume 24.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Periodogram", "periodogram", "dominant_period"]
+
+
+@dataclass(frozen=True)
+class Periodogram:
+    """One-sided periodogram of a demeaned series."""
+
+    frequencies: np.ndarray   # cycles per sample, (0, 0.5]
+    power: np.ndarray
+
+    def peak_frequency(self) -> float:
+        return float(self.frequencies[int(np.argmax(self.power))])
+
+    def peak_period(self) -> float:
+        """Samples per cycle at the strongest frequency."""
+        return 1.0 / self.peak_frequency()
+
+    def power_at_period(self, period: float) -> float:
+        """Interpolated power at a given period (samples/cycle)."""
+        f = 1.0 / period
+        return float(np.interp(f, self.frequencies, self.power))
+
+
+def periodogram(x: np.ndarray) -> Periodogram:
+    """Classical periodogram ``|FFT|^2 / n`` at the positive Fourier
+    frequencies (DC excluded — the series is demeaned first)."""
+    x = np.asarray(x, dtype=float).ravel()
+    n = x.size
+    if n < 8:
+        raise ValueError("series too short for a periodogram")
+    xc = x - x.mean()
+    spec = np.fft.rfft(xc)
+    power = (np.abs(spec) ** 2) / n
+    freqs = np.fft.rfftfreq(n, d=1.0)
+    return Periodogram(frequencies=freqs[1:], power=power[1:])
+
+
+def dominant_period(
+    x: np.ndarray,
+    min_period: int = 2,
+    max_period: int | None = None,
+) -> int:
+    """The integer period with the strongest spectral peak in a range.
+
+    ``max_period`` defaults to ``n // 3`` (need at least three full cycles
+    to call something a season).
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    n = x.size
+    if max_period is None:
+        max_period = max(n // 3, min_period)
+    if not 2 <= min_period <= max_period:
+        raise ValueError("need 2 <= min_period <= max_period")
+    pg = periodogram(x)
+    candidates = np.arange(min_period, max_period + 1)
+    powers = np.array([pg.power_at_period(float(p)) for p in candidates])
+    return int(candidates[int(np.argmax(powers))])

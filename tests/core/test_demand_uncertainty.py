@@ -1,0 +1,160 @@
+"""Joint price+demand uncertainty (the paper's future-work model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SRRPInstance, build_tree, on_demand_schedule, solve_srrp
+from repro.core.demand_uncertainty import (
+    JointSRRPInstance,
+    build_joint_tree,
+    solve_srrp_joint,
+)
+from repro.market import ec2_catalog
+
+VM = ec2_catalog()["c1.medium"]
+
+
+def price_dist(low=0.05, high=0.2, p_low=0.7):
+    return (np.array([low, high]), np.array([p_low, 1 - p_low]))
+
+
+def demand_dist(low=0.2, high=0.8, p_low=0.5):
+    return (np.array([low, high]), np.array([p_low, 1 - p_low]))
+
+
+def degenerate(value):
+    return (np.array([value]), np.array([1.0]))
+
+
+class TestBuildJointTree:
+    def test_product_branching(self):
+        tree, nd = build_joint_tree(0.06, 0.4, [price_dist()] * 2, [demand_dist()] * 2)
+        # branching = 2 prices x 2 demands = 4; nodes = 1 + 4 + 16
+        assert tree.num_nodes == 21
+        assert nd.shape == (21,)
+        assert tree.stage_probabilities_sum_to_one()
+
+    def test_degenerate_demand_matches_plain_tree(self):
+        tree_j, nd = build_joint_tree(
+            0.06, 0.4, [price_dist()] * 3, [degenerate(0.4)] * 3
+        )
+        tree_p = build_tree(0.06, [price_dist()] * 3)
+        assert tree_j.num_nodes == tree_p.num_nodes
+        assert np.allclose(nd, 0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_joint_tree(0.06, 0.4, [price_dist()], [])
+        with pytest.raises(ValueError):
+            build_joint_tree(
+                0.06, 0.4, [price_dist()], [(np.array([0.5]), np.array([0.9]))]
+            )
+        with pytest.raises(ValueError):
+            build_joint_tree(
+                0.06, 0.4, [price_dist()], [(np.array([-1.0]), np.array([1.0]))]
+            )
+
+
+class TestDegenerateEquivalence:
+    """Constant demand per stage collapses the model to the paper's SRRP."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_plain_srrp(self, seed):
+        rng = np.random.default_rng(seed)
+        depth = 3
+        demand = rng.uniform(0.2, 0.8, depth + 1)
+        tree_j, nd = build_joint_tree(
+            0.06, float(demand[0]),
+            [price_dist()] * depth,
+            [degenerate(float(demand[t + 1])) for t in range(depth)],
+        )
+        joint = solve_srrp_joint(
+            JointSRRPInstance(
+                costs=on_demand_schedule(VM, depth + 1), tree=tree_j, node_demand=nd
+            )
+        )
+        plain = solve_srrp(
+            SRRPInstance(
+                demand=demand,
+                costs=on_demand_schedule(VM, depth + 1),
+                tree=build_tree(0.06, [price_dist()] * depth),
+            )
+        )
+        assert joint.expected_cost == pytest.approx(plain.expected_cost, abs=1e-6)
+
+
+class TestJointBehaviour:
+    def _instance(self, demand_spread=0.0, depth=3):
+        d_low, d_high = 0.5 - demand_spread, 0.5 + demand_spread
+        tree, nd = build_joint_tree(
+            0.06, 0.5,
+            [price_dist()] * depth,
+            [demand_dist(low=d_low, high=d_high)] * depth,
+        )
+        return JointSRRPInstance(
+            costs=on_demand_schedule(VM, depth + 1), tree=tree, node_demand=nd
+        )
+
+    def test_plan_is_feasible(self):
+        plan = solve_srrp_joint(self._instance(demand_spread=0.3))
+        plan.validate(self._instance(demand_spread=0.3))
+
+    def test_recourse_exploits_demand_information(self):
+        # Jensen, in the direction fixed costs dictate: the per-scenario
+        # value function is concave in demand (a low-demand state can skip
+        # a whole rental), and decisions observe the current stage's
+        # demand, so a mean-preserving spread is (weakly) CHEAPER in
+        # expectation than the flat profile.
+        flat = solve_srrp_joint(self._instance(demand_spread=0.0)).expected_cost
+        spread = solve_srrp_joint(self._instance(demand_spread=0.3)).expected_cost
+        assert spread <= flat + 1e-6
+
+    def test_recourse_adapts_to_demand_state(self):
+        # with a big demand spread, generation differs across same-price
+        # siblings that differ only in demand
+        tree, nd = build_joint_tree(
+            0.06, 0.5,
+            [degenerate(0.06)] * 2,       # price certain
+            [demand_dist(low=0.1, high=1.5)] * 2,
+        )
+        inst = JointSRRPInstance(costs=on_demand_schedule(VM, 3), tree=tree, node_demand=nd)
+        plan = solve_srrp_joint(inst)
+        depth1 = [n.index for n in tree.nodes if n.depth == 1]
+        alphas = {round(float(plan.alpha[i]), 6) for i in depth1}
+        assert len(alphas) > 1  # different demand states -> different recourse
+
+    def test_expected_cost_scales_with_demand_mean(self):
+        low = solve_srrp_joint(self._instance(demand_spread=0.0)).expected_cost
+        tree, nd = build_joint_tree(
+            0.06, 1.0, [price_dist()] * 3, [degenerate(1.0)] * 3
+        )
+        heavy = solve_srrp_joint(
+            JointSRRPInstance(costs=on_demand_schedule(VM, 4), tree=tree, node_demand=nd)
+        ).expected_cost
+        assert heavy > low
+
+    def test_node_demand_shape_validated(self):
+        tree, nd = build_joint_tree(0.06, 0.5, [price_dist()], [demand_dist()])
+        with pytest.raises(ValueError):
+            JointSRRPInstance(
+                costs=on_demand_schedule(VM, 2), tree=tree, node_demand=nd[:-1]
+            )
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=10, deadline=None)
+    def test_random_instances_solve_and_validate(self, seed):
+        rng = np.random.default_rng(seed)
+        depth = int(rng.integers(1, 3))
+        tree, nd = build_joint_tree(
+            float(rng.uniform(0.04, 0.1)),
+            float(rng.uniform(0.1, 1.0)),
+            [price_dist(p_low=float(rng.uniform(0.2, 0.8)))] * depth,
+            [demand_dist(low=float(rng.uniform(0.05, 0.4)), high=float(rng.uniform(0.5, 1.5)))] * depth,
+        )
+        inst = JointSRRPInstance(
+            costs=on_demand_schedule(VM, depth + 1), tree=tree, node_demand=nd
+        )
+        plan = solve_srrp_joint(inst)
+        plan.validate(inst)
+        assert plan.expected_cost > 0

@@ -1,0 +1,146 @@
+"""Lagrangian relaxation: valid bounds, the LP-bound equality, ascent."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DRRPInstance, NormalDemand, on_demand_schedule, solve_drrp
+from repro.core.costs import CostSchedule
+from repro.core.lagrangian import lagrangian_bound
+from repro.market import ec2_catalog
+from repro.solver.scipy_backend import solve_lp_scipy
+from repro.core.drrp import build_drrp_model
+
+
+def make_instance(seed=0, horizon=12, vm="m1.large", eps=0.0):
+    return DRRPInstance(
+        demand=NormalDemand().sample(horizon, seed),
+        costs=on_demand_schedule(ec2_catalog()[vm], horizon),
+        initial_storage=eps,
+        vm_name=vm,
+    )
+
+
+class TestBoundValidity:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_bound_below_optimum(self, seed):
+        inst = make_instance(seed)
+        opt = solve_drrp(inst).total_cost
+        lag = lagrangian_bound(inst)
+        assert lag.best_bound <= opt + 1e-6
+        assert lag.heuristic_cost >= opt - 1e-6
+
+    def test_ascent_approaches_its_ceiling(self):
+        # the best possible Lagrangian bound equals the natural LP bound;
+        # the ascent should get within a few percent of it
+        inst = make_instance(7, horizon=24)
+        model, _ = build_drrp_model(inst)
+        compiled = model.compile()
+        compiled.integrality[:] = 0
+        lp = solve_lp_scipy(compiled).objective
+        lag = lagrangian_bound(inst, iterations=400)
+        assert lag.best_bound <= lp + 1e-5
+        assert lag.best_bound >= 0.95 * lp
+
+    def test_heuristic_is_feasible_cost(self):
+        inst = make_instance(3)
+        lag = lagrangian_bound(inst)
+        assert np.isfinite(lag.heuristic_cost)
+        assert lag.gap >= -1e-9
+
+    def test_with_initial_storage(self):
+        inst = make_instance(5, eps=1.0)
+        opt = solve_drrp(inst).total_cost
+        lag = lagrangian_bound(inst)
+        assert lag.best_bound <= opt + 1e-6
+
+    def test_zero_demand(self):
+        vm = ec2_catalog()["c1.medium"]
+        inst = DRRPInstance(demand=np.zeros(5), costs=on_demand_schedule(vm, 5))
+        lag = lagrangian_bound(inst, iterations=5)
+        assert lag.best_bound == pytest.approx(0.0, abs=1e-9)
+
+    def test_capacitated_rejected(self):
+        vm = ec2_catalog()["c1.medium"]
+        inst = DRRPInstance(
+            demand=np.ones(3),
+            costs=on_demand_schedule(vm, 3),
+            bottleneck_rate=1.0,
+            bottleneck_capacity=np.ones(3),
+        )
+        with pytest.raises(ValueError):
+            lagrangian_bound(inst)
+
+    def test_bad_seed_multipliers(self):
+        inst = make_instance(0, horizon=4)
+        with pytest.raises(ValueError):
+            lagrangian_bound(inst, seed_multipliers=np.zeros(3))
+
+
+class TestTheoryRelations:
+    """max_mu L(mu) == LP relaxation of the natural formulation
+    (both Lagrangian subproblems have the integrality property)."""
+
+    def _natural_lp_bound(self, inst):
+        model, _ = build_drrp_model(inst)
+        compiled = model.compile()
+        compiled.integrality[:] = 0
+        res = solve_lp_scipy(compiled)
+        return res.objective
+
+    @pytest.mark.parametrize("seed", [0, 2, 9])
+    def test_matches_natural_lp_bound(self, seed):
+        inst = make_instance(seed, horizon=10)
+        lp = self._natural_lp_bound(inst)
+        lag = lagrangian_bound(inst, iterations=800)
+        # ascent approaches the LP bound from below
+        assert lag.best_bound <= lp + 1e-5
+        assert lag.best_bound >= lp - 0.05 * max(lp, 1.0)
+
+    def test_weaker_than_facility_location(self):
+        from repro.core.reformulation import build_facility_location_model
+
+        inst = make_instance(1, horizon=10)
+        lag = lagrangian_bound(inst, iterations=400)
+        model, _x, _chi = build_facility_location_model(inst)
+        compiled = model.compile()
+        compiled.integrality[:] = 0
+        fl_lp = solve_lp_scipy(compiled).objective
+        opt = solve_drrp(inst).total_cost
+        assert fl_lp == pytest.approx(opt, abs=1e-5)  # FL relaxation integral
+        assert lag.best_bound <= fl_lp + 1e-6
+
+
+@st.composite
+def random_uncapacitated(draw):
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    T = int(rng.integers(2, 14))
+    costs = CostSchedule(
+        compute=rng.uniform(0.05, 1.0, T),
+        storage=np.zeros(T),
+        io=rng.uniform(0.01, 0.4, T),
+        transfer_in=rng.uniform(0.0, 0.2, T),
+        transfer_out=np.full(T, 0.17),
+    )
+    return DRRPInstance(
+        demand=rng.uniform(0.0, 2.0, T),
+        costs=costs,
+        initial_storage=float(rng.choice([0.0, 0.6])),
+    )
+
+
+class TestPropertyBased:
+    @given(random_uncapacitated())
+    @settings(max_examples=30, deadline=None)
+    def test_sandwich(self, inst):
+        opt = solve_drrp(inst, backend="scipy").total_cost
+        lag = lagrangian_bound(inst, iterations=120)
+        assert lag.best_bound <= opt + 1e-5
+        assert lag.heuristic_cost >= opt - 1e-5
+
+    @given(random_uncapacitated())
+    @settings(max_examples=15, deadline=None)
+    def test_trace_contains_best(self, inst):
+        lag = lagrangian_bound(inst, iterations=60)
+        assert lag.best_bound == pytest.approx(max(lag.trace), abs=1e-12)

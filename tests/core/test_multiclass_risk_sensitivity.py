@@ -1,0 +1,215 @@
+"""Multi-class joint planning, mean-CVaR SRRP, and shadow-price analysis."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DRRPInstance,
+    MultiClassInstance,
+    NormalDemand,
+    SRRPInstance,
+    build_tree,
+    demand_shadow_prices,
+    on_demand_schedule,
+    solve_drrp,
+    solve_multiclass,
+    solve_srrp,
+    solve_srrp_cvar,
+)
+from repro.market import PLANNING_CLASSES, ec2_catalog
+
+
+def class_instances(horizon=12, seed=0):
+    catalog = ec2_catalog()
+    return tuple(
+        DRRPInstance(
+            demand=NormalDemand().sample(horizon, seed + i),
+            costs=on_demand_schedule(catalog[name], horizon),
+            vm_name=name,
+        )
+        for i, name in enumerate(PLANNING_CLASSES)
+    )
+
+
+class TestMultiClass:
+    def test_separable_equals_per_class_sum(self):
+        insts = class_instances()
+        joint = solve_multiclass(MultiClassInstance(insts))
+        per = sum(solve_drrp(i).total_cost for i in insts)
+        assert joint.total_cost == pytest.approx(per, abs=1e-6)
+        assert joint.extra["path"] == "separable"
+
+    def test_uncoupled_joint_model_agrees_too(self):
+        # force the joint MILP path with a non-binding budget
+        insts = class_instances(horizon=8)
+        loose = solve_multiclass(MultiClassInstance(insts, storage_budget=1e6))
+        per = sum(solve_drrp(i).total_cost for i in insts)
+        assert loose.extra["path"] == "joint"
+        assert loose.total_cost == pytest.approx(per, abs=1e-5)
+
+    def test_storage_budget_binds_and_costs(self):
+        insts = class_instances(horizon=10)
+        free = solve_multiclass(MultiClassInstance(insts))
+        tight = solve_multiclass(MultiClassInstance(insts, storage_budget=0.5))
+        assert tight.total_cost >= free.total_cost - 1e-9
+        assert tight.peak_total_storage() <= 0.5 + 1e-6
+
+    def test_zero_storage_budget_forces_noplan_like(self):
+        insts = class_instances(horizon=6)
+        plan = solve_multiclass(MultiClassInstance(insts, storage_budget=0.0))
+        for p in plan.plans.values():
+            assert np.allclose(p.beta, 0.0, atol=1e-6)
+
+    def test_rental_budget_limits_concurrent_rentals(self):
+        # heavy demand keeps c1.medium renting every slot while m1.xlarge
+        # rents in bursts; uncapped they co-rent ($1.0/slot), and a $0.9 cap
+        # forces the planner to desynchronize them
+        catalog = ec2_catalog()
+        heavy_c1 = np.full(8, 1.5)
+        heavy_xl = np.full(8, 1.5)
+        heavy_xl[0] = 0.0  # xlarge idles at t=0 so the cap stays feasible
+        insts = (
+            DRRPInstance(
+                demand=heavy_c1, costs=on_demand_schedule(catalog["c1.medium"], 8),
+                vm_name="c1.medium",
+            ),
+            DRRPInstance(
+                demand=heavy_xl, costs=on_demand_schedule(catalog["m1.xlarge"], 8),
+                vm_name="m1.xlarge",
+            ),
+        )
+        free = solve_multiclass(MultiClassInstance(insts))
+        free_spend = [
+            sum(i.costs.compute[t] * free.plans[i.vm_name].chi[t] for i in insts)
+            for t in range(8)
+        ]
+        assert max(free_spend) > 0.9  # the cap will bind somewhere
+        capped = solve_multiclass(MultiClassInstance(insts, rental_budget=0.9))
+        for t in range(8):
+            spend = sum(
+                inst.costs.compute[t] * capped.plans[inst.vm_name].chi[t]
+                for inst in insts
+            )
+            assert spend <= 0.9 + 1e-6
+        assert capped.total_cost >= free.total_cost - 1e-9
+
+    def test_unsatisfiable_rental_budget_is_infeasible(self):
+        insts = class_instances(horizon=4)
+        # below m1.xlarge's hourly price: its demand can never be generated
+        with pytest.raises(RuntimeError, match="infeasible"):
+            solve_multiclass(MultiClassInstance(insts, rental_budget=0.7))
+
+    def test_validation(self):
+        insts = class_instances()
+        with pytest.raises(ValueError):
+            MultiClassInstance(())
+        with pytest.raises(ValueError):
+            MultiClassInstance(insts, storage_budget=-1.0)
+        with pytest.raises(ValueError):
+            MultiClassInstance(insts, rental_budget=0.0)
+        short = class_instances(horizon=6)
+        with pytest.raises(ValueError):
+            MultiClassInstance(insts + short[:1])
+
+
+def cvar_instance(io=0.1, spike=0.5, p_spike=0.2, depth=3):
+    vm = ec2_catalog()["c1.medium"]
+    costs = replace(on_demand_schedule(vm, depth + 1), io=np.full(depth + 1, io))
+    dists = [(np.array([0.05, spike]), np.array([1 - p_spike, p_spike]))] * depth
+    tree = build_tree(0.06, dists)
+    return SRRPInstance(demand=np.full(depth + 1, 0.4), costs=costs, tree=tree)
+
+
+class TestCVaR:
+    def test_risk_neutral_recovers_srrp(self):
+        inst = cvar_instance()
+        neutral = solve_srrp_cvar(inst, risk_weight=0.0)
+        base = solve_srrp(inst)
+        assert neutral.expected_cost == pytest.approx(base.expected_cost, abs=1e-6)
+
+    def test_averse_trades_mean_for_tail(self):
+        inst = cvar_instance()
+        neutral = solve_srrp_cvar(inst, risk_weight=0.0, confidence=0.8)
+        averse = solve_srrp_cvar(inst, risk_weight=1.0, confidence=0.8)
+        assert averse.cvar <= neutral.cvar + 1e-6
+        assert averse.expected_cost >= neutral.expected_cost - 1e-6
+        assert averse.cost_std() <= neutral.cost_std() + 1e-9
+
+    def test_cvar_at_least_expected(self):
+        inst = cvar_instance()
+        plan = solve_srrp_cvar(inst, risk_weight=0.5, confidence=0.9)
+        assert plan.cvar >= plan.expected_cost - 1e-6
+
+    def test_scenario_costs_consistent(self):
+        inst = cvar_instance()
+        plan = solve_srrp_cvar(inst, risk_weight=0.3)
+        assert plan.scenario_probs.sum() == pytest.approx(1.0)
+        assert float(plan.scenario_probs @ plan.scenario_costs) == pytest.approx(
+            plan.expected_cost, abs=1e-9
+        )
+
+    def test_parameter_validation(self):
+        inst = cvar_instance()
+        with pytest.raises(ValueError):
+            solve_srrp_cvar(inst, risk_weight=1.5)
+        with pytest.raises(ValueError):
+            solve_srrp_cvar(inst, confidence=1.0)
+
+    def test_risk_weight_sweep_monotone_cvar(self):
+        inst = cvar_instance(io=0.15, p_spike=0.15)
+        cvars = [
+            solve_srrp_cvar(inst, risk_weight=lam, confidence=0.8).cvar
+            for lam in (0.0, 0.5, 1.0)
+        ]
+        assert cvars[2] <= cvars[1] + 1e-6 <= cvars[0] + 2e-6
+
+
+class TestShadowPrices:
+    def test_generation_slots_price_at_local_cost(self):
+        vm = ec2_catalog()["m1.large"]
+        inst = DRRPInstance(
+            demand=np.full(6, 0.5), costs=on_demand_schedule(vm, 6), vm_name=vm.name
+        )
+        report = demand_shadow_prices(inst)
+        plan = report.plan
+        # in a slot that generates fresh data, the marginal GB costs
+        # transfer-out + transfer-in*phi (no extra rental: chi already paid)
+        gen_slots = [t for t in range(6) if plan.alpha[t] > 1e-6]
+        t0 = gen_slots[0]
+        expected = 0.17 + 0.1 * 0.5
+        assert report.marginal_cost[t0] == pytest.approx(expected, abs=1e-6)
+
+    def test_two_slot_instance_exact_duals(self):
+        # expensive compute: both GB generated in slot 0, slot 1 served from
+        # inventory.  Duals are then unique: D(0) marginal = tin*phi + tout,
+        # D(1) marginal adds one slot of holding.
+        vm = ec2_catalog()["m1.xlarge"]
+        inst = DRRPInstance(
+            demand=np.array([1.0, 1.0]), costs=on_demand_schedule(vm, 2), vm_name=vm.name
+        )
+        report = demand_shadow_prices(inst)
+        assert np.allclose(report.plan.chi, [1.0, 0.0])
+        holding = float(inst.costs.holding[0])
+        assert report.marginal_cost[0] == pytest.approx(0.17 + 0.05, abs=1e-6)
+        assert report.marginal_cost[1] == pytest.approx(0.17 + 0.05 + holding, abs=1e-6)
+
+    def test_marginals_bounded_below_by_direct_cost(self):
+        # any valid dual prices a marginal GB at >= transfer-out + gen cost
+        inst = DRRPInstance.example(horizon=12)
+        report = demand_shadow_prices(inst)
+        assert np.all(report.marginal_cost >= 0.17 + 0.05 - 1e-6)
+
+    def test_reuses_given_plan(self):
+        inst = DRRPInstance.example(horizon=8)
+        plan = solve_drrp(inst)
+        report = demand_shadow_prices(inst, plan=plan)
+        assert report.plan is plan
+        assert report.marginal_cost.shape == (8,)
+
+    def test_most_expensive_slot_index(self):
+        inst = DRRPInstance.example(horizon=8)
+        report = demand_shadow_prices(inst)
+        t = report.most_expensive_slot()
+        assert report.marginal_cost[t] == report.marginal_cost.max()

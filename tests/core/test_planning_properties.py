@@ -1,0 +1,197 @@
+"""Cross-cutting planning invariants, property-based.
+
+These are economics-level laws any correct planner must satisfy — they
+hold regardless of solver backend, demand pattern, or cost schedule, so
+hypothesis hammers them with random instances:
+
+* monotonicity in demand: serving more never costs less;
+* monotonicity in prices: raising any cost coefficient never lowers cost;
+* positive homogeneity: scaling all costs scales the optimum;
+* baseline sandwich: DRRP <= no-plan, and WW == DRRP;
+* SRRP bounded by its best/worst deterministic scenario;
+* interruption losses never reduce realized cost.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    DRRPInstance,
+    NoPlanPolicy,
+    SRRPInstance,
+    build_tree,
+    on_demand_schedule,
+    simulate_policy,
+    solve_drrp,
+    solve_noplan,
+    solve_srrp,
+    solve_wagner_whitin,
+    spot_schedule,
+)
+from repro.core.costs import CostSchedule
+from repro.market import FixedBids, ec2_catalog
+
+
+@st.composite
+def random_instance(draw):
+    seed = draw(st.integers(0, 100_000))
+    rng = np.random.default_rng(seed)
+    T = int(rng.integers(2, 14))
+    costs = CostSchedule(
+        compute=rng.uniform(0.05, 1.0, T),
+        storage=rng.uniform(0.0, 0.01, T),
+        io=rng.uniform(0.01, 0.4, T),
+        transfer_in=rng.uniform(0.0, 0.2, T),
+        transfer_out=rng.uniform(0.0, 0.3, T),
+    )
+    demand = rng.uniform(0.0, 2.0, T)
+    return DRRPInstance(demand=demand, costs=costs), rng
+
+
+class TestDeterministicLaws:
+    @given(random_instance())
+    @settings(max_examples=25, deadline=None)
+    def test_more_demand_never_cheaper(self, data):
+        inst, rng = data
+        base = solve_wagner_whitin(inst).total_cost
+        t = int(rng.integers(0, inst.horizon))
+        bumped_demand = inst.demand.copy()
+        bumped_demand[t] += 0.5
+        bumped = DRRPInstance(demand=bumped_demand, costs=inst.costs)
+        assert solve_wagner_whitin(bumped).total_cost >= base - 1e-9
+
+    @given(random_instance())
+    @settings(max_examples=25, deadline=None)
+    def test_higher_prices_never_cheaper(self, data):
+        inst, rng = data
+        base = solve_wagner_whitin(inst).total_cost
+        field = ["compute", "io", "transfer_in", "transfer_out"][int(rng.integers(0, 4))]
+        costs = replace(inst.costs, **{field: getattr(inst.costs, field) + 0.1})
+        bumped = DRRPInstance(demand=inst.demand, costs=costs)
+        assert solve_wagner_whitin(bumped).total_cost >= base - 1e-9
+
+    @given(random_instance(), st.floats(0.1, 5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_positive_homogeneity(self, data, k):
+        inst, _ = data
+        base = solve_wagner_whitin(inst).total_cost
+        costs = CostSchedule(
+            compute=inst.costs.compute * k,
+            storage=inst.costs.storage * k,
+            io=inst.costs.io * k,
+            transfer_in=inst.costs.transfer_in * k,
+            transfer_out=inst.costs.transfer_out * k,
+        )
+        scaled = DRRPInstance(demand=inst.demand, costs=costs)
+        assert solve_wagner_whitin(scaled).total_cost == pytest.approx(k * base, rel=1e-9)
+
+    @given(random_instance())
+    @settings(max_examples=20, deadline=None)
+    def test_baseline_sandwich(self, data):
+        inst, _ = data
+        drrp = solve_drrp(inst, backend="scipy").total_cost
+        ww = solve_wagner_whitin(inst).total_cost
+        noplan = solve_noplan(inst).total_cost
+        assert ww == pytest.approx(drrp, abs=1e-6)
+        assert drrp <= noplan + 1e-9
+
+    @given(random_instance())
+    @settings(max_examples=20, deadline=None)
+    def test_free_initial_storage_never_hurts(self, data):
+        inst, _ = data
+        base = solve_wagner_whitin(inst).total_cost
+        seeded = DRRPInstance(
+            demand=inst.demand, costs=inst.costs, initial_storage=0.8
+        )
+        assert solve_wagner_whitin(seeded).total_cost <= base + 1e-9
+
+
+@st.composite
+def random_tree_instance(draw):
+    seed = draw(st.integers(0, 100_000))
+    rng = np.random.default_rng(seed)
+    depth = int(rng.integers(1, 4))
+    low = float(rng.uniform(0.03, 0.08))
+    high = float(rng.uniform(0.1, 0.4))
+    p_low = float(rng.uniform(0.1, 0.9))
+    dists = [(np.array([low, high]), np.array([p_low, 1 - p_low]))] * depth
+    tree = build_tree(float(rng.uniform(0.04, 0.1)), dists)
+    demand = rng.uniform(0.05, 1.0, depth + 1)
+    vm = ec2_catalog()["c1.medium"]
+    inst = SRRPInstance(demand=demand, costs=on_demand_schedule(vm, depth + 1), tree=tree)
+    return inst, low, high
+
+
+class TestStochasticLaws:
+    @given(random_tree_instance())
+    @settings(max_examples=15, deadline=None)
+    def test_srrp_between_extreme_scenarios(self, data):
+        inst, low, high = data
+        plan = solve_srrp(inst, backend="scipy")
+        root = inst.tree.root.price
+        T = inst.horizon
+        cheap = solve_drrp(
+            DRRPInstance(
+                demand=inst.demand,
+                costs=spot_schedule(ec2_catalog()["c1.medium"], np.array([root] + [low] * (T - 1))),
+            ),
+            backend="scipy",
+        ).total_cost
+        dear = solve_drrp(
+            DRRPInstance(
+                demand=inst.demand,
+                costs=spot_schedule(ec2_catalog()["c1.medium"], np.array([root] + [high] * (T - 1))),
+            ),
+            backend="scipy",
+        ).total_cost
+        assert cheap - 1e-6 <= plan.expected_cost <= dear + 1e-6
+
+
+class TestInterruptionLoss:
+    def _setting(self):
+        rng = np.random.default_rng(0)
+        vm = ec2_catalog()["c1.medium"]
+        history = rng.normal(0.06, 0.004, 300).clip(0.04, 0.09)
+        realized = np.full(8, 0.07)  # above the 0.06 bid: every slot is oob
+        demand = np.full(8, 0.5)
+        return vm, history, realized, demand
+
+    def test_zero_loss_is_paper_model(self):
+        vm, history, realized, demand = self._setting()
+        policy = NoPlanPolicy(FixedBids(value=0.06))
+        a = simulate_policy(policy, realized, demand, vm, price_history=history)
+        b = simulate_policy(
+            policy, realized, demand, vm, price_history=history, interruption_loss=0.0
+        )
+        assert a.total_cost == pytest.approx(b.total_cost)
+        assert b.lost_gb == 0.0
+
+    def test_loss_increases_cost_and_is_tracked(self):
+        vm, history, realized, demand = self._setting()
+        policy = NoPlanPolicy(FixedBids(value=0.06))
+        clean = simulate_policy(policy, realized, demand, vm, price_history=history)
+        lossy = simulate_policy(
+            policy, realized, demand, vm, price_history=history, interruption_loss=0.3
+        )
+        assert lossy.out_of_bid_events == 8
+        assert lossy.lost_gb == pytest.approx(0.3 * demand.sum())
+        assert lossy.total_cost > clean.total_cost
+
+    def test_no_loss_when_never_out_of_bid(self):
+        vm, history, realized, demand = self._setting()
+        policy = NoPlanPolicy(FixedBids(value=1.0))  # always wins
+        lossy = simulate_policy(
+            policy, realized, demand, vm, price_history=history, interruption_loss=0.5
+        )
+        assert lossy.lost_gb == 0.0
+
+    def test_validation(self):
+        vm, history, realized, demand = self._setting()
+        with pytest.raises(ValueError):
+            simulate_policy(
+                NoPlanPolicy(), realized, demand, vm,
+                price_history=history, interruption_loss=1.0,
+            )

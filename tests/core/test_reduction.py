@@ -1,0 +1,143 @@
+"""Scenario sampling, forward-selection reduction, fan trees, and the
+reduced-tree rolling policy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ReducedScenarioPolicy,
+    fan_tree_from_paths,
+    forward_selection,
+    sample_price_paths,
+    simulate_policy,
+)
+from repro.core.rolling import OraclePolicy
+from repro.market import MeanBids, ec2_catalog
+from repro.stats import EmpiricalDistribution
+
+
+def base_dist(seed=0, n=2000):
+    rng = np.random.default_rng(seed)
+    return EmpiricalDistribution(rng.normal(0.06, 0.005, n).clip(0.03, 0.12), decimals=3)
+
+
+class TestSamplePaths:
+    def test_shape_and_support(self):
+        d = base_dist()
+        paths = sample_price_paths(d, np.full(5, 0.06), 0.2, n_paths=50, rng=1)
+        assert paths.shape == (50, 5)
+        # every value is either a kept support point (<= bid) or lambda
+        assert np.all((paths <= 0.06 + 1e-12) | np.isclose(paths, 0.2))
+
+    def test_low_bid_all_lambda(self):
+        d = base_dist()
+        paths = sample_price_paths(d, np.full(3, 0.0), 0.2, n_paths=10, rng=2)
+        assert np.allclose(paths, 0.2)
+
+    def test_deterministic_per_seed(self):
+        d = base_dist()
+        a = sample_price_paths(d, np.full(4, 0.06), 0.2, 20, rng=7)
+        b = sample_price_paths(d, np.full(4, 0.06), 0.2, 20, rng=7)
+        assert np.array_equal(a, b)
+
+
+class TestForwardSelection:
+    def test_keep_all_is_identity(self):
+        rng = np.random.default_rng(0)
+        paths = rng.normal(size=(6, 4))
+        sel, probs = forward_selection(paths, 6)
+        assert sorted(sel.tolist()) == list(range(6))
+        assert np.allclose(probs, 1 / 6)
+
+    def test_probabilities_sum_to_one(self):
+        rng = np.random.default_rng(1)
+        paths = rng.normal(size=(40, 5))
+        for k in (1, 3, 10):
+            sel, probs = forward_selection(paths, k)
+            assert sel.shape == probs.shape == (k,)
+            assert probs.sum() == pytest.approx(1.0)
+
+    def test_duplicated_scenarios_collapse(self):
+        base = np.array([[1.0, 1.0], [1.0, 1.0], [5.0, 5.0]])
+        sel, probs = forward_selection(base, 2)
+        chosen = {tuple(base[i]) for i in sel}
+        assert (5.0, 5.0) in chosen and (1.0, 1.0) in chosen
+        # the duplicated cheap scenario carries 2/3 of the mass
+        mass = dict(zip([tuple(base[i]) for i in sel], probs))
+        assert mass[(1.0, 1.0)] == pytest.approx(2 / 3)
+
+    def test_selection_prefers_central_scenario_for_k1(self):
+        paths = np.array([[0.0], [1.0], [2.0]])
+        sel, probs = forward_selection(paths, 1)
+        assert paths[sel[0], 0] == 1.0  # the L1 median
+        assert probs[0] == pytest.approx(1.0)
+
+    def test_validation(self):
+        paths = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            forward_selection(paths, 0)
+        with pytest.raises(ValueError):
+            forward_selection(paths, 4)
+        with pytest.raises(ValueError):
+            forward_selection(paths, 2, probs=np.array([0.5, 0.4, 0.2]))
+
+    @given(st.integers(0, 5000), st.integers(1, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_mass_conserved(self, seed, k):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(k, 30))
+        paths = rng.normal(size=(n, 3))
+        sel, probs = forward_selection(paths, min(k, n))
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs >= 0)
+
+
+class TestFanTree:
+    def test_structure(self):
+        paths = np.array([[0.05, 0.06], [0.07, 0.08]])
+        tree = fan_tree_from_paths(0.06, paths, np.array([0.4, 0.6]))
+        assert tree.horizon == 3
+        assert tree.num_scenarios == 2
+        assert tree.stage_probabilities_sum_to_one()
+        prices, probs = tree.scenario_prices()
+        assert np.allclose(sorted(probs), [0.4, 0.6])
+
+    def test_bad_probs_rejected(self):
+        with pytest.raises(ValueError):
+            fan_tree_from_paths(0.06, np.zeros((2, 2)), np.array([0.5, 0.6]))
+
+    def test_single_scenario_chain(self):
+        tree = fan_tree_from_paths(0.06, np.array([[0.05, 0.05, 0.05]]), np.array([1.0]))
+        assert tree.num_nodes == 4
+        assert tree.num_scenarios == 1
+
+
+class TestReducedScenarioPolicy:
+    def test_runs_and_is_dearer_than_oracle(self):
+        rng = np.random.default_rng(3)
+        vm = ec2_catalog()["c1.medium"]
+        history = rng.normal(0.06, 0.004, 500).clip(0.04, 0.09)
+        realized = rng.normal(0.06, 0.004, 8).clip(0.04, 0.09)
+        demand = rng.uniform(0.2, 0.5, 8)
+        base = EmpiricalDistribution(history)
+        policy = ReducedScenarioPolicy(MeanBids(), lookahead=4, n_samples=24, n_keep=4)
+        res = simulate_policy(
+            policy, realized, demand, vm,
+            base_distribution=base, price_history=history,
+        )
+        oracle = simulate_policy(
+            OraclePolicy(realized), realized, demand, vm,
+            base_distribution=base, price_history=history,
+        )
+        assert res.total_cost >= oracle.total_cost - 1e-9
+        assert res.forced_topups == 0
+
+    def test_requires_distribution(self):
+        rng = np.random.default_rng(4)
+        vm = ec2_catalog()["c1.medium"]
+        realized = np.full(4, 0.06)
+        demand = np.full(4, 0.4)
+        policy = ReducedScenarioPolicy(MeanBids(), lookahead=3)
+        with pytest.raises(ValueError):
+            simulate_policy(policy, realized, demand, vm, price_history=realized)

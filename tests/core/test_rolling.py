@@ -1,0 +1,169 @@
+"""Rolling-horizon simulator and policy tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DeterministicPolicy,
+    NoPlanPolicy,
+    OnDemandPolicy,
+    OraclePolicy,
+    Planner,
+    StochasticPolicy,
+    simulate_policy,
+)
+from repro.market import FixedBids, MeanBids, ec2_catalog
+from repro.stats import EmpiricalDistribution
+
+
+VM = ec2_catalog()["c1.medium"]
+
+
+@pytest.fixture(scope="module")
+def setting():
+    rng = np.random.default_rng(0)
+    history = rng.normal(0.06, 0.004, 1000).clip(0.04, 0.09)
+    realized = rng.normal(0.06, 0.004, 12).clip(0.04, 0.09)
+    demand = rng.uniform(0.2, 0.6, 12)
+    return history, realized, demand
+
+
+class TestSimulatorInvariants:
+    def test_demand_always_satisfied(self, setting):
+        history, realized, demand = setting
+        res = simulate_policy(
+            NoPlanPolicy(), realized, demand, VM, price_history=history
+        )
+        # inventory never negative, no forced top-ups needed for no-plan
+        assert np.all(res.inventory >= -1e-9)
+        assert res.forced_topups == 0
+
+    def test_cost_decomposition_sums(self, setting):
+        history, realized, demand = setting
+        res = simulate_policy(
+            NoPlanPolicy(), realized, demand, VM, price_history=history
+        )
+        total = (
+            res.compute_cost
+            + res.inventory_cost
+            + res.transfer_in_cost
+            + res.transfer_out_cost
+        )
+        assert total == pytest.approx(res.total_cost)
+
+    def test_transfer_out_is_demand_based(self, setting):
+        history, realized, demand = setting
+        res = simulate_policy(NoPlanPolicy(), realized, demand, VM, price_history=history)
+        assert res.transfer_out_cost == pytest.approx(0.17 * demand.sum())
+
+    def test_missing_prices_rejected(self, setting):
+        history, realized, demand = setting
+        with pytest.raises(ValueError):
+            simulate_policy(NoPlanPolicy(), realized[:5], demand, VM)
+
+
+class TestNoPlanPolicy:
+    def test_on_demand_fallback_without_strategy(self, setting):
+        history, realized, demand = setting
+        res = simulate_policy(NoPlanPolicy(), realized, demand, VM, price_history=history)
+        # pays lambda every slot with demand
+        assert res.compute_cost == pytest.approx(VM.on_demand_price * res.rentals)
+
+    def test_spot_bidding_variant(self, setting):
+        history, realized, demand = setting
+        res = simulate_policy(
+            NoPlanPolicy(FixedBids(value=1.0)), realized, demand, VM, price_history=history
+        )
+        # high bid always wins: pays spot prices
+        assert res.compute_cost == pytest.approx(realized.sum(), rel=1e-9)
+        assert res.out_of_bid_events == 0
+
+
+class TestOraclePolicy:
+    def test_oracle_never_out_of_bid(self, setting):
+        history, realized, demand = setting
+        res = simulate_policy(
+            OraclePolicy(realized), realized, demand, VM, price_history=history
+        )
+        assert res.out_of_bid_events == 0
+        assert res.forced_topups == 0
+
+    def test_oracle_is_cheapest(self, setting):
+        history, realized, demand = setting
+        base = EmpiricalDistribution(history)
+        oracle = simulate_policy(
+            OraclePolicy(realized), realized, demand, VM,
+            base_distribution=base, price_history=history,
+        )
+        for policy in (
+            NoPlanPolicy(),
+            OnDemandPolicy(lookahead=6),
+            DeterministicPolicy(MeanBids(), lookahead=6),
+            StochasticPolicy(MeanBids(), lookahead=4, max_branching=2),
+        ):
+            res = simulate_policy(
+                policy, realized, demand, VM,
+                base_distribution=base, price_history=history,
+            )
+            assert res.total_cost >= oracle.total_cost - 1e-6, policy.name
+
+    def test_oracle_needs_full_coverage(self, setting):
+        history, realized, demand = setting
+        with pytest.raises(ValueError):
+            simulate_policy(
+                OraclePolicy(realized[:5]), realized, demand, VM, price_history=history
+            )
+
+
+class TestPolicies:
+    def test_deterministic_policy_out_of_bid_pays_lambda(self):
+        history = np.full(200, 0.06)
+        realized = np.full(6, 0.10)  # spot always above the mean bid
+        demand = np.full(6, 0.5)
+        res = simulate_policy(
+            DeterministicPolicy(MeanBids(), lookahead=3),
+            realized, demand, VM, price_history=history,
+        )
+        assert res.out_of_bid_events == res.rentals > 0
+        assert res.paid_prices[res.paid_prices > 0].max() == VM.on_demand_price
+
+    def test_stochastic_policy_requires_distribution(self, setting):
+        history, realized, demand = setting
+        with pytest.raises(ValueError):
+            simulate_policy(
+                StochasticPolicy(MeanBids(), lookahead=3),
+                realized, demand, VM, price_history=history,
+            )
+
+    def test_policies_have_names(self):
+        assert DeterministicPolicy(MeanBids()).name == "det-exp-mean"
+        assert StochasticPolicy(MeanBids()).name == "sto-exp-mean"
+        assert OraclePolicy(np.zeros(1)).name == "oracle"
+
+
+class TestPlannerFacade:
+    def test_plan_deterministic_pair(self):
+        pl = Planner("m1.large")
+        drrp, noplan = pl.plan_deterministic(horizon=12, seed=1)
+        assert drrp.total_cost <= noplan.total_cost
+
+    def test_plan_stochastic_runs(self, setting):
+        history, _, _ = setting
+        pl = Planner("c1.medium")
+        plan = pl.plan_stochastic(history, bids=np.full(4, history.mean()), seed=2)
+        assert plan.expected_cost > 0
+        assert plan.tree.horizon == 4
+
+    def test_evaluate_policies_overpay_ordering(self, setting):
+        history, realized, demand = setting
+        pl = Planner("c1.medium")
+        cmp = pl.evaluate_policies(realized, demand, history, lookahead=4)
+        over = cmp.overpay_percentages()
+        assert over["oracle"] == pytest.approx(0.0)
+        assert all(v >= -1e-9 for v in over.values())
+        # paper's qualitative finding: stochastic beats deterministic
+        assert over["sto-exp-mean"] <= over["det-exp-mean"] + 1e-9
+
+    def test_unknown_vm_rejected(self):
+        with pytest.raises(KeyError):
+            Planner("t2.micro")

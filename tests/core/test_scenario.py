@@ -1,0 +1,120 @@
+"""Scenario tree construction, probabilities, bid-dependent sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import bid_adjusted_stage_distributions, build_tree
+from repro.core.scenario import ScenarioNode, ScenarioTree
+from repro.stats import EmpiricalDistribution
+
+
+def two_stage_dist():
+    return (np.array([0.05, 0.07]), np.array([0.6, 0.4]))
+
+
+class TestBuildTree:
+    def test_sizes(self):
+        tree = build_tree(0.06, [two_stage_dist(), two_stage_dist()])
+        # 1 + 2 + 4 nodes, depth 0..2
+        assert tree.num_nodes == 7
+        assert tree.horizon == 3
+        assert tree.num_scenarios == 4
+
+    def test_root(self):
+        tree = build_tree(0.06, [two_stage_dist()])
+        assert tree.root.price == 0.06
+        assert tree.root.abs_prob == 1.0
+        assert tree.root.parent == -1
+
+    def test_stage_probabilities_sum_to_one(self):
+        tree = build_tree(0.06, [two_stage_dist()] * 4)
+        assert tree.stage_probabilities_sum_to_one()
+
+    def test_leaf_probs_are_products(self):
+        tree = build_tree(0.06, [two_stage_dist(), two_stage_dist()])
+        _, probs = tree.scenario_prices()
+        assert probs.sum() == pytest.approx(1.0)
+        assert sorted(np.round(probs, 6)) == sorted(
+            np.round([0.36, 0.24, 0.24, 0.16], 6)
+        )
+
+    def test_scenario_price_rows(self):
+        tree = build_tree(0.06, [(np.array([0.05]), np.array([1.0]))])
+        prices, probs = tree.scenario_prices()
+        assert prices.shape == (1, 2)
+        assert np.allclose(prices[0], [0.06, 0.05])
+
+    def test_path_extraction(self):
+        tree = build_tree(0.06, [two_stage_dist(), two_stage_dist()])
+        leaf = tree.leaves()[0]
+        path = tree.path(leaf.index)
+        assert len(path) == 3
+        assert path[0].index == 0
+        assert [n.depth for n in path] == [0, 1, 2]
+
+    def test_horizon_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            build_tree(0.06, [two_stage_dist()], horizon=5)
+
+    def test_bad_stage_probs_rejected(self):
+        with pytest.raises(ValueError):
+            build_tree(0.06, [(np.array([1.0, 2.0]), np.array([0.5, 0.4]))])
+
+    def test_degenerate_tree_is_a_chain(self):
+        dists = [(np.array([0.05]), np.array([1.0]))] * 5
+        tree = build_tree(0.06, dists)
+        assert tree.num_nodes == 6
+        assert tree.num_scenarios == 1
+
+    @given(st.integers(1, 3), st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_node_count_formula(self, branching, depth):
+        vals = np.linspace(0.05, 0.08, branching)
+        probs = np.full(branching, 1.0 / branching)
+        tree = build_tree(0.06, [(vals, probs)] * depth)
+        expected = sum(branching**k for k in range(depth + 1))
+        assert tree.num_nodes == expected
+        assert tree.stage_probabilities_sum_to_one()
+
+
+class TestTreeValidation:
+    def test_validate_catches_bad_parent_depth(self):
+        root = ScenarioNode(0, -1, 0, 0.06, 1.0, 1.0, children=[1])
+        bad = ScenarioNode(1, 0, 2, 0.05, 1.0, 1.0)  # depth jumps by 2
+        with pytest.raises(ValueError):
+            ScenarioTree(nodes=[root, bad], horizon=3).validate()
+
+    def test_validate_catches_bad_probabilities(self):
+        root = ScenarioNode(0, -1, 0, 0.06, 1.0, 1.0, children=[1])
+        child = ScenarioNode(1, 0, 1, 0.05, 0.5, 0.5)  # stage mass 0.5
+        with pytest.raises(ValueError):
+            ScenarioTree(nodes=[root, child], horizon=2).validate()
+
+
+class TestBidAdjustedStageDistributions:
+    def _base(self):
+        rng = np.random.default_rng(0)
+        return EmpiricalDistribution(rng.normal(0.06, 0.004, 2000), decimals=3)
+
+    def test_one_distribution_per_bid(self):
+        dists = bid_adjusted_stage_distributions(self._base(), np.full(5, 0.06), 0.2)
+        assert len(dists) == 5
+        for vals, probs in dists:
+            assert probs.sum() == pytest.approx(1.0)
+            assert vals.size <= 3
+
+    def test_low_bid_concentrates_on_lambda(self):
+        dists = bid_adjusted_stage_distributions(self._base(), np.array([0.01]), 0.2, 4)
+        vals, probs = dists[0]
+        assert vals.size == 1 and vals[0] == 0.2
+
+    def test_high_bid_excludes_lambda(self):
+        dists = bid_adjusted_stage_distributions(self._base(), np.array([1.0]), 0.2, 10)
+        vals, probs = dists[0]
+        assert 0.2 not in vals
+
+    def test_branching_respected(self):
+        for k in (1, 2, 3, 5):
+            dists = bid_adjusted_stage_distributions(self._base(), np.full(3, 0.06), 0.2, k)
+            assert all(v.size <= k for v, _ in dists)

@@ -1,0 +1,123 @@
+"""Experiment modules for the spot-price analysis figures (3-8)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig3_outliers,
+    fig4_updates,
+    fig5_histogram,
+    fig6_decompose,
+    fig7_correlogram,
+    fig8_prediction,
+)
+from repro.experiments.base import ExperimentResult, format_table
+from repro.timeseries import AutoARIMASpec
+
+
+class TestBase:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1.23456, "b": "x"}, {"a": 2.0, "b": "long-entry"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "1.2346" in lines[2]
+
+    def test_format_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_to_text_includes_findings(self):
+        r = ExperimentResult("figX", "t", rows=[{"v": 1}], findings={"ok": True})
+        assert "ok: True" in r.to_text()
+
+
+class TestFig3:
+    def test_paper_findings_hold(self):
+        r = fig3_outliers.run()
+        assert r.findings["outliers_below_3pct_everywhere"]
+        assert r.findings["outliers_increase_with_class_power"]
+
+    def test_rows_cover_four_classes(self):
+        r = fig3_outliers.run()
+        assert {row["vm_class"] for row in r.rows} == {
+            "m1.large", "m1.xlarge", "c1.medium", "c1.xlarge",
+        }
+        for row in r.rows:
+            assert row["q1"] <= row["median"] <= row["q3"]
+
+
+class TestFig4:
+    def test_irregular_sampling_detected(self):
+        r = fig4_updates.run()
+        assert r.findings["sampling_is_irregular"]
+        assert r.rows[0]["max_per_day"] > r.rows[0]["min_per_day"]
+
+    def test_series_length_matches_days(self):
+        r = fig4_updates.run()
+        assert r.series["daily_update_counts"].size == r.rows[0]["days"]
+
+
+class TestFig5:
+    def test_normality_rejected(self):
+        r = fig5_histogram.run()
+        assert r.findings["normality_rejected_shapiro"]
+        assert r.rows[0]["shapiro_p"] < 0.05
+
+    def test_density_series_shapes(self):
+        r = fig5_histogram.run(bins=20)
+        assert r.series["histogram_counts"].size == 20
+        assert r.series["density_x"].shape == r.series["density"].shape
+
+
+class TestFig6:
+    def test_paper_findings_hold(self):
+        r = fig6_decompose.run()
+        assert r.findings["no_clear_trend"]
+        assert r.findings["cyclic_pattern_present"]
+
+    def test_components_align(self):
+        r = fig6_decompose.run()
+        n = r.series["observed"].size
+        assert r.series["trend"].size == n
+        assert r.series["seasonal"].size == n
+
+
+class TestFig7:
+    def test_weak_but_significant_correlation(self):
+        r = fig7_correlogram.run()
+        assert r.findings["some_lags_significant"]
+        assert r.findings["correlation_weak_overall"]
+        assert 0 < r.findings["max_abs_acf"] < 0.9
+
+    def test_row_count_matches_lags(self):
+        r = fig7_correlogram.run(max_lag=12)
+        assert len(r.rows) == 12
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # small search box keeps the test quick; conclusions are unchanged
+        return fig8_prediction.run(
+            spec=AutoARIMASpec(max_p=1, max_q=1, max_P=1, max_Q=0, s=24)
+        )
+
+    def test_no_substantial_skill(self, result):
+        assert result.findings["no_substantial_skill_over_mean"]
+        assert result.findings["improvement_over_mean_small"]
+
+    def test_forecast_hover(self, result):
+        assert result.findings["forecasts_hover_near_mean"]
+        assert result.series["predicted"].size == 24
+
+    def test_four_predictors_reported(self, result):
+        assert len(result.rows) == 4
+        names = {row["predictor"] for row in result.rows}
+        assert "expected-mean" in names and "holt-winters(24)" in names
+
+    def test_holt_winters_also_lacks_skill(self, result):
+        assert result.findings["holt_winters_no_substantial_skill"]
+
+    def test_series_stationary(self, result):
+        assert result.findings["series_stationary_adf"]

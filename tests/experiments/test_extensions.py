@@ -1,0 +1,68 @@
+"""Extension experiments: EVPI/VSS, availability, horizon-length."""
+
+import pytest
+
+from repro.experiments import ext_availability, ext_horizon, ext_risk, ext_value
+
+
+class TestExtValue:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_value.run(horizon=4, max_branching=2, classes=("c1.medium",))
+
+    def test_chain_holds(self, result):
+        assert result.findings["chain_ws_le_sp_le_eev"]
+        assert result.findings["perfect_information_has_value"]
+
+    def test_row_fields(self, result):
+        row = result.rows[0]
+        assert row["evpi"] == pytest.approx(row["stochastic"] - row["wait_and_see"])
+        assert row["vss"] == pytest.approx(
+            row["expected_value_policy"] - row["stochastic"]
+        )
+
+
+class TestExtAvailability:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_availability.run()
+
+    def test_findings(self, result):
+        assert result.findings["availability_bids_ordered"]
+        assert result.findings["effective_price_above_bid"]
+
+    def test_three_classes(self, result):
+        assert len(result.rows) == 3
+        for row in result.rows:
+            assert 0.0 <= row["mean_bid_availability"] <= 1.0
+
+
+class TestExtHorizon:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_horizon.run(horizons=(6, 12, 24, 48), total_hours=48)
+
+    def test_monotone(self, result):
+        assert result.findings["longer_horizons_never_cost_more"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ext_horizon.run(horizons=(96,), total_hours=48)
+
+    def test_rows_per_horizon(self, result):
+        assert [r["horizon_h"] for r in result.rows] == [6, 12, 24, 48]
+
+
+class TestExtRisk:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_risk.run(horizon=4, max_branching=2, risk_weights=(0.0, 1.0))
+
+    def test_frontier_monotone(self, result):
+        assert result.findings["cvar_never_increases_with_risk_weight"]
+        assert result.findings["expected_cost_never_decreases"]
+
+    def test_rows(self, result):
+        assert [r["risk_weight"] for r in result.rows] == [0.0, 1.0]
+        for row in result.rows:
+            assert row["cvar"] >= row["expected_cost"] - 1e-6

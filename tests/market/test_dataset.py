@@ -1,0 +1,83 @@
+"""Reference-dataset tests: calibration targets the paper's analysis relies on."""
+
+import numpy as np
+import pytest
+
+from repro.market import (
+    ANALYSIS_CLASSES,
+    TRACE_EPOCH,
+    ec2_catalog,
+    hours_since_epoch,
+    paper_window,
+    reference_dataset,
+)
+from repro.stats import iqr_outliers, shapiro_wilk
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return reference_dataset()
+
+
+class TestReferenceDataset:
+    def test_all_analysis_classes_present(self, dataset):
+        assert set(dataset) == set(ANALYSIS_CLASSES)
+
+    def test_deterministic(self, dataset):
+        again = reference_dataset()
+        for name in dataset:
+            assert np.array_equal(dataset[name].prices, again[name].prices)
+
+    def test_covers_the_crawl_period(self, dataset):
+        tr = dataset["c1.medium"]
+        assert tr.duration_hours > 500 * 24 * 0.99
+
+    def test_outlier_fraction_below_three_percent(self, dataset):
+        # Figure 3's headline: outliers < 3% for every class
+        for name, tr in dataset.items():
+            _, stats = iqr_outliers(tr.prices)
+            assert stats.outlier_fraction < 0.03, name
+
+    def test_outliers_increase_with_class_power(self, dataset):
+        cat = ec2_catalog()
+        fr = {
+            name: iqr_outliers(tr.prices)[1].outlier_fraction
+            for name, tr in dataset.items()
+        }
+        ordered = sorted(fr, key=lambda n: cat[n].power_rank)
+        values = [fr[n] for n in ordered]
+        assert values == sorted(values)
+
+    def test_spot_well_below_on_demand(self, dataset):
+        cat = ec2_catalog()
+        for name, tr in dataset.items():
+            assert np.median(tr.prices) < 0.5 * cat[name].on_demand_price
+
+
+class TestPaperWindow:
+    def test_window_lengths(self, dataset):
+        w = paper_window(dataset["c1.medium"])
+        assert w.estimation.size == 62 * 24  # Dec (31) + Jan (31)
+        assert w.validation.size == 24
+
+    def test_window_offsets(self):
+        assert hours_since_epoch(TRACE_EPOCH) == 0.0
+        # Feb 1 2010 -> Dec 1 2010 is 303 days
+        from datetime import date
+
+        assert hours_since_epoch(date(2010, 12, 1)) == 303 * 24.0
+
+    def test_estimation_prices_in_paper_band(self, dataset):
+        # Figure 5's axis: c1.medium bulk prices around 0.056-0.064
+        w = paper_window(dataset["c1.medium"])
+        q10, q90 = np.percentile(w.estimation, [10, 90])
+        assert 0.045 < q10 < q90 < 0.08
+
+    def test_normality_rejected_like_fig5(self, dataset):
+        w = paper_window(dataset["c1.medium"])
+        assert shapiro_wilk(w.estimation).rejects_normality()
+
+    def test_short_trace_rejected(self, dataset):
+        short = dataset["c1.medium"].window(0.0, 100.0)
+        with pytest.raises(ValueError):
+            paper_window(short)

@@ -1,0 +1,121 @@
+"""Trace CSV round-trips and the availability analysis."""
+
+import numpy as np
+import pytest
+
+from repro.market import (
+    SpotPriceTrace,
+    availability_curve,
+    availability_of_bid,
+    bid_for_availability,
+    ec2_catalog,
+    expected_cost_of_bid,
+    generate_spot_trace,
+    read_trace_csv,
+    traces_from_csv_dir,
+    traces_to_csv_dir,
+    write_trace_csv,
+)
+
+
+class TestTraceCSV:
+    def test_roundtrip(self, tmp_path):
+        vm = ec2_catalog()["c1.medium"]
+        from repro.market import TraceParams
+
+        trace = generate_spot_trace(vm, 5, TraceParams(duration_days=20.0))
+        path = tmp_path / "c1.csv"
+        write_trace_csv(trace, path)
+        back = read_trace_csv(path)
+        assert back.vm_class == "c1.medium"
+        assert np.allclose(back.times, trace.times, atol=1e-6)
+        assert np.allclose(back.prices, trace.prices, atol=1e-6)
+
+    def test_directory_roundtrip(self, tmp_path):
+        vm = ec2_catalog()
+        from repro.market import TraceParams
+
+        params = TraceParams(duration_days=10.0)
+        ds = {
+            name: generate_spot_trace(vm[name], i, params)
+            for i, name in enumerate(("c1.medium", "m1.large"))
+        }
+        paths = traces_to_csv_dir(ds, tmp_path / "traces")
+        assert len(paths) == 2
+        back = traces_from_csv_dir(tmp_path / "traces")
+        assert set(back) == set(ds)
+
+    def test_stem_fallback_class_name(self, tmp_path):
+        p = tmp_path / "custom-vm.csv"
+        p.write_text("hours,price\n0.5,0.05\n1.5,0.06\n")
+        trace = read_trace_csv(p)
+        assert trace.vm_class == "custom-vm"
+        assert trace.n_updates == 2
+
+    def test_malformed_rows_rejected(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("hours,price\n1.0,2.0,3.0\n")
+        with pytest.raises(ValueError):
+            read_trace_csv(p)
+
+    def test_empty_file_rejected(self, tmp_path):
+        p = tmp_path / "empty.csv"
+        p.write_text("hours,price\n")
+        with pytest.raises(ValueError):
+            read_trace_csv(p)
+
+    def test_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            traces_from_csv_dir(tmp_path)
+
+
+class TestAvailability:
+    PRICES = np.array([0.05, 0.06, 0.06, 0.07, 0.10])
+
+    def test_availability_of_bid(self):
+        assert availability_of_bid(self.PRICES, 0.06) == pytest.approx(0.6)
+        assert availability_of_bid(self.PRICES, 0.04) == 0.0
+        assert availability_of_bid(self.PRICES, 1.0) == 1.0
+
+    def test_bid_for_availability_is_quantile(self):
+        assert bid_for_availability(self.PRICES, 0.6) == pytest.approx(0.06)
+        assert bid_for_availability(self.PRICES, 1.0) == pytest.approx(0.10)
+
+    def test_bid_for_availability_achieves_target(self):
+        rng = np.random.default_rng(0)
+        prices = rng.lognormal(-2.8, 0.2, 5000)
+        for target in (0.5, 0.9, 0.99):
+            bid = bid_for_availability(prices, target)
+            assert availability_of_bid(prices, bid) >= target
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            bid_for_availability(self.PRICES, 0.0)
+        with pytest.raises(ValueError):
+            bid_for_availability(self.PRICES, 1.5)
+
+    def test_expected_cost_blends_spot_and_lambda(self):
+        # bid 0.06: wins {.05,.06,.06} pays them; loses {.07,.10} pays 0.2
+        expected = (0.05 + 0.06 + 0.06 + 0.2 + 0.2) / 5
+        assert expected_cost_of_bid(self.PRICES, 0.06, 0.2) == pytest.approx(expected)
+
+    def test_curve_monotone_availability(self):
+        rng = np.random.default_rng(1)
+        prices = rng.normal(0.06, 0.01, 2000).clip(0.03, 0.12)
+        curve = availability_curve(prices, on_demand_price=0.2, num=30)
+        assert np.all(np.diff(curve.availability) >= -1e-12)
+        assert curve.availability[-1] == 1.0
+        rows = curve.as_rows()
+        assert len(rows) == 30
+
+    def test_curve_cost_has_interior_minimum_or_decreases(self):
+        # expected effective price at bid=max is the spot mean; at bid=min it
+        # is ~lambda; the curve should end well below where it starts
+        rng = np.random.default_rng(2)
+        prices = rng.normal(0.06, 0.01, 2000).clip(0.03, 0.12)
+        curve = availability_curve(prices, on_demand_price=0.2, num=30)
+        assert curve.expected_price[-1] < curve.expected_price[0]
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError):
+            availability_of_bid(np.array([]), 0.05)

@@ -1,0 +1,100 @@
+"""Deeper statistical checks of the synthetic trace generator — the
+calibration contract documented in docs/data.md."""
+
+import numpy as np
+import pytest
+
+from repro.market import (
+    TraceParams,
+    ec2_catalog,
+    generate_spot_trace,
+    hourly_series,
+    paper_window,
+    reference_dataset,
+)
+from repro.stats import EmpiricalDistribution
+from repro.timeseries import acf, adf_test, dominant_period
+
+
+@pytest.fixture(scope="module")
+def medium_trace():
+    return reference_dataset()["c1.medium"]
+
+
+class TestCalibrationContract:
+    def test_hourly_series_stationary(self, medium_trace):
+        prices = paper_window(medium_trace).estimation
+        assert adf_test(prices).rejects_unit_root()
+
+    def test_weak_but_positive_lag1_autocorrelation(self, medium_trace):
+        prices = paper_window(medium_trace).estimation
+        r1 = acf(prices, 1)[1]
+        assert 0.05 < r1 < 0.9  # memory exists, far from a unit root
+
+    def test_daily_cycle_detectable(self, medium_trace):
+        # the cycle is mild (by design: Fig. 6 calls it weak), so instead of
+        # demanding the global spectral peak, require the 24 h line to carry
+        # at least median power among nearby candidate periods
+        from repro.timeseries import periodogram
+
+        prices = paper_window(medium_trace).estimation
+        pg = periodogram(prices)
+        candidates = np.arange(12, 37)
+        powers = np.array([pg.power_at_period(float(p)) for p in candidates])
+        assert pg.power_at_period(24.0) >= np.median(powers)
+
+    def test_discount_vs_on_demand_everywhere(self):
+        cat = ec2_catalog()
+        ds = reference_dataset()
+        for name, trace in ds.items():
+            ratio = trace.prices.mean() / cat[name].on_demand_price
+            assert 0.2 < ratio < 0.45  # deep-discount regime
+
+    def test_base_distribution_support_compact(self, medium_trace):
+        prices = paper_window(medium_trace).estimation
+        d = EmpiricalDistribution(prices, decimals=3)
+        # prices quantize to $0.001: the support is small and finite
+        assert d.support_size < 100
+        assert d.values.min() >= 0.0
+
+    def test_independent_classes_uncorrelated(self):
+        ds = reference_dataset()
+        a = hourly_series(ds["c1.medium"], 0, 24 * 200)
+        b = hourly_series(ds["m1.large"], 0, 24 * 200)
+        corr = np.corrcoef(a, b)[0, 1]
+        assert abs(corr) < 0.15  # separate RNG streams
+
+    def test_trace_params_scale_duration(self):
+        vm = ec2_catalog()["c1.medium"]
+        short = generate_spot_trace(vm, 0, TraceParams(duration_days=30.0))
+        long = generate_spot_trace(vm, 0, TraceParams(duration_days=120.0))
+        assert long.n_updates > short.n_updates * 2
+
+    def test_update_rate_parameter_respected(self):
+        vm = ec2_catalog()["c1.medium"]
+        slow = generate_spot_trace(
+            vm, 1, TraceParams(duration_days=120.0, mean_updates_per_day=2.0)
+        )
+        fast = generate_spot_trace(
+            vm, 1, TraceParams(duration_days=120.0, mean_updates_per_day=16.0)
+        )
+        assert fast.n_updates > 3 * slow.n_updates
+
+    def test_spike_cap_never_exceeded(self):
+        cat = ec2_catalog()
+        for name, trace in reference_dataset().items():
+            assert trace.prices.max() <= cat[name].on_demand_price * 1.05 + 1e-9
+
+    def test_seasonal_amplitude_parameter(self):
+        vm = ec2_catalog()["c1.medium"]
+        flat = generate_spot_trace(
+            vm, 2, TraceParams(duration_days=90.0, seasonal_relative_amplitude=0.0)
+        )
+        wavy = generate_spot_trace(
+            vm, 2, TraceParams(duration_days=90.0, seasonal_relative_amplitude=0.15)
+        )
+        from repro.timeseries import decompose_additive
+
+        f = decompose_additive(hourly_series(flat, 0, 24 * 60), 24)
+        w = decompose_additive(hourly_series(wavy, 0, 24 * 60), 24)
+        assert w.seasonal_amplitude > 2 * f.seasonal_amplitude

@@ -1,0 +1,55 @@
+"""Process-pool mapping tests."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel import default_workers, parallel_map, spawn_rngs
+
+
+def square(x):
+    return x * x
+
+
+def pid_of(_):
+    return os.getpid()
+
+
+class TestParallelMap:
+    def test_serial_path_matches_map(self):
+        items = list(range(20))
+        assert parallel_map(square, items, n_workers=1) == [x * x for x in items]
+
+    def test_parallel_path_matches_serial(self):
+        items = list(range(50))
+        serial = parallel_map(square, items, n_workers=1)
+        parallel = parallel_map(square, items, n_workers=2)
+        assert serial == parallel
+
+    def test_order_preserved(self):
+        items = list(range(100, 0, -1))
+        out = parallel_map(square, items, n_workers=2)
+        assert out == [x * x for x in items]
+
+    def test_empty_input(self):
+        assert parallel_map(square, [], n_workers=4) == []
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(pid_of, [1], n_workers=4) == [os.getpid()]
+
+    def test_uses_multiple_processes(self):
+        if (os.cpu_count() or 1) < 2:
+            pytest.skip("single-core machine")
+        pids = set(parallel_map(pid_of, list(range(32)), n_workers=2, chunksize=1))
+        assert os.getpid() not in pids  # ran in workers
+
+    def test_default_workers_positive(self):
+        assert 1 <= default_workers() <= 8
+
+
+class TestSeeding:
+    def test_spawned_streams_deterministic(self):
+        a = [r.normal() for r in spawn_rngs(3, 4)]
+        b = [r.normal() for r in spawn_rngs(3, 4)]
+        assert np.allclose(a, b)

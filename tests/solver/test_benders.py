@@ -1,0 +1,108 @@
+"""L-shaped decomposition vs extensive form on small stochastic programs."""
+
+import numpy as np
+import pytest
+
+from repro.solver import SolverStatus, solve_compiled
+from repro.solver.benders import (
+    BendersOptions,
+    Scenario,
+    TwoStageProblem,
+    extensive_form,
+    solve_benders,
+)
+
+
+def newsvendor(prices=(1.0,), demands=(5.0, 10.0), probs=(0.5, 0.5), cost=0.6, salvage=0.1, sell=1.0):
+    """Classic newsvendor as a two-stage problem.
+
+    Stage 1: order x at ``cost``.  Stage 2 (per demand scenario d):
+    sell y1 = min(x, d) at ``sell``, salvage y2 = x - y1 at ``salvage``.
+    Recourse rows: y1 + y2 == x  and  y1 + y3 == d (y3 = lost sales >= 0).
+    """
+    scenarios = []
+    for d, p in zip(demands, probs):
+        W = np.array([[1.0, 1.0, 0.0], [1.0, 0.0, 1.0]])
+        T = np.array([[-1.0], [0.0]])
+        h = np.array([0.0, d])
+        q = np.array([-sell, -salvage, 0.0])
+        scenarios.append(Scenario(prob=p, q=q, W=W, T=T, h=h))
+    return TwoStageProblem(
+        c=np.array([cost]),
+        lb=np.array([0.0]),
+        ub=np.array([100.0]),
+        integrality=np.array([0]),
+        scenarios=scenarios,
+    )
+
+
+class TestNewsvendor:
+    def test_benders_matches_extensive_form(self):
+        p = newsvendor()
+        ext = solve_compiled(extensive_form(p), backend="scipy", use_presolve=False)
+        ben = solve_benders(p)
+        assert ext.status is SolverStatus.OPTIMAL
+        assert ben.status is SolverStatus.OPTIMAL
+        assert ben.objective == pytest.approx(ext.objective, abs=1e-5)
+
+    def test_optimal_order_quantity_is_critical_fractile(self):
+        # overage = cost - salvage = .5, underage = sell - cost = .4
+        # fractile = .4/.9 ≈ .444 < .5 -> order the low demand
+        p = newsvendor()
+        ben = solve_benders(p)
+        assert ben.x[0] == pytest.approx(5.0, abs=1e-4)
+
+    def test_skewed_probabilities_shift_order(self):
+        p = newsvendor(probs=(0.05, 0.95))
+        ben = solve_benders(p)
+        assert ben.x[0] == pytest.approx(10.0, abs=1e-4)
+
+    def test_single_scenario_degenerates_to_lp(self):
+        p = newsvendor(demands=(7.0,), probs=(1.0,))
+        ben = solve_benders(p)
+        ext = solve_compiled(extensive_form(p), backend="scipy", use_presolve=False)
+        assert ben.objective == pytest.approx(ext.objective, abs=1e-6)
+        assert ben.x[0] == pytest.approx(7.0, abs=1e-4)
+
+
+class TestIntegerMaster:
+    def test_integer_first_stage(self):
+        p = newsvendor(demands=(5.5, 9.5), probs=(0.5, 0.5))
+        p.integrality = np.array([1])
+        ben = solve_benders(p)
+        ext = solve_compiled(extensive_form(p), backend="scipy", use_presolve=False)
+        assert ben.status is SolverStatus.OPTIMAL
+        assert abs(ben.x[0] - round(ben.x[0])) < 1e-6
+        assert ben.objective == pytest.approx(ext.objective, abs=1e-5)
+
+
+class TestManyScenarios:
+    def test_ten_scenarios(self):
+        rng = np.random.default_rng(7)
+        demands = rng.uniform(3, 12, size=10)
+        probs = rng.dirichlet(np.ones(10))
+        p = newsvendor(demands=tuple(demands), probs=tuple(probs))
+        ben = solve_benders(p)
+        ext = solve_compiled(extensive_form(p), backend="scipy", use_presolve=False)
+        assert ben.objective == pytest.approx(ext.objective, abs=1e-4)
+
+    def test_trace_is_monotone_lower_bound(self):
+        p = newsvendor(demands=(4.0, 8.0, 12.0), probs=(0.3, 0.4, 0.3))
+        ben = solve_benders(p)
+        lowers = [t["lower"] for t in ben.extra["trace"]]
+        assert all(lowers[i] <= lowers[i + 1] + 1e-7 for i in range(len(lowers) - 1))
+
+
+class TestValidation:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="probabilities"):
+            newsvendor(probs=(0.5, 0.4))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(prob=1.0, q=np.ones(2), W=np.ones((2, 2)), T=np.ones((3, 1)), h=np.ones(2))
+
+    def test_iteration_limit_status(self):
+        p = newsvendor(demands=(4.0, 8.0, 12.0), probs=(0.3, 0.4, 0.3))
+        res = solve_benders(p, BendersOptions(max_iterations=1))
+        assert res.status in (SolverStatus.ITERATION_LIMIT, SolverStatus.OPTIMAL)

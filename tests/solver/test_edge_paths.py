@@ -1,0 +1,151 @@
+"""Edge-path coverage: limits, reprs, error statuses, small conversions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.solver import (
+    BranchAndBoundOptions,
+    Model,
+    SolverResult,
+    SolverStatus,
+    branch_and_bound,
+    solve,
+    solve_compiled,
+)
+from repro.solver.scipy_backend import solve_lp_scipy
+from repro.solver.simplex import simplex_solve, solve_lp_simplex
+
+
+class TestSimplexLimits:
+    def test_iteration_limit_status(self):
+        rng = np.random.default_rng(0)
+        m = Model()
+        xs = [m.add_var(f"x{i}", ub=10) for i in range(8)]
+        for i in range(10):
+            row = rng.uniform(-1, 1, 8)
+            m.add_constr(sum(float(row[j]) * xs[j] for j in range(8)) <= 5.0)
+        m.set_objective(sum(-x for x in xs))
+        p = m.compile()
+        res = solve_lp_simplex(p, max_iter=1)
+        assert res.status in (SolverStatus.ITERATION_LIMIT, SolverStatus.OPTIMAL)
+
+    def test_raw_interface_empty_constraints(self):
+        status, x, obj, iters, tab = simplex_solve(
+            np.zeros((0, 2)), np.zeros(0), np.array([1.0, 2.0])
+        )
+        assert status == "optimal" and obj == 0.0
+
+    def test_raw_interface_unbounded_free_direction(self):
+        status, *_ = simplex_solve(
+            np.zeros((0, 1)), np.zeros(0), np.array([-1.0])
+        )
+        assert status == "unbounded"
+
+
+class TestBranchBoundLimits:
+    def _model(self):
+        rng = np.random.default_rng(1)
+        m = Model()
+        xs = [m.add_var(f"x{i}", vtype="binary") for i in range(16)]
+        vals = rng.integers(3, 30, 16)
+        wts = rng.integers(2, 12, 16)
+        m.add_constr(sum(int(w) * x for w, x in zip(wts, xs)) <= int(wts.sum() // 3))
+        m.set_objective(sum(int(v) * x for v, x in zip(vals, xs)), sense="max")
+        return m.compile()
+
+    def test_time_limit(self):
+        res = branch_and_bound(
+            self._model(), solve_lp_scipy, BranchAndBoundOptions(time_limit=0.0)
+        )
+        assert res.status in (
+            SolverStatus.TIME_LIMIT, SolverStatus.FEASIBLE, SolverStatus.OPTIMAL
+        )
+
+    def test_node_limit_zero(self):
+        res = branch_and_bound(
+            self._model(), solve_lp_scipy, BranchAndBoundOptions(node_limit=0)
+        )
+        assert res.status in (SolverStatus.NODE_LIMIT, SolverStatus.FEASIBLE)
+
+    def test_root_infeasible(self):
+        m = Model()
+        x = m.add_var("x", vtype="binary")
+        m.add_constr(x >= 2)
+        res = branch_and_bound(m.compile(), solve_lp_scipy)
+        assert res.status is SolverStatus.INFEASIBLE
+
+    def test_root_unbounded(self):
+        m = Model()
+        x = m.add_var("x", vtype="integer")  # unbounded above
+        y = m.add_var("y")
+        m.add_constr(y <= 1)
+        m.set_objective(-x)
+        res = branch_and_bound(m.compile(), solve_lp_scipy)
+        assert res.status is SolverStatus.UNBOUNDED
+
+
+class TestResultTypes:
+    def test_value_of_without_solution(self):
+        m = Model()
+        x = m.add_var("x", ub=1)
+        res = SolverResult(status=SolverStatus.INFEASIBLE)
+        with pytest.raises(ValueError):
+            res.value_of(x)
+
+    def test_gap_with_nan(self):
+        res = SolverResult(status=SolverStatus.ERROR)
+        assert res.gap == math.inf
+
+    def test_status_has_solution(self):
+        assert SolverStatus.OPTIMAL.has_solution
+        assert SolverStatus.FEASIBLE.has_solution
+        assert not SolverStatus.INFEASIBLE.has_solution
+
+
+class TestReprsAndMisc:
+    def test_model_repr(self):
+        m = Model("demo")
+        m.add_var("x", vtype="integer")
+        m.add_constr(m.variables[0] <= 3)
+        text = repr(m)
+        assert "demo" in text and "int=1" in text
+
+    def test_linexpr_repr(self):
+        m = Model()
+        x = m.add_var("cost")
+        assert "cost" in repr(2 * x + 1)
+
+    def test_variable_repr(self):
+        m = Model()
+        v = m.add_var("alpha", lb=1, ub=2, vtype="integer")
+        assert "alpha" in repr(v) and "integer" in repr(v)
+
+    def test_constraint_repr(self):
+        m = Model()
+        x = m.add_var("x")
+        assert "<=" in repr(x <= 4)
+
+    def test_presolve_infeasible_through_solve(self):
+        m = Model()
+        x = m.add_var("x", ub=1)
+        m.add_constr(x >= 5)
+        res = solve(m)  # presolve catches it before any backend runs
+        assert res.status is SolverStatus.INFEASIBLE
+
+    def test_solve_compiled_respects_maximize(self):
+        m = Model()
+        x = m.add_var("x", ub=7)
+        m.set_objective(x, sense="max")
+        res = solve_compiled(m.compile())
+        assert res.objective == pytest.approx(7.0)
+
+    def test_compiled_num_properties(self):
+        m = Model()
+        m.add_var("a", vtype="binary")
+        m.add_var("b")
+        m.add_constr(m.variables[0] + m.variables[1] <= 2)
+        p = m.compile()
+        assert p.num_vars == 2
+        assert p.num_constraints == 1

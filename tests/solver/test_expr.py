@@ -1,0 +1,163 @@
+"""Unit tests for the algebraic modeling primitives."""
+
+import math
+
+import pytest
+
+from repro.solver import ConstraintSense, LinExpr, Model, VarType, lin_sum
+from repro.solver.expr import Constraint
+
+
+@pytest.fixture()
+def model():
+    return Model("t")
+
+
+class TestVariable:
+    def test_defaults(self, model):
+        x = model.add_var("x")
+        assert x.lb == 0.0 and x.ub == math.inf
+        assert x.vtype is VarType.CONTINUOUS
+        assert not x.is_integral
+
+    def test_binary_bounds_clamped(self, model):
+        z = model.add_var("z", lb=-5, ub=7, vtype="binary")
+        assert (z.lb, z.ub) == (0.0, 1.0)
+        assert z.is_integral
+
+    def test_crossed_bounds_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.add_var("bad", lb=3, ub=1)
+
+    def test_duplicate_name_rejected(self, model):
+        model.add_var("x")
+        with pytest.raises(ValueError):
+            model.add_var("x")
+
+    def test_auto_naming(self, model):
+        v0 = model.add_var()
+        v1 = model.add_var()
+        assert v0.name != v1.name
+
+    def test_add_vars_batch(self, model):
+        vs = model.add_vars(4, "alpha", ub=2.0)
+        assert [v.index for v in vs] == [0, 1, 2, 3]
+        assert all(v.ub == 2.0 for v in vs)
+
+
+class TestLinExpr:
+    def test_addition_merges_terms(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        e = x + y + x
+        assert e.terms[x] == 2.0 and e.terms[y] == 1.0
+
+    def test_zero_coefficients_dropped(self, model):
+        x = model.add_var("x")
+        e = x - x
+        assert e.terms == {}
+
+    def test_scalar_operations(self, model):
+        x = model.add_var("x")
+        e = (3 * x + 4) / 2
+        assert e.terms[x] == 1.5 and e.constant == 2.0
+
+    def test_negation_and_rsub(self, model):
+        x = model.add_var("x")
+        e = 5 - 2 * x
+        assert e.terms[x] == -2.0 and e.constant == 5.0
+
+    def test_value_evaluation(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        e = 2 * x - y + 1
+        assert e.value({x: 3.0, y: 4.0}) == pytest.approx(3.0)
+
+    def test_nonscalar_multiplication_rejected(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        with pytest.raises(TypeError):
+            _ = x.to_expr() * y.to_expr()
+
+    def test_lin_sum_matches_builtin_sum(self, model):
+        vs = model.add_vars(10, "v")
+        a = lin_sum(2 * v for v in vs)
+        b = sum((2 * v for v in vs), LinExpr())
+        assert a.terms == b.terms and a.constant == b.constant
+
+    def test_lin_sum_of_scalars(self):
+        e = lin_sum([1, 2, 3.5])
+        assert e.constant == 6.5 and e.terms == {}
+
+
+class TestConstraint:
+    def test_le_normalization(self, model):
+        x = model.add_var("x")
+        c = x + 3 <= 10
+        assert isinstance(c, Constraint)
+        assert c.sense is ConstraintSense.LE
+        assert c.rhs == pytest.approx(7.0)
+
+    def test_eq_sense(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        c = x + y == 4
+        assert c.sense is ConstraintSense.EQ
+        assert c.rhs == pytest.approx(4.0)
+
+    def test_violation_measure(self, model):
+        x = model.add_var("x")
+        c = 2 * x <= 4
+        assert c.violation({x: 1.0}) == 0.0
+        assert c.violation({x: 3.0}) == pytest.approx(2.0)
+
+    def test_ge_violation(self, model):
+        x = model.add_var("x")
+        c = x >= 5
+        assert c.violation({x: 2.0}) == pytest.approx(3.0)
+        assert c.violation({x: 7.0}) == 0.0
+
+
+class TestModelCompile:
+    def test_shapes_and_masks(self, model):
+        x = model.add_var("x", ub=5)
+        y = model.add_var("y", vtype="integer", ub=3)
+        model.add_constr(x + y <= 4)
+        model.add_constr(x - y >= -2)
+        model.add_constr(x + 2 * y == 3)
+        model.set_objective(x + y)
+        p = model.compile()
+        assert p.A_ub.shape == (2, 2)  # GE row negated into UB form
+        assert p.A_eq.shape == (1, 2)
+        assert list(p.integrality) == [0, 1]
+        assert p.num_constraints == 3
+
+    def test_ge_rows_negated(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        model.add_constr(x - y >= -2)
+        p = model.compile()
+        assert p.A_ub[0].tolist() == [-1.0, 1.0]
+        assert p.b_ub[0] == pytest.approx(2.0)
+
+    def test_maximize_negates_objective(self, model):
+        x = model.add_var("x", ub=1)
+        model.set_objective(5 * x, sense="max")
+        p = model.compile()
+        assert p.c[0] == -5.0
+        assert p.objective_value(__import__("numpy").array([1.0])) == pytest.approx(5.0)
+
+    def test_is_feasible_checks_everything(self, model):
+        import numpy as np
+
+        x = model.add_var("x", ub=2, vtype="integer")
+        model.add_constr(x >= 1)
+        p = model.compile()
+        assert p.is_feasible(np.array([1.0]))
+        assert not p.is_feasible(np.array([0.0]))   # constraint violated
+        assert not p.is_feasible(np.array([1.5]))   # fractional
+        assert not p.is_feasible(np.array([3.0]))   # bound violated
+
+    def test_add_constr_rejects_bool(self, model):
+        with pytest.raises(TypeError):
+            model.add_constr(True)
+
+    def test_bad_objective_sense(self, model):
+        x = model.add_var("x")
+        with pytest.raises(ValueError):
+            model.set_objective(x, sense="upwards")

@@ -1,0 +1,164 @@
+"""Presolve and Gomory-cut tests: reductions must preserve the feasible set,
+cuts must never remove integer-feasible points."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver import Model, SolverStatus, presolve, solve, solve_compiled
+from repro.solver.cuts import generate_gmi_cuts, strengthen_with_gomory_cuts
+from repro.solver.scipy_backend import solve_milp_scipy
+from repro.solver.simplex import solve_lp_simplex
+
+
+class TestPresolve:
+    def test_singleton_row_becomes_bound(self):
+        m = Model()
+        x = m.add_var("x", ub=100)
+        m.add_constr(2 * x <= 10)
+        pre = presolve(m.compile())
+        assert not pre.infeasible
+        assert pre.problem.A_ub.shape[0] == 0
+        assert pre.problem.ub[0] == pytest.approx(5.0)
+
+    def test_singleton_ge_row_tightens_lb(self):
+        m = Model()
+        x = m.add_var("x", ub=100)
+        m.add_constr(x >= 3)
+        pre = presolve(m.compile())
+        assert pre.problem.lb[0] == pytest.approx(3.0)
+
+    def test_integer_bounds_rounded(self):
+        m = Model()
+        x = m.add_var("x", lb=0.2, ub=4.9, vtype="integer")
+        pre = presolve(m.compile())
+        assert pre.problem.lb[0] == 1.0 and pre.problem.ub[0] == 4.0
+
+    def test_detects_crossed_integer_bounds(self):
+        m = Model()
+        m.add_var("x", lb=0.4, ub=0.6, vtype="integer")
+        pre = presolve(m.compile())
+        assert pre.infeasible
+
+    def test_detects_row_infeasibility(self):
+        m = Model()
+        x = m.add_var("x", ub=1)
+        y = m.add_var("y", ub=1)
+        m.add_constr(x + y >= 5)
+        pre = presolve(m.compile())
+        assert pre.infeasible
+
+    def test_redundant_row_removed(self):
+        m = Model()
+        x = m.add_var("x", ub=1)
+        y = m.add_var("y", ub=1)
+        m.add_constr(x + y <= 10)  # always true within the box
+        pre = presolve(m.compile())
+        assert pre.rows_removed >= 1
+        assert pre.problem.A_ub.shape[0] == 0
+
+    def test_empty_contradictory_row(self):
+        m = Model()
+        x = m.add_var("x")
+        m.add_constr(0 * x <= -1)
+        pre = presolve(m.compile())
+        assert pre.infeasible
+
+    def test_solution_preserved(self):
+        m = Model()
+        x = m.add_var("x", ub=100)
+        y = m.add_var("y", ub=100)
+        m.add_constr(x <= 7)
+        m.add_constr(x + y <= 12)
+        m.set_objective(-(x + 2 * y))
+        with_pre = solve(m, backend="scipy", use_presolve=True)
+        without = solve(m, backend="scipy", use_presolve=False)
+        assert with_pre.objective == pytest.approx(without.objective)
+
+
+def _random_mip_model(seed, n=4, m_rows=3):
+    rng = np.random.default_rng(seed)
+    m = Model()
+    xs = [m.add_var(f"x{j}", lb=0, ub=float(rng.integers(2, 6)), vtype="integer") for j in range(n)]
+    x0 = np.array([float(rng.integers(0, 3)) for _ in range(n)])
+    for i in range(m_rows):
+        row = rng.integers(-3, 4, size=n).astype(float)
+        b = float(row @ np.minimum(x0, [x.ub for x in xs]) + rng.integers(0, 3))
+        m.add_constr(sum(float(row[j]) * xs[j] for j in range(n)) <= b)
+    m.set_objective(sum(float(rng.integers(-5, 6)) * x for x in xs))
+    return m
+
+
+class TestGomoryCuts:
+    def test_cut_on_classic_instance(self):
+        # LP relaxation fractional: max x+y st 3x+2y<=6, -3x+2y<=0, x,y int
+        m = Model()
+        x = m.add_var("x", ub=10, vtype="integer")
+        y = m.add_var("y", ub=10, vtype="integer")
+        m.add_constr(3 * x + 2 * y <= 6)
+        m.add_constr(-3 * x + 2 * y <= 0)
+        m.set_objective(x + y, sense="max")
+        p = m.compile()
+        lp = solve_lp_simplex(p)
+        frac = np.abs(lp.x - np.round(lp.x))
+        assert frac.max() > 1e-4  # relaxation really is fractional
+        strengthened = strengthen_with_gomory_cuts(p)
+        assert strengthened.A_ub.shape[0] > p.A_ub.shape[0]
+        # strengthened LP bound must be no worse and still valid
+        lp2 = solve_lp_simplex(strengthened)
+        assert lp2.status is SolverStatus.OPTIMAL
+        exact = solve_milp_scipy(p)
+        # cuts never cut off the integer optimum
+        x_int = np.round(exact.x)
+        assert np.all(strengthened.A_ub @ x_int <= strengthened.b_ub + 1e-6)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_cuts_are_valid_inequalities(self, seed):
+        m = _random_mip_model(seed)
+        p = m.compile()
+        exact = solve_milp_scipy(p)
+        if not exact.status.has_solution:
+            return
+        strengthened = strengthen_with_gomory_cuts(p, max_rounds=3)
+        x_int = np.round(exact.x)
+        if strengthened.A_ub.size:
+            assert np.all(strengthened.A_ub @ x_int <= strengthened.b_ub + 1e-6)
+        # and solving the strengthened MILP gives the same optimum
+        again = solve_milp_scipy(strengthened)
+        assert again.objective == pytest.approx(exact.objective, abs=1e-6)
+
+    def test_generate_returns_empty_for_continuous(self):
+        m = Model()
+        x = m.add_var("x", ub=3)
+        m.add_constr(2 * x <= 5)
+        m.set_objective(-x)
+        p = m.compile()
+        assert strengthen_with_gomory_cuts(p) is p
+
+    def test_cuts_skipped_for_free_variables(self):
+        m = Model()
+        x = m.add_var("x", lb=-np.inf, ub=10)
+        z = m.add_var("z", vtype="integer", ub=5)
+        m.add_constr(x + 2 * z <= 7)
+        m.set_objective(-x - z)
+        p = m.compile()
+        res = solve_lp_simplex(p)
+        if res.status is SolverStatus.OPTIMAL:
+            cuts = generate_gmi_cuts(p, res.extra["tableau"], res.extra["standard_form"])
+            assert cuts == []
+
+
+class TestBackendValidation:
+    def test_unknown_backend_rejected(self):
+        m = Model()
+        m.add_var("x")
+        with pytest.raises(ValueError, match="unknown backend"):
+            solve(m, backend="gurobi")
+
+    def test_solve_compiled_direct(self):
+        m = Model()
+        x = m.add_var("x", ub=4)
+        m.set_objective(-x)
+        r = solve_compiled(m.compile())
+        assert r.objective == pytest.approx(-4.0)

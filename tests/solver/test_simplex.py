@@ -1,0 +1,150 @@
+"""Simplex correctness: hand instances + randomized cross-check vs HiGHS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver import Model, SolverStatus, solve
+from repro.solver.simplex import solve_lp_simplex, standardize
+from repro.solver.scipy_backend import solve_lp_scipy
+
+
+def _solve_both(model):
+    p = model.compile()
+    return solve_lp_simplex(p), solve_lp_scipy(p)
+
+
+class TestHandInstances:
+    def test_textbook_max(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        m.add_constr(x + 2 * y <= 14)
+        m.add_constr(3 * x - y >= 0)
+        m.add_constr(x - y <= 2)
+        m.set_objective(3 * x + 4 * y, sense="max")
+        r = solve(m, backend="simplex")
+        assert r.status is SolverStatus.OPTIMAL
+        assert r.objective == pytest.approx(34.0)
+        assert r.x == pytest.approx([6.0, 4.0])
+
+    def test_infeasible(self):
+        m = Model()
+        x = m.add_var("x", ub=1)
+        m.add_constr(x >= 2)
+        r = solve(m, backend="simplex", use_presolve=False)
+        assert r.status is SolverStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        m = Model()
+        x = m.add_var("x")
+        m.set_objective(-x)
+        r = solve(m, backend="simplex", use_presolve=False)
+        assert r.status is SolverStatus.UNBOUNDED
+
+    def test_degenerate_lp_terminates(self):
+        # Classic degenerate instance (multiple ties in the ratio test).
+        m = Model()
+        x = [m.add_var(f"x{i}") for i in range(3)]
+        m.add_constr(x[0] + x[1] <= 1)
+        m.add_constr(x[0] + x[2] <= 1)
+        m.add_constr(x[1] + x[2] <= 1)
+        m.add_constr(x[0] + x[1] + x[2] <= 1)
+        m.set_objective(x[0] + x[1] + x[2], sense="max")
+        r = solve(m, backend="simplex")
+        assert r.status is SolverStatus.OPTIMAL
+        assert r.objective == pytest.approx(1.0, abs=1e-7)
+
+    def test_free_variable_split(self):
+        m = Model()
+        x = m.add_var("x", lb=-np.inf)  # free
+        y = m.add_var("y", ub=0.0)
+        m.add_constr(x + y >= -3)
+        m.add_constr(x <= 5)
+        m.set_objective(x)
+        r = solve(m, backend="simplex", use_presolve=False)
+        assert r.status is SolverStatus.OPTIMAL
+        assert r.objective == pytest.approx(-3.0)
+
+    def test_negative_lower_bounds(self):
+        m = Model()
+        x = m.add_var("x", lb=-4, ub=-1)
+        m.set_objective(x)
+        r = solve(m, backend="simplex", use_presolve=False)
+        assert r.objective == pytest.approx(-4.0)
+
+    def test_equality_only(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        m.add_constr(x + y == 10)
+        m.set_objective(2 * x + y)
+        r = solve(m, backend="simplex")
+        assert r.objective == pytest.approx(10.0)
+        assert r.x == pytest.approx([0.0, 10.0])
+
+    def test_no_constraints(self):
+        m = Model()
+        x = m.add_var("x", ub=3)
+        m.set_objective(-x)
+        r = solve(m, backend="simplex")
+        assert r.objective == pytest.approx(-3.0)
+
+
+class TestStandardize:
+    def test_recover_roundtrip(self):
+        m = Model()
+        m.add_var("a", lb=2, ub=9)
+        m.add_var("b", lb=-np.inf)
+        m.add_var("c", lb=-1)
+        mdl = m.compile()
+        sf = standardize(mdl)
+        # choose x_std hitting each case
+        x_std = np.zeros(sf.A.shape[1])
+        x_std[sf.pos[0]] = 1.0            # a = 2 + 1
+        x_std[sf.pos[1]] = 5.0            # b = 5 - 2
+        x_std[sf.neg[1]] = 2.0
+        x_std[sf.pos[2]] = 0.5            # c = -1 + 0.5
+        x = sf.recover(x_std)
+        assert x == pytest.approx([3.0, 3.0, -0.5])
+
+    def test_rhs_nonnegative(self):
+        m = Model()
+        x = m.add_var("x", lb=5, ub=20)
+        m.add_constr(x <= 7)
+        m.add_constr(x >= 6)
+        sf = standardize(m.compile())
+        assert np.all(sf.b >= 0)
+
+
+@st.composite
+def random_lp(draw):
+    """Random bounded-feasible LP: box-bounded vars, random <= rows anchored
+    to a known interior point so feasibility is guaranteed."""
+    n = draw(st.integers(2, 6))
+    m_rows = draw(st.integers(1, 6))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    c = rng.normal(size=n)
+    A = rng.normal(size=(m_rows, n))
+    x0 = rng.uniform(0.5, 1.5, size=n)  # interior anchor
+    b = A @ x0 + rng.uniform(0.1, 2.0, size=m_rows)
+    ub = x0 + rng.uniform(1.0, 3.0, size=n)
+    return c, A, b, ub
+
+
+class TestRandomCrossCheck:
+    @given(random_lp())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_highs(self, data):
+        c, A, b, ub = data
+        m = Model()
+        xs = [m.add_var(f"x{i}", lb=0, ub=float(ub[i])) for i in range(len(c))]
+        for i in range(A.shape[0]):
+            m.add_constr(sum(float(A[i, j]) * xs[j] for j in range(len(xs))) <= float(b[i]))
+        m.set_objective(sum(float(c[j]) * xs[j] for j in range(len(xs))))
+        ours, ref = _solve_both(m)
+        assert ours.status is SolverStatus.OPTIMAL
+        assert ref.status is SolverStatus.OPTIMAL
+        assert ours.objective == pytest.approx(ref.objective, abs=1e-6, rel=1e-6)
+        # our solution must be feasible for the compiled problem
+        assert m.compile().is_feasible(ours.x, tol=1e-6)

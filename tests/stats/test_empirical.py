@@ -1,0 +1,163 @@
+"""Empirical distribution, quantiles, and outlier analysis tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats import EmpiricalDistribution, five_number_summary, iqr_outliers
+
+
+class TestFiveNumberSummary:
+    def test_known_values(self):
+        mn, q1, med, q3, mx = five_number_summary(np.arange(1, 101, dtype=float))
+        assert (mn, mx) == (1.0, 100.0)
+        assert med == pytest.approx(50.5)
+        assert q1 == pytest.approx(25.75)
+        assert q3 == pytest.approx(75.25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            five_number_summary(np.array([]))
+
+
+class TestIQROutliers:
+    def test_no_outliers_in_uniform(self):
+        rng = np.random.default_rng(0)
+        mask, stats = iqr_outliers(rng.uniform(0, 1, 1000))
+        assert stats.outlier_fraction == 0.0
+        assert not mask.any()
+
+    def test_planted_outliers_found(self):
+        x = np.concatenate([np.full(100, 1.0) + np.linspace(-0.1, 0.1, 100), [10.0, -8.0]])
+        mask, stats = iqr_outliers(x)
+        assert mask[-2] and mask[-1]
+        assert stats.n_outliers == 2
+
+    def test_fences_follow_k(self):
+        x = np.linspace(0, 1, 101)
+        _, s1 = iqr_outliers(x, k=1.5)
+        _, s3 = iqr_outliers(x, k=3.0)
+        assert s3.upper_fence > s1.upper_fence
+        assert s3.lower_fence < s1.lower_fence
+
+    def test_summary_consistency(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=500)
+        _, s = iqr_outliers(x)
+        assert s.minimum <= s.q1 <= s.median <= s.q3 <= s.maximum
+        assert s.iqr == pytest.approx(s.q3 - s.q1)
+
+
+class TestEmpiricalDistribution:
+    def test_probabilities_sum_to_one(self):
+        d = EmpiricalDistribution(np.array([1.0, 1.0, 2.0, 3.0]))
+        assert d.probabilities.sum() == pytest.approx(1.0)
+        assert d.support_size == 3
+
+    def test_mean_and_std(self):
+        d = EmpiricalDistribution(np.array([1.0, 3.0]))
+        assert d.mean() == pytest.approx(2.0)
+        assert d.std() == pytest.approx(1.0)
+
+    def test_cdf_and_quantile(self):
+        d = EmpiricalDistribution(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert d.cdf(2.0) == pytest.approx(0.5)
+        assert d.cdf(0.5) == 0.0
+        assert d.cdf(9.0) == 1.0
+        assert d.quantile(0.5) == 2.0
+        assert d.quantile(1.0) == 4.0
+
+    def test_quantile_domain(self):
+        d = EmpiricalDistribution(np.array([1.0]))
+        with pytest.raises(ValueError):
+            d.quantile(1.5)
+
+    def test_rounding_merges_near_ties(self):
+        d = EmpiricalDistribution(np.array([0.05001, 0.05002]), decimals=3)
+        assert d.support_size == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution(np.array([]))
+
+    def test_sampling_stays_on_support(self):
+        d = EmpiricalDistribution(np.array([1.0, 5.0, 9.0]))
+        rng = np.random.default_rng(3)
+        s = d.sample(rng, 100)
+        assert set(np.unique(s)) <= {1.0, 5.0, 9.0}
+
+
+class TestTruncateAtBid:
+    """Eq. (10): bid-dependent dynamic sampling."""
+
+    def _dist(self):
+        # prices 1..5 with equal probability
+        return EmpiricalDistribution(np.array([1.0, 2.0, 3.0, 4.0, 5.0]))
+
+    def test_high_bid_keeps_everything(self):
+        d = self._dist().truncate_at_bid(bid=10.0, overflow_value=20.0)
+        assert d.support_size == 5
+        assert d.probabilities.sum() == pytest.approx(1.0)
+
+    def test_mass_above_bid_moves_to_on_demand(self):
+        d = self._dist().truncate_at_bid(bid=3.0, overflow_value=20.0)
+        # values 1,2,3 kept (0.6), 0.4 at lambda=20
+        assert 20.0 in d.values
+        idx = np.nonzero(d.values == 20.0)[0][0]
+        assert d.probabilities[idx] == pytest.approx(0.4)
+        assert d.probabilities.sum() == pytest.approx(1.0)
+
+    def test_out_of_bid_probability_matches_prob_above(self):
+        base = self._dist()
+        d = base.truncate_at_bid(bid=2.0, overflow_value=9.0)
+        idx = np.nonzero(d.values == 9.0)[0][0]
+        assert d.probabilities[idx] == pytest.approx(base.prob_above(2.0))
+
+    def test_bid_below_support_all_on_demand(self):
+        d = self._dist().truncate_at_bid(bid=0.5, overflow_value=7.0)
+        assert d.support_size == 1
+        assert d.values[0] == 7.0
+        assert d.probabilities[0] == pytest.approx(1.0)
+
+    @given(
+        st.floats(0.0, 6.0),
+        st.floats(6.5, 30.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_truncation_preserves_total_mass(self, bid, lam):
+        d = self._dist().truncate_at_bid(bid, lam)
+        assert d.probabilities.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(d.values) > 0)  # sorted, unique
+
+
+class TestCoarsen:
+    def test_noop_when_small(self):
+        d = EmpiricalDistribution(np.array([1.0, 2.0]))
+        assert d.coarsen(5) is d
+
+    def test_support_reduced(self):
+        rng = np.random.default_rng(0)
+        d = EmpiricalDistribution(rng.normal(size=2000), decimals=4)
+        c = d.coarsen(3)
+        assert c.support_size <= 3
+        assert c.probabilities.sum() == pytest.approx(1.0)
+
+    def test_mean_approximately_preserved(self):
+        rng = np.random.default_rng(1)
+        d = EmpiricalDistribution(rng.uniform(0, 1, 5000), decimals=5)
+        c = d.coarsen(4)
+        assert c.mean() == pytest.approx(d.mean(), abs=0.02)
+
+    def test_invalid_support_rejected(self):
+        d = EmpiricalDistribution(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            d.coarsen(0)
+
+    @given(st.integers(1, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_mass_conserved_for_any_target(self, k):
+        rng = np.random.default_rng(42)
+        d = EmpiricalDistribution(rng.exponential(size=500), decimals=4)
+        c = d.coarsen(k)
+        assert c.support_size <= k
+        assert c.probabilities.sum() == pytest.approx(1.0)

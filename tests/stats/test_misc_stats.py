@@ -1,0 +1,169 @@
+"""KDE, normality tests, descriptive summaries, RNG plumbing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats import (
+    GaussianKDE,
+    SeriesSummary,
+    ensure_rng,
+    histogram,
+    jarque_bera,
+    mape,
+    mspe,
+    normal_fit,
+    normal_pdf,
+    relative_change,
+    shapiro_wilk,
+    silverman_bandwidth,
+    spawn_rngs,
+    summarize,
+    truncated_normal,
+)
+
+
+class TestKDE:
+    def test_density_integrates_to_one(self):
+        rng = np.random.default_rng(0)
+        kde = GaussianKDE(rng.normal(size=400))
+        xs, ys = kde.grid(num=2001, pad=6.0)
+        integral = np.trapezoid(ys, xs)
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_density_peaks_near_mode(self):
+        rng = np.random.default_rng(1)
+        kde = GaussianKDE(rng.normal(5.0, 0.5, size=800))
+        xs, ys = kde.grid()
+        assert abs(xs[np.argmax(ys)] - 5.0) < 0.3
+
+    def test_bimodal_detected(self):
+        rng = np.random.default_rng(2)
+        x = np.concatenate([rng.normal(0, 0.3, 500), rng.normal(4, 0.3, 500)])
+        kde = GaussianKDE(x, bandwidth=0.3)
+        dens = kde(np.array([0.0, 2.0, 4.0]))
+        assert dens[0] > dens[1] and dens[2] > dens[1]
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianKDE(np.array([1.0, 2.0]), bandwidth=0.0)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianKDE(np.array([1.0]))
+
+    def test_silverman_scale_invariance(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=300)
+        assert silverman_bandwidth(10 * x) == pytest.approx(10 * silverman_bandwidth(x), rel=1e-9)
+
+    def test_histogram_counts_total(self):
+        x = np.arange(100, dtype=float)
+        counts, edges = histogram(x, bins=10)
+        assert counts.sum() == 100
+        assert edges.size == 11
+
+
+class TestNormality:
+    def test_normal_sample_not_rejected(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=800)
+        assert not jarque_bera(x).rejects_normality()
+        assert not shapiro_wilk(x).rejects_normality()
+
+    def test_exponential_rejected(self):
+        rng = np.random.default_rng(1)
+        x = rng.exponential(size=800)
+        assert jarque_bera(x).rejects_normality()
+        assert shapiro_wilk(x).rejects_normality()
+
+    def test_jarque_bera_needs_enough_data(self):
+        with pytest.raises(ValueError):
+            jarque_bera(np.arange(5, dtype=float))
+
+    def test_constant_series_degenerate(self):
+        res = jarque_bera(np.full(50, 3.0))
+        assert res.p_value == 0.0
+
+    def test_shapiro_long_series_subsampled(self):
+        rng = np.random.default_rng(2)
+        res = shapiro_wilk(rng.normal(size=9000))
+        assert 0.0 <= res.p_value <= 1.0
+
+    def test_normal_fit_and_pdf(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(2.0, 0.5, size=5000)
+        mu, sd = normal_fit(x)
+        assert mu == pytest.approx(2.0, abs=0.05)
+        assert sd == pytest.approx(0.5, abs=0.05)
+        peak = normal_pdf(np.array([mu]), mu, sd)[0]
+        assert peak == pytest.approx(1 / (sd * np.sqrt(2 * np.pi)))
+
+
+class TestDescriptive:
+    def test_summary_fields(self):
+        s = summarize(np.arange(1, 11, dtype=float))
+        assert isinstance(s, SeriesSummary)
+        assert s.n == 10 and s.mean == pytest.approx(5.5)
+        assert s.as_row()["median"] == pytest.approx(5.5)
+
+    def test_mspe_zero_for_perfect(self):
+        x = np.array([1.0, 2.0])
+        assert mspe(x, x) == 0.0
+
+    def test_mspe_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mspe(np.zeros(3), np.zeros(4))
+
+    def test_mape_and_zero_guard(self):
+        assert mape(np.array([2.0]), np.array([1.0])) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            mape(np.array([0.0]), np.array([1.0]))
+
+    def test_relative_change(self):
+        assert relative_change(150.0, 100.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            relative_change(1.0, 0.0)
+
+
+class TestRNG:
+    def test_ensure_rng_accepts_all_forms(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+        assert isinstance(ensure_rng(5), np.random.Generator)
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_seeded_reproducibility(self):
+        a = ensure_rng(7).normal(size=5)
+        b = ensure_rng(7).normal(size=5)
+        assert np.array_equal(a, b)
+
+    def test_spawn_independent_streams(self):
+        r1, r2 = spawn_rngs(0, 2)
+        assert not np.array_equal(r1.normal(size=10), r2.normal(size=10))
+
+    def test_spawn_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    @given(st.floats(0.1, 2.0), st.floats(0.05, 1.0), st.integers(1, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_truncated_normal_positive(self, mean, std, size):
+        rng = np.random.default_rng(11)
+        x = truncated_normal(rng, mean, std, size)
+        assert x.shape == (size,)
+        assert np.all(x > 0)
+
+    def test_truncated_normal_matches_paper_mean(self):
+        rng = np.random.default_rng(0)
+        x = truncated_normal(rng, 0.4, 0.2, 50_000)
+        # truncation at 0 lifts the mean slightly above 0.4
+        assert 0.4 < x.mean() < 0.45
+
+    def test_truncated_degenerate_cases(self):
+        rng = np.random.default_rng(0)
+        assert np.all(truncated_normal(rng, 1.0, 0.0, 3) == 1.0)
+        with pytest.raises(ValueError):
+            truncated_normal(rng, -1.0, 0.0, 3)
+        with pytest.raises(ValueError):
+            truncated_normal(rng, -10.0, 0.1, 3)

@@ -1,0 +1,72 @@
+"""CLI smoke/behaviour tests (in-process via main(argv))."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.vm == "m1.large" and args.horizon == 24
+
+
+class TestPlanCommand:
+    def test_prints_schedule(self, capsys):
+        code = main(["plan", "--vm", "c1.medium", "--horizon", "6", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DRRP cost" in out
+        assert out.count("RENT") >= 1
+
+    def test_unknown_vm(self, capsys):
+        code = main(["plan", "--vm", "t2.nano"])
+        assert code == 2
+        assert "unknown VM class" in capsys.readouterr().err
+
+
+class TestAnalyzeCommand:
+    def test_summary_contents(self, capsys):
+        code = main(["analyze", "--vm", "c1.medium"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Shapiro-Wilk" in out
+        assert "ADF" in out
+
+    def test_unknown_vm(self, capsys):
+        assert main(["analyze", "--vm", "bogus"]) == 2
+
+
+class TestSimulateCommand:
+    def test_bakeoff_runs(self, capsys):
+        code = main(["simulate", "--vm", "c1.medium", "--hours", "6", "--lookahead", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "oracle" in out and "overpay" in out
+
+    def test_unknown_vm(self, capsys):
+        assert main(["simulate", "--vm", "bogus"]) == 2
+
+
+class TestReportCommand:
+    def test_single_figure(self, capsys):
+        code = main(["report", "fig4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig4" in out
+
+
+class TestExportCommand:
+    def test_writes_csvs(self, tmp_path, capsys):
+        code = main(["export-dataset", str(tmp_path / "ds")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count(".csv") == 4
+        from repro.market import traces_from_csv_dir
+
+        back = traces_from_csv_dir(tmp_path / "ds")
+        assert len(back) == 4

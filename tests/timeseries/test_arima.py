@@ -1,0 +1,191 @@
+"""SARIMA estimation/forecasting tests: parameter recovery on simulated
+processes, forecast behaviour, order search, diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries import (
+    ARIMAOrder,
+    AutoARIMASpec,
+    auto_arima,
+    candidate_orders,
+    compare_to_mean_forecast,
+    fit_arima,
+    is_weakly_stationary,
+    ljung_box,
+    mean_forecast,
+    naive_forecast,
+)
+
+
+def simulate_arma(n, phi=(), theta=(), seed=0, mean=0.0, sigma=1.0):
+    rng = np.random.default_rng(seed)
+    p, q = len(phi), len(theta)
+    burn = 200
+    eps = rng.normal(0, sigma, size=n + burn)
+    x = np.zeros(n + burn)
+    for t in range(max(p, q), n + burn):
+        x[t] = eps[t]
+        for i, ph in enumerate(phi):
+            x[t] += ph * x[t - i - 1]
+        for j, th in enumerate(theta):
+            x[t] += th * eps[t - j - 1]
+    return x[burn:] + mean
+
+
+class TestOrderValidation:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ARIMAOrder(-1, 0, 0)
+
+    def test_seasonal_needs_period(self):
+        with pytest.raises(ValueError):
+            ARIMAOrder(1, 0, 0, P=1, s=0)
+
+    def test_label(self):
+        assert ARIMAOrder(2, 0, 1, 2, 0, 0, 24).label == "SARIMA(2,0,1)x(2,0,0)_24"
+        assert ARIMAOrder(1, 1, 1).label == "ARIMA(1,1,1)"
+
+
+class TestParameterRecovery:
+    def test_ar1(self):
+        x = simulate_arma(3000, phi=(0.7,), seed=1, mean=5.0)
+        res = fit_arima(x, ARIMAOrder(1, 0, 0))
+        assert res.params[0] == pytest.approx(0.7, abs=0.05)
+        assert res.mean == pytest.approx(5.0, abs=0.3)
+
+    def test_ma1(self):
+        x = simulate_arma(3000, theta=(0.6,), seed=2)
+        res = fit_arima(x, ARIMAOrder(0, 0, 1))
+        assert res.params[0] == pytest.approx(0.6, abs=0.07)
+
+    def test_arma11(self):
+        x = simulate_arma(5000, phi=(0.5,), theta=(0.4,), seed=3)
+        res = fit_arima(x, ARIMAOrder(1, 0, 1))
+        assert res.params[0] == pytest.approx(0.5, abs=0.1)
+        assert res.params[1] == pytest.approx(0.4, abs=0.12)
+
+    def test_ar2(self):
+        x = simulate_arma(5000, phi=(0.5, 0.3), seed=4)
+        res = fit_arima(x, ARIMAOrder(2, 0, 0))
+        assert res.params[0] == pytest.approx(0.5, abs=0.08)
+        assert res.params[1] == pytest.approx(0.3, abs=0.08)
+
+    def test_integrated_series(self):
+        inc = simulate_arma(2000, phi=(0.5,), seed=5)
+        x = np.cumsum(inc)
+        res = fit_arima(x, ARIMAOrder(1, 1, 0))
+        assert res.params[0] == pytest.approx(0.5, abs=0.08)
+
+    def test_residual_whiteness_on_true_model(self):
+        x = simulate_arma(2000, phi=(0.6,), seed=6)
+        res = fit_arima(x, ARIMAOrder(1, 0, 0))
+        lb = ljung_box(res.residuals, lags=10, fitted_params=1)
+        assert lb.residuals_look_white()
+
+    def test_seasonal_ar_recovery(self):
+        rng = np.random.default_rng(7)
+        n, s, Phi = 2000, 12, 0.6
+        x = np.zeros(n)
+        for t in range(s, n):
+            x[t] = Phi * x[t - s] + rng.normal()
+        res = fit_arima(x, ARIMAOrder(0, 0, 0, P=1, s=12))
+        assert res.params[0] == pytest.approx(Phi, abs=0.06)
+
+
+class TestForecasting:
+    def test_ar1_forecast_decays_to_mean(self):
+        x = simulate_arma(2000, phi=(0.8,), seed=8, mean=10.0)
+        res = fit_arima(x, ARIMAOrder(1, 0, 0))
+        fc = res.forecast(60)
+        assert abs(fc[-1] - res.mean) < 0.2
+        # geometric decay toward the mean
+        gaps = np.abs(fc - res.mean)
+        assert np.all(np.diff(gaps) <= 1e-9)
+
+    def test_random_walk_forecast_is_flat(self):
+        rng = np.random.default_rng(9)
+        x = np.cumsum(rng.normal(size=800))
+        res = fit_arima(x, ARIMAOrder(0, 1, 0))
+        fc = res.forecast(5)
+        assert np.allclose(fc, x[-1], atol=1e-8)
+
+    def test_forecast_steps_validation(self):
+        x = simulate_arma(300, phi=(0.5,), seed=10)
+        res = fit_arima(x, ARIMAOrder(1, 0, 0))
+        with pytest.raises(ValueError):
+            res.forecast(0)
+
+    def test_forecast_interval_widens(self):
+        x = simulate_arma(1000, phi=(0.6,), seed=11)
+        res = fit_arima(x, ARIMAOrder(1, 0, 0))
+        point, lo, hi = res.forecast_interval(10)
+        width = hi - lo
+        assert np.all(np.diff(width) >= -1e-9)
+        assert np.all(lo <= point) and np.all(point <= hi)
+
+    def test_seasonal_forecast_tracks_cycle(self):
+        t = np.arange(720)
+        rng = np.random.default_rng(12)
+        x = 5 + 2 * np.sin(2 * np.pi * t / 24) + 0.2 * rng.normal(size=720)
+        res = fit_arima(x, ARIMAOrder(1, 0, 0, P=1, D=1, Q=0, s=24))
+        fc = res.forecast(24)
+        expected = 5 + 2 * np.sin(2 * np.pi * np.arange(720, 744) / 24)
+        assert np.sqrt(np.mean((fc - expected) ** 2)) < 0.6
+
+    def test_mean_and_naive_baselines(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(mean_forecast(x, 2), 2.0)
+        assert np.allclose(naive_forecast(x, 2), 3.0)
+
+
+class TestModelSelection:
+    def test_candidate_grid_size(self):
+        spec = AutoARIMASpec(max_p=1, max_q=1, max_P=1, max_Q=0, s=12)
+        orders = candidate_orders(spec)
+        # p,q in {0,1}, P in {0,1}, Q=0 -> 8 combos, minus seasonal collapse dupes
+        assert 4 <= len(orders) <= 8
+
+    def test_auto_arima_picks_ar_for_ar_data(self):
+        x = simulate_arma(1200, phi=(0.8,), seed=13)
+        res = auto_arima(x, AutoARIMASpec(max_p=2, max_q=1, include_seasonal=False, d=0))
+        assert res.order.p >= 1
+
+    def test_auto_arima_aic_beats_white_noise_model(self):
+        x = simulate_arma(1200, phi=(0.8,), seed=14)
+        best = auto_arima(x, AutoARIMASpec(max_p=2, max_q=1, include_seasonal=False))
+        trivial = fit_arima(x, ARIMAOrder(0, 0, 0))
+        assert best.aic < trivial.aic
+
+    def test_criterion_validation(self):
+        with pytest.raises(ValueError):
+            AutoARIMASpec(criterion="hqic")
+
+    def test_too_short_series_raises(self):
+        with pytest.raises(ValueError):
+            fit_arima(np.arange(5, dtype=float), ARIMAOrder(2, 0, 2))
+
+
+class TestDiagnostics:
+    def test_ljung_box_flags_correlated_residuals(self):
+        x = simulate_arma(2000, phi=(0.8,), seed=15)
+        lb = ljung_box(x, lags=10)
+        assert not lb.residuals_look_white()
+
+    def test_ljung_box_validation(self):
+        with pytest.raises(ValueError):
+            ljung_box(np.arange(5, dtype=float), lags=10)
+
+    def test_stationary_screen(self):
+        rng = np.random.default_rng(16)
+        assert is_weakly_stationary(rng.normal(size=500))
+        assert not is_weakly_stationary(np.cumsum(rng.normal(size=500) + 0.5))
+
+    def test_forecast_comparison(self):
+        history = np.full(100, 5.0)
+        actual = np.array([5.0, 5.0, 5.0])
+        good = np.array([5.0, 5.0, 5.0])
+        bad = np.array([9.0, 9.0, 9.0])
+        assert compare_to_mean_forecast(history, actual, good).improvement == pytest.approx(0.0)
+        cmp_bad = compare_to_mean_forecast(history, actual, bad)
+        assert not cmp_bad.model_beats_mean

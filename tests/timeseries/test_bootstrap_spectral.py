@@ -1,0 +1,125 @@
+"""Moving-block bootstrap and periodogram tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.timeseries import (
+    default_block_length,
+    dominant_period,
+    moving_block_bootstrap,
+    periodogram,
+)
+
+
+class TestBlockBootstrap:
+    def test_shape_and_support(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=300)
+        paths = moving_block_bootstrap(x, n_paths=20, horizon=50, rng=1)
+        assert paths.shape == (20, 50)
+        assert paths.min() >= x.min() and paths.max() <= x.max()
+
+    def test_deterministic_per_seed(self):
+        x = np.arange(100, dtype=float)
+        a = moving_block_bootstrap(x, 5, 30, rng=7)
+        b = moving_block_bootstrap(x, 5, 30, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_block_length_one_is_iid(self):
+        # with L=1 every value is an independent draw from the marginal
+        x = np.array([1.0, 2.0, 3.0])
+        paths = moving_block_bootstrap(x, 200, 10, block_length=1, rng=3)
+        assert set(np.unique(paths)) <= {1.0, 2.0, 3.0}
+
+    def test_blocks_preserve_transitions(self):
+        # strictly increasing series: within-block steps are always +1
+        x = np.arange(50, dtype=float)
+        paths = moving_block_bootstrap(x, 50, 40, block_length=5, rng=4)
+        diffs = np.diff(paths, axis=1)
+        # 4 of every 5 transitions are within-block -> equal to +1
+        frac_plus_one = np.mean(np.isclose(diffs, 1.0))
+        assert frac_plus_one >= 0.7
+
+    def test_preserves_autocorrelation_better_than_iid(self):
+        from repro.timeseries import acf
+
+        rng = np.random.default_rng(5)
+        n = 2000
+        x = np.zeros(n)
+        for t in range(1, n):
+            x[t] = 0.8 * x[t - 1] + rng.normal()
+        boot = moving_block_bootstrap(x, 1, 1500, block_length=50, rng=6)[0]
+        iid = rng.choice(x, size=1500)
+        assert acf(boot, 1)[1] > acf(iid, 1)[1] + 0.3
+
+    def test_validation(self):
+        x = np.arange(20, dtype=float)
+        with pytest.raises(ValueError):
+            moving_block_bootstrap(x, 0, 5)
+        with pytest.raises(ValueError):
+            moving_block_bootstrap(x, 2, 5, block_length=21)
+        with pytest.raises(ValueError):
+            default_block_length(2)
+
+    @given(st.integers(10, 200), st.integers(1, 30), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_always_within_observed_range(self, n, horizon, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=n)
+        paths = moving_block_bootstrap(x, 3, horizon, rng=seed)
+        assert paths.shape == (3, horizon)
+        assert paths.min() >= x.min() - 1e-12
+        assert paths.max() <= x.max() + 1e-12
+
+
+class TestPeriodogram:
+    def test_detects_planted_period(self):
+        rng = np.random.default_rng(0)
+        t = np.arange(600)
+        x = np.sin(2 * np.pi * t / 24) + 0.3 * rng.normal(size=600)
+        assert dominant_period(x, max_period=80) == 24
+
+    def test_detects_weekly_period(self):
+        rng = np.random.default_rng(1)
+        t = np.arange(980)
+        x = 2 * np.cos(2 * np.pi * t / 7) + 0.5 * rng.normal(size=980)
+        assert dominant_period(x, max_period=30) == 7
+
+    def test_white_noise_has_no_stable_peak(self):
+        # the peak of pure noise lands anywhere: run twice, expect disagreement
+        rng = np.random.default_rng(2)
+        p1 = dominant_period(rng.normal(size=512), max_period=100)
+        p2 = dominant_period(rng.normal(size=512), max_period=100)
+        rng3 = np.random.default_rng(3)
+        p3 = dominant_period(rng3.normal(size=512), max_period=100)
+        assert len({p1, p2, p3}) >= 2
+
+    def test_parseval_energy(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=256)
+        pg = periodogram(x)
+        # sum of two-sided power ~ total variance * n; one-sided within 2x
+        energy = float(np.sum((x - x.mean()) ** 2))
+        assert 0.4 * energy <= pg.power.sum() <= 1.1 * energy
+
+    def test_peak_period_inverse_of_frequency(self):
+        t = np.arange(512)
+        x = np.sin(2 * np.pi * t / 16)
+        pg = periodogram(x)
+        assert pg.peak_period() == pytest.approx(16.0, rel=0.05)
+
+    def test_reference_window_has_daily_cycle(self):
+        from repro.market import paper_window, reference_dataset
+
+        prices = paper_window(reference_dataset()["c1.medium"]).estimation
+        pg = periodogram(prices)
+        # power at 24h beats the local spectral floor (mild but present)
+        neighborhood = [pg.power_at_period(p) for p in (18.0, 20.0, 30.0, 36.0)]
+        assert pg.power_at_period(24.0) > 0.5 * float(np.mean(neighborhood))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            periodogram(np.arange(4, dtype=float))
+        with pytest.raises(ValueError):
+            dominant_period(np.arange(100, dtype=float), min_period=5, max_period=4)

@@ -1,0 +1,68 @@
+"""Classical decomposition tests (the Figure 6 pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries import decompose_additive
+
+
+def make_series(n=240, period=24, trend_slope=0.0, amp=1.0, noise=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return (
+        trend_slope * t
+        + amp * np.sin(2 * np.pi * t / period)
+        + noise * rng.normal(size=n)
+    )
+
+
+class TestDecomposeAdditive:
+    def test_components_sum_to_observed(self):
+        x = make_series()
+        d = decompose_additive(x, 24)
+        mask = ~np.isnan(d.trend)
+        recon = d.trend[mask] + d.seasonal[mask] + d.remainder[mask]
+        assert np.allclose(recon, x[mask], atol=1e-10)
+
+    def test_seasonal_is_periodic_and_centered(self):
+        d = decompose_additive(make_series(), 24)
+        assert np.allclose(d.seasonal[:24], d.seasonal[24:48])
+        assert d.seasonal[:24].mean() == pytest.approx(0.0, abs=1e-10)
+
+    def test_recovers_sinusoid_amplitude(self):
+        d = decompose_additive(make_series(amp=2.0, noise=0.05), 24)
+        assert d.seasonal_amplitude == pytest.approx(4.0, abs=0.3)
+
+    def test_trend_recovered_for_linear_drift(self):
+        d = decompose_additive(make_series(trend_slope=0.1, noise=0.05), 24)
+        t = d.trend[~np.isnan(d.trend)]
+        slope = np.polyfit(np.arange(t.size), t, 1)[0]
+        assert slope == pytest.approx(0.1, abs=0.01)
+
+    def test_edges_are_nan(self):
+        d = decompose_additive(make_series(), 24)
+        assert np.isnan(d.trend[:12]).all()
+        assert np.isnan(d.trend[-12:]).all()
+        assert not np.isnan(d.trend[12:-12]).any()
+
+    def test_odd_period(self):
+        x = make_series(n=105, period=7)
+        d = decompose_additive(x, 7)
+        assert np.isnan(d.trend[:3]).all() and not np.isnan(d.trend[3]).item()
+
+    def test_seasonal_strength_contrast(self):
+        strong = decompose_additive(make_series(amp=3.0, noise=0.05), 24)
+        weak = decompose_additive(make_series(amp=0.02, noise=1.0, seed=3), 24)
+        assert strong.seasonal_strength() > 0.9
+        assert weak.seasonal_strength() < 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            decompose_additive(np.arange(10, dtype=float), 24)
+        with pytest.raises(ValueError):
+            decompose_additive(np.arange(100, dtype=float), 1)
+
+    def test_flat_series_has_no_structure(self):
+        d = decompose_additive(np.full(96, 2.5), 24)
+        assert d.seasonal_amplitude == pytest.approx(0.0, abs=1e-12)
+        assert d.trend_range() == pytest.approx(0.0, abs=1e-12)

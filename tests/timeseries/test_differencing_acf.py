@@ -1,0 +1,179 @@
+"""Differencing round-trips, ACF/PACF correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.timeseries import (
+    DifferencingTransform,
+    acf,
+    correlogram,
+    difference,
+    pacf,
+    seasonal_difference,
+)
+
+
+finite_series = arrays(
+    np.float64,
+    st.integers(30, 80),
+    elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestDifference:
+    def test_first_difference_of_linear_is_constant(self):
+        x = 3.0 * np.arange(10) + 2
+        d = difference(x)
+        assert np.allclose(d, 3.0)
+
+    def test_second_difference_of_quadratic(self):
+        x = np.arange(10, dtype=float) ** 2
+        assert np.allclose(difference(x, 2), 2.0)
+
+    def test_seasonal_difference_removes_cycle(self):
+        t = np.arange(96)
+        x = np.sin(2 * np.pi * t / 24)
+        assert np.allclose(seasonal_difference(x, 24), 0.0, atol=1e-12)
+
+    def test_seasonal_too_short(self):
+        with pytest.raises(ValueError):
+            seasonal_difference(np.arange(5, dtype=float), 24)
+
+
+class TestDifferencingTransform:
+    @given(finite_series, st.integers(0, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_ordinary_roundtrip(self, x, d):
+        tr = DifferencingTransform(d=d)
+        w = tr.apply(x)
+        back = tr.invert(w)
+        assert np.allclose(back, x, atol=1e-8)
+
+    @given(finite_series, st.integers(1, 2))
+    @settings(max_examples=30, deadline=None)
+    def test_seasonal_roundtrip(self, x, D):
+        period = 7
+        if x.size <= D * period + 2:
+            return
+        tr = DifferencingTransform(D=D, period=period)
+        w = tr.apply(x)
+        assert np.allclose(tr.invert(w), x, atol=1e-8)
+
+    @given(finite_series)
+    @settings(max_examples=30, deadline=None)
+    def test_mixed_roundtrip(self, x):
+        tr = DifferencingTransform(d=1, D=1, period=5)
+        if x.size <= 8:
+            return
+        w = tr.apply(x)
+        assert np.allclose(tr.invert(w), x, atol=1e-8)
+
+    def test_extend_forecast_continues_linear_trend(self):
+        x = 2.0 * np.arange(50) + 1
+        tr = DifferencingTransform(d=1)
+        tr.apply(x)
+        fc = tr.extend_forecast(x, np.full(5, 2.0))  # constant slope forecast
+        assert np.allclose(fc, 2.0 * np.arange(50, 55) + 1)
+
+    def test_extend_forecast_seasonal(self):
+        t = np.arange(48)
+        x = np.sin(2 * np.pi * t / 12)
+        tr = DifferencingTransform(D=1, period=12)
+        tr.apply(x)
+        fc = tr.extend_forecast(x, np.zeros(12))  # zero seasonal-diff forecast
+        expected = np.sin(2 * np.pi * np.arange(48, 60) / 12)
+        assert np.allclose(fc, expected, atol=1e-9)
+
+    def test_seasonal_requires_period(self):
+        tr = DifferencingTransform(D=1, period=0)
+        with pytest.raises(ValueError):
+            tr.apply(np.arange(30, dtype=float))
+
+
+class TestACF:
+    def test_lag_zero_is_one(self):
+        rng = np.random.default_rng(0)
+        assert acf(rng.normal(size=100), 5)[0] == 1.0
+
+    def test_white_noise_has_small_acf(self):
+        rng = np.random.default_rng(1)
+        r = acf(rng.normal(size=5000), 10)
+        assert np.all(np.abs(r[1:]) < 0.05)
+
+    def test_ar1_acf_geometric(self):
+        rng = np.random.default_rng(2)
+        n, phi = 20000, 0.8
+        x = np.zeros(n)
+        for t in range(1, n):
+            x[t] = phi * x[t - 1] + rng.normal()
+        r = acf(x, 4)
+        for k in range(1, 5):
+            assert r[k] == pytest.approx(phi**k, abs=0.05)
+
+    def test_alternating_series_negative_lag1(self):
+        x = np.tile([1.0, -1.0], 50)
+        assert acf(x, 1)[1] < -0.9
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            acf(np.arange(10, dtype=float), 10)
+        with pytest.raises(ValueError):
+            acf(np.full(10, 2.0), 3)  # constant series
+
+    @given(finite_series)
+    @settings(max_examples=30, deadline=None)
+    def test_acf_bounded_by_one(self, x):
+        if np.std(x) < 1e-9:
+            return
+        r = acf(x, min(10, x.size - 1))
+        assert np.all(np.abs(r) <= 1.0 + 1e-9)
+
+
+class TestPACF:
+    def test_ar1_pacf_cuts_off_after_lag1(self):
+        rng = np.random.default_rng(3)
+        n, phi = 20000, 0.7
+        x = np.zeros(n)
+        for t in range(1, n):
+            x[t] = phi * x[t - 1] + rng.normal()
+        p = pacf(x, 5)
+        assert p[1] == pytest.approx(phi, abs=0.05)
+        assert np.all(np.abs(p[2:]) < 0.05)
+
+    def test_ar2_pacf_cuts_off_after_lag2(self):
+        rng = np.random.default_rng(4)
+        n = 30000
+        x = np.zeros(n)
+        for t in range(2, n):
+            x[t] = 0.5 * x[t - 1] + 0.3 * x[t - 2] + rng.normal()
+        p = pacf(x, 6)
+        assert abs(p[2]) > 0.2
+        assert np.all(np.abs(p[3:]) < 0.05)
+
+    def test_lag1_pacf_equals_acf(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=500)
+        assert pacf(x, 3)[1] == pytest.approx(acf(x, 1)[1])
+
+
+class TestCorrelogram:
+    def test_confidence_band(self):
+        rng = np.random.default_rng(6)
+        cg = correlogram(rng.normal(size=400), 20)
+        assert cg.confidence_limit == pytest.approx(1.96 / 20.0)
+
+    def test_significant_lags_on_seasonal_series(self):
+        t = np.arange(480)
+        rng = np.random.default_rng(7)
+        x = np.sin(2 * np.pi * t / 24) + 0.2 * rng.normal(size=480)
+        cg = correlogram(x, 30)
+        assert 24 in cg.significant_acf_lags()
+        assert cg.max_abs_acf() > 0.5
+
+    def test_weak_correlation_on_noise(self):
+        rng = np.random.default_rng(8)
+        cg = correlogram(rng.normal(size=1000), 25)
+        # the paper's criterion: max |ACF| greatly deviated from 1
+        assert cg.max_abs_acf() < 0.2

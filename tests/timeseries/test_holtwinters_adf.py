@@ -1,0 +1,98 @@
+"""Holt-Winters smoothing and the ADF unit-root test."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries import adf_test, fit_holt_winters
+
+
+def seasonal_series(n=600, period=24, slope=0.0, amp=2.0, noise=0.2, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return 10 + slope * t + amp * np.sin(2 * np.pi * t / period) + noise * rng.normal(size=n)
+
+
+class TestHoltWinters:
+    def test_tracks_seasonal_pattern(self):
+        x = seasonal_series()
+        hw = fit_holt_winters(x, period=24)
+        fc = hw.forecast(24)
+        expected = 10 + 2 * np.sin(2 * np.pi * np.arange(600, 624) / 24)
+        assert np.sqrt(np.mean((fc - expected) ** 2)) < 0.5
+
+    def test_tracks_trend(self):
+        x = seasonal_series(slope=0.05, amp=0.0, noise=0.05)
+        hw = fit_holt_winters(x, period=0)
+        fc = hw.forecast(10)
+        expected = 10 + 0.05 * np.arange(600, 610)
+        assert np.allclose(fc, expected, atol=0.5)
+
+    def test_flat_series_flat_forecast(self):
+        hw = fit_holt_winters(np.full(100, 5.0), period=0)
+        assert np.allclose(hw.forecast(5), 5.0, atol=1e-6)
+
+    def test_params_in_unit_box(self):
+        hw = fit_holt_winters(seasonal_series(seed=2), period=24)
+        assert 0 < hw.alpha < 1 and 0 <= hw.beta < 1 and 0 <= hw.gamma < 1
+
+    def test_fitted_length(self):
+        x = seasonal_series(n=200)
+        hw = fit_holt_winters(x, period=24)
+        assert hw.fitted.shape == x.shape
+        assert hw.sse == pytest.approx(float(np.sum((x - hw.fitted) ** 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_holt_winters(np.arange(5, dtype=float), period=24)
+        hw = fit_holt_winters(seasonal_series(n=100), period=24)
+        with pytest.raises(ValueError):
+            hw.forecast(0)
+
+    def test_seasonal_indices_wrap(self):
+        x = seasonal_series(n=240, period=24, noise=0.01)
+        hw = fit_holt_winters(x, period=24)
+        fc48 = hw.forecast(48)
+        # two forecast cycles should repeat (no trend in this series)
+        assert np.allclose(fc48[:24], fc48[24:], atol=0.3)
+
+
+class TestADF:
+    def test_stationary_ar1_rejects_unit_root(self):
+        rng = np.random.default_rng(0)
+        x = np.zeros(800)
+        for t in range(1, 800):
+            x[t] = 0.5 * x[t - 1] + rng.normal()
+        assert adf_test(x).rejects_unit_root()
+
+    def test_random_walk_does_not_reject(self):
+        rng = np.random.default_rng(1)
+        rw = np.cumsum(rng.normal(size=800))
+        assert not adf_test(rw).rejects_unit_root()
+
+    def test_white_noise_strongly_rejects(self):
+        rng = np.random.default_rng(2)
+        res = adf_test(rng.normal(size=500))
+        assert res.rejects_unit_root(alpha=0.01)
+
+    def test_critical_values_ordered(self):
+        rng = np.random.default_rng(3)
+        res = adf_test(rng.normal(size=300))
+        cv = res.critical_values
+        assert cv[0.01] < cv[0.05] < cv[0.10] < 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adf_test(np.arange(5, dtype=float))
+        with pytest.raises(ValueError):
+            adf_test(np.full(100, 3.0))
+        rng = np.random.default_rng(4)
+        res = adf_test(rng.normal(size=300))
+        with pytest.raises(ValueError):
+            res.rejects_unit_root(alpha=0.025)
+
+    def test_paper_window_is_stationary(self):
+        # the claim §IV-A2 makes before fitting SARIMA(d=0) models
+        from repro.market import paper_window, reference_dataset
+
+        prices = paper_window(reference_dataset()["c1.medium"]).estimation
+        assert adf_test(prices).rejects_unit_root()
