@@ -19,8 +19,6 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
-
 __all__ = ["main", "build_parser"]
 
 
@@ -37,6 +35,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--seed", type=int, default=0, help="demand seed")
     p_plan.add_argument("--demand-mean", type=float, default=0.4, help="GB/h demand mean")
     p_plan.add_argument("--demand-std", type=float, default=0.2, help="GB/h demand std")
+    p_plan.add_argument(
+        "--backend", default="auto",
+        help="solver backend: auto | simplex | simplex+cuts | scipy | bb-scipy",
+    )
+    p_plan.add_argument(
+        "--time-limit", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the whole solve (best incumbent on expiry)",
+    )
+    p_plan.add_argument(
+        "--telemetry", choices=("summary", "json"), default=None,
+        help="record solve events: 'summary' prints one line, 'json' dumps the stream",
+    )
 
     p_an = sub.add_parser("analyze", help="spot-price predictability summary")
     p_an.add_argument("--vm", default="c1.medium")
@@ -59,6 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_plan(args) -> int:
     from repro.core import DRRPInstance, NormalDemand, on_demand_schedule, solve_drrp, solve_noplan
     from repro.market import ec2_catalog
+    from repro.solver import EventRecorder
 
     catalog = ec2_catalog()
     if args.vm not in catalog:
@@ -69,17 +80,41 @@ def _cmd_plan(args) -> int:
     inst = DRRPInstance(
         demand=demand, costs=on_demand_schedule(vm, args.horizon), vm_name=vm.name
     )
-    plan = solve_drrp(inst)
+    solve_kwargs = {}
+    recorder = None
+    if args.telemetry:
+        recorder = EventRecorder()
+        solve_kwargs["listener"] = recorder
+    if args.time_limit is not None:
+        solve_kwargs["time_limit"] = args.time_limit
+        # WW seed guarantees an incumbent, so a tight budget still yields a plan
+        solve_kwargs["warm_start"] = True
+    try:
+        plan = solve_drrp(inst, backend=args.backend, **solve_kwargs)
+    except ValueError as exc:  # unknown backend, negative time limit, ...
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except RuntimeError as exc:
+        print(f"no plan within the budget: {exc}", file=sys.stderr)
+        if recorder is not None:
+            print(recorder.summary_line(), file=sys.stderr)
+        return 1
     base = solve_noplan(inst)
     print(f"{vm.name}: horizon {args.horizon}h, demand total {demand.sum():.2f} GB")
     print(f"no-plan cost ${base.total_cost:.2f} | DRRP cost ${plan.total_cost:.2f} "
           f"({1 - plan.total_cost / base.total_cost:.0%} saved)")
+    if plan.status.value != "optimal":
+        print(f"status: {plan.status.value} (best incumbent within the budget)")
     print("slot  demand  generate  store  rent")
     for t in range(args.horizon):
         print(
             f"{t:4d}  {demand[t]:6.2f}  {plan.alpha[t]:8.2f}  {plan.beta[t]:5.2f}  "
             f"{'RENT' if plan.chi[t] > 0.5 else '-'}"
         )
+    if recorder is not None:
+        if args.telemetry == "json":
+            print(recorder.to_json(indent=2))
+        print(recorder.summary_line())
     return 0
 
 

@@ -214,6 +214,11 @@ def solve_drrp(
     only; a no-op for the HiGHS backend, which takes no injected
     incumbents).
 
+    Telemetry and deadlines pass straight through ``solve_kwargs``:
+    ``solve_drrp(inst, listener=recorder, time_limit=0.5)`` streams solve
+    events to ``recorder`` and caps the whole solve at half a second (the
+    best incumbent plan is returned with status ``FEASIBLE`` on expiry).
+
     Raises
     ------
     RuntimeError
@@ -253,5 +258,9 @@ def solve_drrp(
         objective=res.objective,
         status=res.status,
         vm_name=instance.vm_name,
-        extra={"nodes": res.nodes, "iterations": res.iterations},
+        extra={
+            "nodes": res.nodes,
+            "iterations": res.iterations,
+            "wall_time": res.extra.get("wall_time"),
+        },
     )

@@ -160,7 +160,14 @@ def build_srrp_model(instance: SRRPInstance) -> tuple[Model, dict[str, list]]:
 
 
 def solve_srrp(instance: SRRPInstance, backend: str = "auto", **solve_kwargs) -> SRRPPlan:
-    """Solve the deterministic equivalent and extract the recourse policy."""
+    """Solve the deterministic equivalent and extract the recourse policy.
+
+    ``solve_kwargs`` forward to :func:`repro.solver.solve`, so
+    ``listener=`` (telemetry events) and ``deadline=``/``time_limit=``
+    (wall-clock budget) work here exactly as on the raw solver: an expired
+    deadline yields the best incumbent policy with status ``FEASIBLE``
+    rather than hanging on a large scenario tree.
+    """
     model, vars_ = build_srrp_model(instance)
     res = solve(model, backend=backend, **solve_kwargs)
     if not res.status.has_solution:
@@ -176,5 +183,10 @@ def solve_srrp(instance: SRRPInstance, backend: str = "auto", **solve_kwargs) ->
         status=res.status,
         tree=instance.tree,
         vm_name=instance.vm_name,
-        extra={"nodes": res.nodes, "iterations": res.iterations, "tree_size": instance.tree.num_nodes},
+        extra={
+            "nodes": res.nodes,
+            "iterations": res.iterations,
+            "tree_size": instance.tree.num_nodes,
+            "wall_time": res.extra.get("wall_time"),
+        },
     )

@@ -27,7 +27,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy import signal as scisignal
+
+try:
+    from scipy import signal as scisignal
+except ImportError:  # pure-numpy fallback below
+    scisignal = None
 
 from repro.stats.rng import ensure_rng
 from .catalog import VMClass
@@ -149,7 +153,16 @@ def generate_spot_trace(
     kappa = params.mean_reversion
     sigma = vm.spot_volatility * base
     drive = kappa * target + sigma * rng.normal(size=n)
-    x = scisignal.lfilter([1.0], [1.0, -(1.0 - kappa)], drive, zi=np.array([(1.0 - kappa) * base]))[0]
+    if scisignal is not None:
+        x = scisignal.lfilter(
+            [1.0], [1.0, -(1.0 - kappa)], drive, zi=np.array([(1.0 - kappa) * base])
+        )[0]
+    else:
+        x = np.empty(n)
+        prev = base
+        for k in range(n):
+            prev = (1.0 - kappa) * prev + drive[k]
+            x[k] = prev
 
     # spikes: multiplicative upward outliers, one update long
     spikes = rng.random(n) < vm.outlier_rate

@@ -6,6 +6,8 @@ Public surface:
 * :func:`solve` / :func:`solve_compiled` — solve with a chosen backend.
 * :class:`SolverResult`, :class:`SolverStatus` — uniform outcomes.
 * :func:`branch_and_bound`, :class:`BranchAndBoundOptions` — the MILP engine.
+* :class:`Deadline`, :class:`Telemetry`, :class:`EventRecorder` — wall-clock
+  budgets and structured solve events (see :mod:`repro.solver.telemetry`).
 * :mod:`repro.solver.benders` — L-shaped decomposition for two-stage
   stochastic programs.
 """
@@ -13,11 +15,12 @@ Public surface:
 from .expr import Constraint, ConstraintSense, LinExpr, Variable, VarType, lin_sum
 from .model import CompiledProblem, Model, ObjectiveSense
 from .result import SolverResult, SolverStatus
+from .telemetry import Deadline, EventRecorder, SolveEvent, Telemetry
 from .interface import BACKENDS, solve, solve_compiled
 from .branch_bound import BranchAndBoundOptions, branch_and_bound
 from .presolve import PresolveResult, presolve
 from .simplex import solve_lp_simplex
-from .scipy_backend import solve_lp_scipy, solve_milp_scipy
+from .scipy_backend import scipy_available, solve_lp_scipy, solve_milp_scipy
 from .cuts import generate_gmi_cuts, strengthen_with_gomory_cuts
 from .sensitivity import SensitivityReport, lp_sensitivity
 
@@ -33,7 +36,12 @@ __all__ = [
     "ObjectiveSense",
     "SolverResult",
     "SolverStatus",
+    "Deadline",
+    "EventRecorder",
+    "SolveEvent",
+    "Telemetry",
     "BACKENDS",
+    "scipy_available",
     "solve",
     "solve_compiled",
     "BranchAndBoundOptions",

@@ -25,14 +25,14 @@ extraction (which HiGHS does not expose through scipy).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
-from scipy import optimize as sciopt
 
 from .model import CompiledProblem
 from .result import SolverResult, SolverStatus
 from .interface import solve_compiled
+from .telemetry import Deadline, Telemetry
 
 __all__ = ["Scenario", "TwoStageProblem", "BendersOptions", "solve_benders", "extensive_form"]
 
@@ -102,6 +102,7 @@ class BendersOptions:
     tolerance: float = 1e-6
     infeasibility_penalty: float = 1e6
     verbose: bool = False
+    time_limit: float = math.inf
 
 
 @dataclass
@@ -113,6 +114,14 @@ class _SubSolve:
 
 def _solve_subproblem(s: Scenario, x: np.ndarray, penalty: float) -> _SubSolve:
     """Elastic recourse LP: min q'y + penalty·(u+v) s.t. W y + u - v == h - T x."""
+    try:
+        from scipy import optimize as sciopt
+    except ImportError as exc:  # pragma: no cover - exercised in scipy-less CI
+        raise ImportError(
+            "solve_benders subproblems require scipy (dual multipliers are "
+            "read off HiGHS); install scipy or solve the extensive form with "
+            "backend='simplex'"
+        ) from exc
     m, ny = s.W.shape
     rhs = s.h - s.T @ x
     A_eq = np.hstack([s.W, np.eye(m), -np.eye(m)])
@@ -147,14 +156,24 @@ def solve_benders(
     problem: TwoStageProblem,
     options: BendersOptions | None = None,
     backend: str = "scipy",
+    deadline: Deadline | None = None,
+    listener=None,
 ) -> SolverResult:
     """Run the multi-cut L-shaped loop until the master/recourse gap closes.
 
     Returns a :class:`SolverResult` whose ``x`` is the first-stage solution
     and ``extra`` carries per-scenario recourse values, cut counts, and the
     iteration trace (useful for the decomposition ablation bench).
+
+    The shared ``deadline`` (or ``options.time_limit``) is polled at the
+    top of every master iteration and threaded into the master MILP solve;
+    on expiry the best first-stage incumbent is returned with status
+    ``FEASIBLE`` (``TIME_LIMIT`` when no iteration completed).  Each
+    iteration emits a ``benders_iteration`` telemetry event.
     """
     opts = options or BendersOptions()
+    telemetry = Telemetry.from_listener(listener)
+    dl = Deadline(opts.time_limit) if deadline is None else deadline.tightened(opts.time_limit)
     S = len(problem.scenarios)
     n = problem.num_x
 
@@ -171,14 +190,29 @@ def solve_benders(
 
     from dataclasses import replace as dc_replace
 
+    def out_of_time(it: int) -> SolverResult:
+        if telemetry:
+            telemetry.emit("deadline_exceeded", where="benders", iterations=it)
+        if best_x is not None:
+            return SolverResult(
+                status=SolverStatus.FEASIBLE, x=best_x, objective=best_upper,
+                nodes=it,
+                extra={"recourse_values": best_recourse, "cuts": len(cuts_rows), "trace": trace},
+            )
+        return SolverResult(status=SolverStatus.TIME_LIMIT, nodes=it, extra={"trace": trace})
+
     for it in range(opts.max_iterations):
+        if dl.expired():
+            return out_of_time(it)
         if cuts_rows:
             A_ub = np.vstack([master.A_ub] + [np.asarray(cuts_rows)])
             b_ub = np.concatenate([master.b_ub, np.asarray(cuts_rhs)])
         else:
             A_ub, b_ub = master.A_ub, master.b_ub
         m_iter = dc_replace(master, A_ub=A_ub, b_ub=b_ub)
-        res = solve_compiled(m_iter, backend=backend, use_presolve=False)
+        res = solve_compiled(m_iter, backend=backend, use_presolve=False, deadline=dl)
+        if res.status is SolverStatus.TIME_LIMIT:
+            return out_of_time(it)
         if res.status is SolverStatus.INFEASIBLE:
             return SolverResult(status=SolverStatus.INFEASIBLE, nodes=it)
         if not res.status.has_solution:
@@ -196,9 +230,18 @@ def solve_benders(
             best_recourse = [sb.value for sb in subs]
         gap = best_upper - lower
         trace.append({"iteration": it, "lower": lower, "upper": best_upper, "cuts": len(cuts_rows)})
+        if telemetry:
+            telemetry.emit(
+                "benders_iteration",
+                iteration=it, lower=lower, upper=best_upper,
+                gap=gap, cuts=len(cuts_rows),
+            )
         if opts.verbose:
             print(f"[benders] it={it} lower={lower:.6f} upper={best_upper:.6f} cuts={len(cuts_rows)}")
-        if gap <= opts.tolerance * max(1.0, abs(best_upper)):
+        # `lower` is only a valid global bound when the master solved to
+        # optimality — a deadline-truncated FEASIBLE master must not let the
+        # gap test declare a false OPTIMAL.
+        if res.status is SolverStatus.OPTIMAL and gap <= opts.tolerance * max(1.0, abs(best_upper)):
             return SolverResult(
                 status=SolverStatus.OPTIMAL, x=best_x, objective=best_upper, bound=lower,
                 nodes=it + 1,

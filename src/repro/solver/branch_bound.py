@@ -21,7 +21,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-import time
+import warnings
 from dataclasses import dataclass, replace as dc_replace
 from typing import Callable
 
@@ -29,6 +29,7 @@ import numpy as np
 
 from .model import CompiledProblem
 from .result import SolverResult, SolverStatus
+from .telemetry import Deadline, Telemetry
 
 __all__ = ["BranchAndBoundOptions", "branch_and_bound"]
 
@@ -56,7 +57,9 @@ class BranchAndBoundOptions:
     initial_incumbent:
         A known-feasible solution vector used to prune from the first node
         (warm start) — e.g. the Wagner-Whitin plan for a DRRP instance.
-        Silently ignored if it fails the feasibility check.
+        A wrong-shaped vector raises :class:`ValueError`; a vector that
+        fails the feasibility check is dropped with a warning and a
+        ``warm_start_rejected`` telemetry event (never silently).
     """
 
     rel_gap: float = 1e-7
@@ -97,6 +100,8 @@ def branch_and_bound(
     problem: CompiledProblem,
     lp_solver: Callable[[CompiledProblem], SolverResult],
     options: BranchAndBoundOptions | None = None,
+    deadline: Deadline | None = None,
+    telemetry: Telemetry | None = None,
 ) -> SolverResult:
     """Solve a compiled MILP by LP-based branch and bound.
 
@@ -109,23 +114,35 @@ def branch_and_bound(
         Function solving the LP relaxation of a compiled problem, e.g.
         :func:`repro.solver.scipy_backend.solve_lp_scipy` or
         :func:`repro.solver.simplex.solve_lp_simplex`.
+    deadline:
+        Shared wall-clock budget.  Checked at the top of the node loop
+        *and between child LP solves*, so two slow child relaxations can
+        overrun the budget by at most one LP solve, not a whole node.
+        Merged with ``options.time_limit`` (whichever is sooner wins).
+    telemetry:
+        Optional event hub receiving node open/close/prune, incumbent,
+        and deadline events.
     """
     opts = options or BranchAndBoundOptions()
     int_mask = problem.integrality.astype(bool)
+
+    dl = Deadline(opts.time_limit) if deadline is None else deadline.tightened(opts.time_limit)
 
     work = problem
     if opts.use_root_cuts:
         from .cuts import strengthen_with_gomory_cuts
 
-        work = strengthen_with_gomory_cuts(work, max_rounds=opts.max_root_cut_rounds)
+        work = strengthen_with_gomory_cuts(
+            work, max_rounds=opts.max_root_cut_rounds, deadline=dl, telemetry=telemetry
+        )
 
     # Relaxation template: integrality cleared, bounds replaced per node.
-    start = time.monotonic()
     counter = itertools.count()  # heap tie-breaker
     incumbent_x: np.ndarray | None = None
     incumbent_obj = math.inf
     total_lp_iters = 0
     nodes_explored = 0
+    nodes_pruned = 0
 
     def lp_at(lb: np.ndarray, ub: np.ndarray) -> SolverResult:
         nonlocal total_lp_iters
@@ -134,11 +151,41 @@ def branch_and_bound(
         total_lp_iters += res.iterations
         return res
 
+    def set_incumbent(obj: float, x: np.ndarray, source: str) -> None:
+        nonlocal incumbent_obj, incumbent_x
+        incumbent_obj, incumbent_x = obj, x
+        if telemetry:
+            telemetry.emit(
+                "incumbent",
+                objective=problem.objective_value(x[: problem.num_vars]),
+                source=source,
+                node=nodes_explored,
+            )
+
     if opts.initial_incumbent is not None:
         x0 = np.asarray(opts.initial_incumbent, dtype=float)
-        if x0.shape == (work.num_vars,) and work.is_feasible(x0, tol=1e-6):
-            incumbent_x = x0.copy()
-            incumbent_obj = float(work.c @ x0) + work.c0
+        if x0.shape != (work.num_vars,):
+            raise ValueError(
+                f"initial_incumbent has shape {x0.shape}, expected "
+                f"({work.num_vars},); warm starts must be given in the "
+                "variable order of the (presolved) compiled problem"
+            )
+        # Clip into the working bounds first: presolve tightens bounds
+        # (integer rounding, singleton rows), and a warm start that was
+        # feasible for the original model can land a hair outside them.
+        # Feasibility is then checked against `problem` — before Gomory
+        # cuts — so valid incumbents are never lost to cut-row noise.
+        x0 = np.clip(x0, work.lb, work.ub)
+        if problem.is_feasible(x0, tol=1e-6):
+            set_incumbent(float(work.c @ x0) + work.c0, x0.copy(), "warm_start")
+        else:
+            warnings.warn(
+                "branch_and_bound: initial_incumbent failed the feasibility "
+                "check and is ignored",
+                stacklevel=2,
+            )
+            if telemetry:
+                telemetry.emit("warm_start_rejected", reason="infeasible")
 
     root = lp_at(work.lb.copy(), work.ub.copy())
     if root.status is SolverStatus.INFEASIBLE:
@@ -146,6 +193,14 @@ def branch_and_bound(
     if root.status is SolverStatus.UNBOUNDED:
         return SolverResult(status=SolverStatus.UNBOUNDED, nodes=1, iterations=total_lp_iters)
     if not root.status.has_solution:
+        if root.status is SolverStatus.TIME_LIMIT and incumbent_x is not None:
+            # Deadline tripped inside the root LP but the warm start stands.
+            root_fail = SolverStatus.FEASIBLE
+            x_out = incumbent_x[: problem.num_vars]
+            return SolverResult(
+                status=root_fail, x=x_out, objective=problem.objective_value(x_out),
+                nodes=1, iterations=total_lp_iters,
+            )
         return SolverResult(status=root.status, nodes=1, iterations=total_lp_iters)
 
     # Minimization internally: CompiledProblem.objective_value undoes max flips,
@@ -155,6 +210,8 @@ def branch_and_bound(
 
     heap: list[tuple[float, int, np.ndarray, np.ndarray, np.ndarray]] = []
     heapq.heappush(heap, (internal_obj(root.x), next(counter), work.lb.copy(), work.ub.copy(), root.x))
+    if telemetry:
+        telemetry.emit("node_open", node=0, bound=internal_obj(root.x), depth=0)
 
     best_bound = internal_obj(root.x)
 
@@ -170,24 +227,40 @@ def branch_and_bound(
             )
         return SolverResult(status=status, nodes=nodes_explored, iterations=total_lp_iters)
 
+    def out_of_time() -> SolverResult:
+        if telemetry:
+            telemetry.emit(
+                "deadline_exceeded", where="branch_and_bound",
+                nodes=nodes_explored, open_nodes=len(heap),
+            )
+        return finish(SolverStatus.FEASIBLE if incumbent_x is not None else SolverStatus.TIME_LIMIT)
+
     while heap:
-        if time.monotonic() - start > opts.time_limit:
-            return finish(SolverStatus.FEASIBLE if incumbent_x is not None else SolverStatus.TIME_LIMIT)
+        if dl.expired():
+            return out_of_time()
         if nodes_explored >= opts.node_limit:
             return finish(SolverStatus.FEASIBLE if incumbent_x is not None else SolverStatus.NODE_LIMIT)
 
-        bound, _, lb, ub, x_lp = heapq.heappop(heap)
+        bound, node_id, lb, ub, x_lp = heapq.heappop(heap)
         best_bound = bound
         if bound >= incumbent_obj - opts.rel_gap * max(1.0, abs(incumbent_obj)):
             # Heap is bound-ordered: everything left is dominated.
+            if telemetry:
+                telemetry.emit(
+                    "node_prune", node=node_id, bound=bound,
+                    incumbent=incumbent_obj, remaining=len(heap),
+                )
+            nodes_pruned += 1 + len(heap)
             best_bound = incumbent_obj
             break
         nodes_explored += 1
+        if telemetry:
+            telemetry.emit("node_close", node=node_id, bound=bound, explored=nodes_explored)
 
         candidates = _fractional_candidates(x_lp, int_mask)
         if candidates.size == 0:
             if bound < incumbent_obj:
-                incumbent_obj, incumbent_x = bound, x_lp
+                set_incumbent(bound, x_lp, "lp_integral")
             continue
 
         if opts.rounding_heuristic:
@@ -195,7 +268,7 @@ def branch_and_bound(
             if rounded is not None:
                 obj_r = internal_obj(rounded)
                 if obj_r < incumbent_obj:
-                    incumbent_obj, incumbent_x = obj_r, rounded
+                    set_incumbent(obj_r, rounded, "rounding")
 
         j = _select_branch_var(x_lp, candidates, work.c)
         floor_val = math.floor(x_lp[j] + _INT_TOL)
@@ -204,16 +277,29 @@ def branch_and_bound(
             (lb[j], float(floor_val)),       # down child: x_j <= floor
             (float(floor_val) + 1.0, ub[j]),  # up child:   x_j >= floor+1
         ):
+            # A node spawns two LP solves; re-check the budget between them
+            # so one slow child cannot drag the other past the deadline.
+            if dl.expired():
+                return out_of_time()
             if lo > hi:
                 continue
             lb2, ub2 = lb.copy(), ub.copy()
             lb2[j], ub2[j] = lo, hi
             res = lp_at(lb2, ub2)
             if not res.status.has_solution:
+                if res.status is SolverStatus.TIME_LIMIT:
+                    return out_of_time()
                 continue
             child_bound = internal_obj(res.x)
             if child_bound < incumbent_obj - 1e-12:
-                heapq.heappush(heap, (child_bound, next(counter), lb2, ub2, res.x))
+                child_id = next(counter)
+                heapq.heappush(heap, (child_bound, child_id, lb2, ub2, res.x))
+                if telemetry:
+                    telemetry.emit("node_open", node=child_id, bound=child_bound, branch_var=j)
+            else:
+                nodes_pruned += 1
+                if telemetry:
+                    telemetry.emit("node_prune", node=-1, bound=child_bound, incumbent=incumbent_obj)
 
     if incumbent_x is not None:
         return finish(SolverStatus.OPTIMAL)

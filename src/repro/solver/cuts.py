@@ -33,6 +33,7 @@ import numpy as np
 from .model import CompiledProblem
 from .simplex import SimplexTableau, StandardForm, solve_lp_simplex
 from .result import SolverStatus
+from .telemetry import Deadline, Telemetry
 
 __all__ = ["generate_gmi_cuts", "strengthen_with_gomory_cuts"]
 
@@ -152,21 +153,29 @@ def strengthen_with_gomory_cuts(
     problem: CompiledProblem,
     max_rounds: int = 5,
     cuts_per_round: int = 10,
+    deadline: Deadline | None = None,
+    telemetry: Telemetry | None = None,
 ) -> CompiledProblem:
     """Iteratively append GMI cuts at the root LP until none apply.
 
     Returns a new problem with extra ``<=`` rows; the feasible integer set is
     unchanged (cuts are valid), only the LP relaxation tightens.  Falls back
     to returning the input unchanged when the simplex cannot produce a
-    tableau (e.g. degenerate terminations).
+    tableau (e.g. degenerate terminations).  The shared ``deadline`` is
+    polled before every round (and inside each round's LP solve), so cut
+    generation never eats the whole solve budget.
     """
     current = problem
     int_mask = problem.integrality.astype(bool)
     if not int_mask.any():
         return problem
     total = 0
-    for _ in range(max_rounds):
-        res = solve_lp_simplex(current)
+    for round_no in range(max_rounds):
+        if deadline is not None and deadline.expired():
+            if telemetry:
+                telemetry.emit("deadline_exceeded", where="gomory_cuts", rounds=round_no)
+            break
+        res = solve_lp_simplex(current, deadline=deadline, telemetry=telemetry)
         if res.status is not SolverStatus.OPTIMAL:
             break
         frac = np.abs(res.x - np.round(res.x))
@@ -179,6 +188,11 @@ def strengthen_with_gomory_cuts(
         cuts = generate_gmi_cuts(current, tableau, sf, max_cuts=cuts_per_round)
         # Keep only cuts actually violated by the LP point (guards numerics).
         violated = [(w, r) for (w, r) in cuts if float(w @ res.x) > r + 1e-7]
+        if telemetry:
+            telemetry.emit(
+                "cut_round", round=round_no, generated=len(cuts),
+                added=len(violated), lp_objective=res.objective,
+            )
         if not violated:
             break
         rows = np.array([w for w, _ in violated])

@@ -6,6 +6,8 @@ the backend string picks the engine:
 ``"auto"``
     HiGHS (`scipy`) when available for the problem class, otherwise the
     pure-Python stack.  This is the default everywhere in the library.
+    The fallback chain is HiGHS -> pure simplex; each hop emits a
+    ``backend_degraded`` telemetry event and a :class:`RuntimeWarning`.
 ``"simplex"``
     Pure-Python two-phase simplex (LP) / simplex-based branch-and-bound
     (MILP).  The from-scratch reference implementation.
@@ -16,20 +18,94 @@ the backend string picks the engine:
 ``"bb-scipy"``
     Our branch-and-bound driver over HiGHS LP relaxations — used by the
     solver ablation benchmark to time the B&B machinery itself.
+
+Every entry point additionally accepts
+
+``listener``
+    A telemetry callback (callable or object with ``on_event``; see
+    :mod:`repro.solver.telemetry`) receiving structured solve events:
+    phase timers, simplex pivot counts, B&B node lifecycle, incumbent
+    updates, degradation notices.
+``deadline`` / ``time_limit``
+    One wall-clock budget for the *whole* solve, threaded through branch
+    and bound, cut rounds, simplex pivot loops, and the HiGHS options.
+    On expiry the best incumbent is returned with status ``FEASIBLE``
+    (or ``TIME_LIMIT`` when nothing feasible was found) — never a hang,
+    never an exception.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from .branch_bound import BranchAndBoundOptions, branch_and_bound
 from .model import CompiledProblem, Model
 from .presolve import presolve
 from .result import SolverResult, SolverStatus
-from .scipy_backend import solve_lp_scipy, solve_milp_scipy
+from .scipy_backend import scipy_available, solve_lp_scipy, solve_milp_scipy
 from .simplex import solve_lp_simplex
+from .telemetry import Deadline, Telemetry
 
 __all__ = ["solve", "solve_compiled", "BACKENDS"]
 
 BACKENDS = ("auto", "simplex", "simplex+cuts", "scipy", "bb-scipy")
+
+
+def _degrade(telemetry: Telemetry | None, from_backend: str, to_backend: str, reason: str) -> None:
+    warnings.warn(
+        f"backend {from_backend!r} unavailable ({reason}); falling back to "
+        f"{to_backend!r}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    if telemetry:
+        telemetry.emit(
+            "backend_degraded",
+            from_backend=from_backend,
+            to_backend=to_backend,
+            reason=reason,
+        )
+
+
+def _dispatch(
+    problem: CompiledProblem,
+    backend: str,
+    bb_options: BranchAndBoundOptions | None,
+    deadline: Deadline | None,
+    telemetry: Telemetry | None,
+    backend_kwargs: dict,
+) -> SolverResult:
+    is_mip = bool(problem.integrality.any())
+
+    if backend == "scipy":
+        if is_mip:
+            return solve_milp_scipy(problem, deadline=deadline, telemetry=telemetry, **backend_kwargs)
+        return solve_lp_scipy(problem, deadline=deadline, telemetry=telemetry, **backend_kwargs)
+
+    if backend == "bb-scipy":
+        if not is_mip:
+            return solve_lp_scipy(problem, deadline=deadline, telemetry=telemetry, **backend_kwargs)
+        return branch_and_bound(
+            problem,
+            lambda p: solve_lp_scipy(p, deadline=deadline),
+            options=bb_options,
+            deadline=deadline,
+            telemetry=telemetry,
+        )
+
+    # pure-python stack
+    if not is_mip:
+        return solve_lp_simplex(problem, deadline=deadline, telemetry=telemetry, **backend_kwargs)
+    opts = bb_options or BranchAndBoundOptions()
+    if backend == "simplex+cuts":
+        opts = BranchAndBoundOptions(**{**opts.__dict__, "use_root_cuts": True})
+    return branch_and_bound(
+        problem,
+        lambda p: solve_lp_simplex(p, deadline=deadline),
+        options=opts,
+        deadline=deadline,
+        telemetry=telemetry,
+    )
 
 
 def solve_compiled(
@@ -37,46 +113,86 @@ def solve_compiled(
     backend: str = "auto",
     use_presolve: bool = True,
     bb_options: BranchAndBoundOptions | None = None,
+    listener=None,
+    deadline: Deadline | float | None = None,
+    time_limit: float | None = None,
     **backend_kwargs,
 ) -> SolverResult:
     """Solve a compiled problem; see module docstring for backend names."""
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
 
+    telemetry = Telemetry.from_listener(listener)
+    if isinstance(deadline, (int, float)):
+        deadline = Deadline(float(deadline))
+    if deadline is None and time_limit is not None:
+        deadline = Deadline(float(time_limit))
+
+    if telemetry:
+        telemetry.emit(
+            "solve_start",
+            backend=backend,
+            num_vars=problem.num_vars,
+            num_constraints=problem.num_constraints,
+            is_mip=bool(problem.integrality.any()),
+            budget=deadline.remaining() if deadline is not None else None,
+        )
+
+    def done(res: SolverResult) -> SolverResult:
+        if deadline is not None:
+            res.extra.setdefault("wall_time", deadline.elapsed())
+        if telemetry:
+            telemetry.emit(
+                "solve_end",
+                status=res.status.value,
+                objective=res.objective,
+                nodes=res.nodes,
+                iterations=res.iterations,
+            )
+        return res
+
     if use_presolve:
-        pre = presolve(problem)
+        if telemetry:
+            with telemetry.phase("presolve") as info:
+                pre = presolve(problem)
+                info["rows_removed"] = pre.rows_removed
+                info["bounds_tightened"] = pre.bounds_tightened
+        else:
+            pre = presolve(problem)
         if pre.infeasible:
-            return SolverResult(status=SolverStatus.INFEASIBLE, extra={"presolve": pre})
+            return done(SolverResult(status=SolverStatus.INFEASIBLE, extra={"presolve": pre}))
         problem = pre.problem
 
-    is_mip = bool(problem.integrality.any())
-
     if backend == "auto":
-        backend = "scipy"
+        if scipy_available():
+            backend = "scipy"
+        else:
+            _degrade(telemetry, "scipy", "simplex", "scipy is not importable")
+            backend = "simplex"
+        # The auto chain also absorbs runtime failures of the fast path:
+        # an ERROR status or unexpected exception from HiGHS retries on the
+        # pure-Python stack instead of surfacing a crash to the planner.
+        if backend == "scipy":
+            try:
+                res = _dispatch(problem, "scipy", bb_options, deadline, telemetry, backend_kwargs)
+            except Exception as exc:  # pragma: no cover - defensive path
+                _degrade(telemetry, "scipy", "simplex", f"runtime failure: {exc}")
+                res = None
+            if res is not None and res.status is not SolverStatus.ERROR:
+                return done(res)
+            if res is not None:
+                _degrade(telemetry, "scipy", "simplex", "backend returned ERROR status")
+            backend = "simplex"
 
-    if backend == "scipy":
-        if is_mip:
-            return solve_milp_scipy(problem, **backend_kwargs)
-        return solve_lp_scipy(problem, **backend_kwargs)
-
-    if backend == "bb-scipy":
-        if not is_mip:
-            return solve_lp_scipy(problem, **backend_kwargs)
-        return branch_and_bound(problem, solve_lp_scipy, options=bb_options)
-
-    # pure-python stack
-    if not is_mip:
-        return solve_lp_simplex(problem)
-    opts = bb_options or BranchAndBoundOptions()
-    if backend == "simplex+cuts":
-        opts = BranchAndBoundOptions(**{**opts.__dict__, "use_root_cuts": True})
-    return branch_and_bound(problem, solve_lp_simplex, options=opts)
+    return done(_dispatch(problem, backend, bb_options, deadline, telemetry, backend_kwargs))
 
 
 def solve(model: Model, backend: str = "auto", **kwargs) -> SolverResult:
     """Compile and solve a :class:`Model`.
 
     Returns a :class:`SolverResult`; read variable values back with
-    ``result.value_of(var)``.
+    ``result.value_of(var)``.  Accepts ``listener=`` (telemetry events),
+    ``deadline=``/``time_limit=`` (wall-clock budget) and forwards any
+    other keyword to :func:`solve_compiled`.
     """
     return solve_compiled(model.compile(), backend=backend, **kwargs)

@@ -5,17 +5,33 @@ reference implementation; this module provides the fast path used by default
 for large scenario-tree MILPs.  Both speak the same
 :class:`~repro.solver.model.CompiledProblem` / :class:`~repro.solver.result.SolverResult`
 interface, and the test suite cross-checks them against each other.
+
+SciPy is an *optional* dependency of the solver stack: this module imports
+without it, :func:`scipy_available` reports whether the fast path exists,
+and ``backend="auto"`` (see :mod:`repro.solver.interface`) degrades to the
+pure-Python stack when it does not.  Calling either solve function without
+SciPy raises a descriptive :class:`ImportError`.
 """
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
-from scipy import optimize as sciopt
+
+try:  # pragma: no cover - exercised by the scipy-less CI job
+    from scipy import optimize as sciopt
+
+    _SCIPY_IMPORT_ERROR: Exception | None = None
+except ImportError as exc:  # pragma: no cover
+    sciopt = None
+    _SCIPY_IMPORT_ERROR = exc
 
 from .model import CompiledProblem
 from .result import SolverResult, SolverStatus
+from .telemetry import Deadline, Telemetry
 
-__all__ = ["solve_lp_scipy", "solve_milp_scipy"]
+__all__ = ["scipy_available", "solve_lp_scipy", "solve_milp_scipy"]
 
 _STATUS_FROM_LINPROG = {
     0: SolverStatus.OPTIMAL,
@@ -24,6 +40,20 @@ _STATUS_FROM_LINPROG = {
     3: SolverStatus.UNBOUNDED,
     4: SolverStatus.ERROR,
 }
+
+
+def scipy_available() -> bool:
+    """True when :mod:`scipy.optimize` imported successfully."""
+    return sciopt is not None
+
+
+def _require_scipy(caller: str) -> None:
+    if sciopt is None:
+        raise ImportError(
+            f"{caller} requires scipy, which is not installed; use "
+            "backend='auto' (falls back to the pure-Python simplex stack) "
+            "or backend='simplex'"
+        ) from _SCIPY_IMPORT_ERROR
 
 
 def _bounds(problem: CompiledProblem) -> list[tuple[float | None, float | None]]:
@@ -42,8 +72,25 @@ def _finish(problem: CompiledProblem, status: SolverStatus, x, iterations: int =
     return SolverResult(status=status, iterations=iterations, nodes=nodes)
 
 
-def solve_lp_scipy(problem: CompiledProblem, **kwargs) -> SolverResult:
-    """Solve the LP relaxation with ``scipy.optimize.linprog(method='highs')``."""
+def solve_lp_scipy(
+    problem: CompiledProblem,
+    deadline: Deadline | None = None,
+    telemetry: Telemetry | None = None,
+    **kwargs,
+) -> SolverResult:
+    """Solve the LP relaxation with ``scipy.optimize.linprog(method='highs')``.
+
+    A :class:`~repro.solver.telemetry.Deadline` maps onto HiGHS's own
+    ``time_limit`` option so even a single LP respects the shared budget.
+    """
+    _require_scipy("solve_lp_scipy")
+    options = dict(kwargs.pop("options", {}) or {})
+    if deadline is not None and math.isfinite(deadline.remaining()):
+        if deadline.expired():
+            if telemetry:
+                telemetry.emit("deadline_exceeded", where="solve_lp_scipy")
+            return SolverResult(status=SolverStatus.TIME_LIMIT)
+        options.setdefault("time_limit", max(deadline.remaining(), 1e-3))
     res = sciopt.linprog(
         c=problem.c,
         A_ub=problem.A_ub if problem.A_ub.size else None,
@@ -52,10 +99,13 @@ def solve_lp_scipy(problem: CompiledProblem, **kwargs) -> SolverResult:
         b_eq=problem.b_eq if problem.b_eq.size else None,
         bounds=_bounds(problem),
         method="highs",
+        options=options or None,
         **kwargs,
     )
     status = _STATUS_FROM_LINPROG.get(res.status, SolverStatus.ERROR)
     iters = int(getattr(res, "nit", 0) or 0)
+    if status is SolverStatus.ITERATION_LIMIT and deadline is not None and deadline.expired():
+        status = SolverStatus.TIME_LIMIT  # HiGHS reports its time limit as status 1
     return _finish(problem, status, res.x if res.success else None, iterations=iters)
 
 
@@ -63,8 +113,18 @@ def solve_milp_scipy(
     problem: CompiledProblem,
     time_limit: float | None = None,
     mip_rel_gap: float | None = None,
+    deadline: Deadline | None = None,
+    telemetry: Telemetry | None = None,
 ) -> SolverResult:
     """Solve the MILP with ``scipy.optimize.milp`` (HiGHS branch-and-cut)."""
+    _require_scipy("solve_milp_scipy")
+    if deadline is not None and math.isfinite(deadline.remaining()):
+        if deadline.expired():
+            if telemetry:
+                telemetry.emit("deadline_exceeded", where="solve_milp_scipy")
+            return SolverResult(status=SolverStatus.TIME_LIMIT)
+        remaining = max(deadline.remaining(), 1e-3)
+        time_limit = remaining if time_limit is None else min(time_limit, remaining)
     constraints = []
     if problem.A_ub.size:
         constraints.append(
@@ -94,8 +154,16 @@ def solve_milp_scipy(
         status = SolverStatus.UNBOUNDED
     elif res.status == 1 and res.x is not None:
         status = SolverStatus.FEASIBLE  # stopped at a limit with incumbent
+    elif res.status == 1:
+        status = SolverStatus.TIME_LIMIT
     else:
         status = SolverStatus.ERROR
     bound = getattr(res, "mip_dual_bound", None)
     nodes = int(getattr(res, "mip_node_count", 0) or 0)
+    if telemetry and status.has_solution:
+        telemetry.emit(
+            "incumbent",
+            objective=problem.objective_value(np.asarray(res.x, dtype=float)),
+            source="highs",
+        )
     return _finish(problem, status, res.x, nodes=nodes, bound=bound)

@@ -16,10 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy import optimize as sciopt
 
 from .model import CompiledProblem
-from .result import SolverStatus
 
 __all__ = ["SensitivityReport", "lp_sensitivity"]
 
@@ -56,7 +54,12 @@ def lp_sensitivity(problem: CompiledProblem) -> SensitivityReport:
     ------
     RuntimeError
         If the LP is not solved to optimality (duals undefined).
+    ImportError
+        If scipy is not installed (duals come from HiGHS marginals).
     """
+    from .scipy_backend import _require_scipy, sciopt
+
+    _require_scipy("lp_sensitivity")
     res = sciopt.linprog(
         c=problem.c,
         A_ub=problem.A_ub if problem.A_ub.size else None,

@@ -31,6 +31,7 @@ import numpy as np
 
 from .model import CompiledProblem
 from .result import SolverResult, SolverStatus
+from .telemetry import Deadline, Telemetry
 
 __all__ = ["StandardForm", "SimplexTableau", "standardize", "simplex_solve", "solve_lp_simplex"]
 
@@ -185,17 +186,26 @@ def _pivot(T: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
     basis[row] = col
 
 
-def _iterate(T: np.ndarray, basis: np.ndarray, max_iter: int) -> tuple[str, int]:
-    """Run primal simplex iterations until optimal/unbounded/limit.
+def _iterate(
+    T: np.ndarray,
+    basis: np.ndarray,
+    max_iter: int,
+    deadline: Deadline | None = None,
+) -> tuple[str, int]:
+    """Run primal simplex iterations until optimal/unbounded/limit/deadline.
 
-    Returns (status, iterations): status in {"optimal", "unbounded", "limit"}.
-    Uses Dantzig pricing; after 2*m consecutive degenerate pivots switches to
-    Bland's rule to escape cycling.
+    Returns (status, iterations): status in {"optimal", "unbounded", "limit",
+    "deadline"}.  Uses Dantzig pricing; after 2*m consecutive degenerate
+    pivots switches to Bland's rule to escape cycling.  The deadline is
+    polled every pivot — one clock read against an O(m·n) numpy pivot — so
+    a single large LP cannot blow through the shared wall-clock budget.
     """
     m = T.shape[0] - 1
     stall = 0
     bland = False
     for it in range(max_iter):
+        if deadline is not None and deadline.expired():
+            return "deadline", it
         red = T[-1, :-1]
         if bland:
             neg = np.nonzero(red < -_EPS)[0]
@@ -235,11 +245,13 @@ def simplex_solve(
     b: np.ndarray,
     c: np.ndarray,
     max_iter: int = 50_000,
+    deadline: Deadline | None = None,
+    telemetry: Telemetry | None = None,
 ) -> tuple[str, np.ndarray | None, float, int, SimplexTableau | None]:
     """Two-phase simplex on ``min c'x s.t. Ax=b (b>=0), x>=0``.
 
     Returns ``(status, x, objective, iterations, tableau)`` with status in
-    ``{"optimal", "infeasible", "unbounded", "limit"}``.
+    ``{"optimal", "infeasible", "unbounded", "limit", "deadline"}``.
     """
     m, n = A.shape
     if m == 0:
@@ -259,9 +271,14 @@ def simplex_solve(
     T[-1, :n] = -A.sum(axis=0)
     T[-1, -1] = -b.sum()
 
-    status, it1 = _iterate(T, basis, max_iter)
-    if status == "limit":
-        return "limit", None, math.nan, it1, None
+    if telemetry:
+        with telemetry.phase("simplex_phase1", rows=m, cols=n) as info:
+            status, it1 = _iterate(T, basis, max_iter, deadline)
+            info["pivots"] = it1
+    else:
+        status, it1 = _iterate(T, basis, max_iter, deadline)
+    if status in ("limit", "deadline"):
+        return status, None, math.nan, it1, None
     if T[-1, -1] < -1e-7:
         return "infeasible", None, math.nan, it1, None
 
@@ -292,25 +309,38 @@ def simplex_solve(
         if coef != 0.0:
             T[-1] -= coef * T[i]
 
-    status, it2 = _iterate(T, basis, max_iter)
+    if telemetry:
+        with telemetry.phase("simplex_phase2", rows=m2, cols=n) as info:
+            status, it2 = _iterate(T, basis, max_iter, deadline)
+            info["pivots"] = it2
+    else:
+        status, it2 = _iterate(T, basis, max_iter, deadline)
     tableau = SimplexTableau(T, basis)
     if status == "optimal":
         x = tableau.solution()
         return "optimal", x, float(c @ x), it1 + it2, tableau
     if status == "unbounded":
         return "unbounded", None, -math.inf, it1 + it2, None
-    return "limit", None, math.nan, it1 + it2, None
+    return status, None, math.nan, it1 + it2, None
 
 
-def solve_lp_simplex(problem: CompiledProblem, max_iter: int = 50_000) -> SolverResult:
+def solve_lp_simplex(
+    problem: CompiledProblem,
+    max_iter: int = 50_000,
+    deadline: Deadline | None = None,
+    telemetry: Telemetry | None = None,
+) -> SolverResult:
     """Solve the LP relaxation of a compiled problem with the pure simplex.
 
     Integrality markers are ignored (use the branch-and-bound driver for
     MILPs).  The returned ``extra['tableau']``/``extra['standard_form']``
-    feed the Gomory cut generator.
+    feed the Gomory cut generator.  An expired ``deadline`` unwinds the
+    pivot loop and surfaces as ``SolverStatus.TIME_LIMIT``.
     """
     sf = standardize(problem)
-    status, x_std, obj_std, iters, tableau = simplex_solve(sf.A, sf.b, sf.c, max_iter=max_iter)
+    status, x_std, obj_std, iters, tableau = simplex_solve(
+        sf.A, sf.b, sf.c, max_iter=max_iter, deadline=deadline, telemetry=telemetry
+    )
     if status == "optimal":
         x = sf.recover(x_std)
         raw = float(problem.c @ x) + problem.c0
@@ -323,4 +353,8 @@ def solve_lp_simplex(problem: CompiledProblem, max_iter: int = 50_000) -> Solver
         return SolverResult(status=SolverStatus.INFEASIBLE, iterations=iters)
     if status == "unbounded":
         return SolverResult(status=SolverStatus.UNBOUNDED, iterations=iters)
+    if status == "deadline":
+        if telemetry:
+            telemetry.emit("deadline_exceeded", where="simplex", pivots=iters)
+        return SolverResult(status=SolverStatus.TIME_LIMIT, iterations=iters)
     return SolverResult(status=SolverStatus.ITERATION_LIMIT, iterations=iters)

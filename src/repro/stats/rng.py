@@ -9,6 +9,8 @@ recommended way to give parallel workers non-overlapping streams.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 __all__ = ["ensure_rng", "spawn_rngs", "truncated_normal"]
@@ -52,9 +54,8 @@ def truncated_normal(
     out = np.empty(size)
     filled = 0
     # guard: if the acceptance region is far in the tail, fail loudly
-    from scipy.stats import norm
-
-    accept = norm.sf(low, loc=mean, scale=std)
+    # (normal survival function via erfc — no scipy needed)
+    accept = 0.5 * math.erfc((low - mean) / (std * math.sqrt(2.0)))
     if accept < 1e-6:
         raise ValueError("truncation point leaves negligible probability mass")
     while filled < size:

@@ -101,10 +101,15 @@ class TestDeterministicLaws:
     @given(random_instance())
     @settings(max_examples=20, deadline=None)
     def test_free_initial_storage_never_hurts(self, data):
+        # Only storage that can be consumed immediately is unambiguously
+        # free: the balance equation has no disposal, so a seed exceeding
+        # first-slot demand forces held inventory (and holding cost) — the
+        # MILP optimum genuinely increases in that case.
         inst, _ = data
         base = solve_wagner_whitin(inst).total_cost
+        eps = min(0.8, float(inst.demand[0]))
         seeded = DRRPInstance(
-            demand=inst.demand, costs=inst.costs, initial_storage=0.8
+            demand=inst.demand, costs=inst.costs, initial_storage=eps
         )
         assert solve_wagner_whitin(seeded).total_cost <= base + 1e-9
 

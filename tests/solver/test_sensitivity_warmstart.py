@@ -104,20 +104,23 @@ class TestWarmStart:
         assert res.status is SolverStatus.OPTIMAL
         assert res.objective >= 2.0  # never worse than the seed
 
-    def test_infeasible_incumbent_ignored(self):
+    def test_infeasible_incumbent_warns_and_is_ignored(self):
         p = self._knapsack().compile()
         x0 = np.ones(8)  # overweight
-        res = branch_and_bound(
-            p, solve_lp_scipy, BranchAndBoundOptions(initial_incumbent=x0)
-        )
+        with pytest.warns(UserWarning, match="initial_incumbent"):
+            res = branch_and_bound(
+                p, solve_lp_scipy, BranchAndBoundOptions(initial_incumbent=x0)
+            )
         assert res.status is SolverStatus.OPTIMAL
 
-    def test_wrong_shape_ignored(self):
+    def test_wrong_shape_rejected_loudly(self):
+        # Regression: a wrong-shaped warm start used to be dropped silently,
+        # discarding valid Wagner-Whitin seeds on any bookkeeping slip.
         p = self._knapsack().compile()
-        res = branch_and_bound(
-            p, solve_lp_scipy, BranchAndBoundOptions(initial_incumbent=np.zeros(3))
-        )
-        assert res.status is SolverStatus.OPTIMAL
+        with pytest.raises(ValueError, match="initial_incumbent"):
+            branch_and_bound(
+                p, solve_lp_scipy, BranchAndBoundOptions(initial_incumbent=np.zeros(3))
+            )
 
     def test_optimal_incumbent_short_circuits(self):
         p = self._knapsack().compile()

@@ -1,0 +1,388 @@
+"""Telemetry + deadline layer: auto-backend fallback, warm-start handling,
+deadline enforcement inside node/cut/pivot loops, event-stream well-formedness,
+and cross-backend agreement.
+
+This file must import and (mostly) run without SciPy — the CI job with SciPy
+uninstalled executes it to exercise the pure-Python fallback chain; tests that
+genuinely need HiGHS are skipped there.
+"""
+
+import math
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.solver.interface as interface_mod
+import repro.solver.scipy_backend as scipy_backend_mod
+from repro.solver import (
+    BranchAndBoundOptions,
+    Deadline,
+    EventRecorder,
+    Model,
+    SolverStatus,
+    branch_and_bound,
+    scipy_available,
+    solve,
+    solve_compiled,
+)
+from repro.solver.cuts import strengthen_with_gomory_cuts
+from repro.solver.simplex import solve_lp_simplex
+from repro.solver.telemetry import EVENT_KINDS, SolveEvent, Telemetry
+
+needs_scipy = pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
+
+
+def knapsack_model(values=(9, 7, 6, 5, 5, 4, 3, 2), weights=(5, 4, 3, 3, 2, 2, 2, 1), cap=10):
+    m = Model("knapsack")
+    xs = [m.add_var(f"x{i}", vtype="binary") for i in range(len(values))]
+    m.add_constr(sum(w * x for w, x in zip(weights, xs)) <= cap)
+    m.set_objective(sum(v * x for v, x in zip(values, xs)), sense="max")
+    return m
+
+
+def lot_sizing_model(demand, setup_cost, hold=0.3):
+    m = Model("lot")
+    T = len(demand)
+    alpha = [m.add_var(f"a{t}") for t in range(T)]
+    beta = [m.add_var(f"b{t}") for t in range(T)]
+    chi = [m.add_var(f"c{t}", vtype="binary") for t in range(T)]
+    B = float(sum(demand)) + 1.0
+    for t in range(T):
+        prev = beta[t - 1] if t else 0.0
+        m.add_constr(prev + alpha[t] - beta[t] == float(demand[t]))
+        m.add_constr(alpha[t] <= B * chi[t])
+    m.set_objective(sum(setup_cost * chi[t] + hold * beta[t] for t in range(T)))
+    return m
+
+
+class TestDeadlineObject:
+    def test_basic_semantics(self):
+        dl = Deadline(1000.0)
+        assert not dl.expired()
+        assert 0.0 <= dl.elapsed() < dl.remaining()
+        assert Deadline(0.0).expired()
+        assert not Deadline.never().expired()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+    def test_tightened_keeps_sooner(self):
+        dl = Deadline(1000.0)
+        assert dl.tightened(math.inf) is dl
+        assert dl.tightened(2000.0) is dl
+        tight = dl.tightened(0.001)
+        assert tight is not dl
+        assert tight.remaining() <= dl.remaining()
+
+
+class TestAutoFallback:
+    """Regression: backend='auto' used to dispatch to scipy unconditionally
+    and crash with ImportError when it was absent, despite the docstring
+    promising a pure-Python fallback."""
+
+    def test_auto_falls_back_without_scipy(self, monkeypatch):
+        monkeypatch.setattr(interface_mod, "scipy_available", lambda: False)
+        rec = EventRecorder()
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            res = solve(knapsack_model(), backend="auto", listener=rec)
+        assert res.status is SolverStatus.OPTIMAL
+        assert res.objective == pytest.approx(20.0)
+        degr = rec.of_kind("backend_degraded")
+        assert len(degr) == 1
+        assert degr[0].data["from_backend"] == "scipy"
+        assert degr[0].data["to_backend"] == "simplex"
+
+    def test_auto_fallback_lp_path(self, monkeypatch):
+        monkeypatch.setattr(interface_mod, "scipy_available", lambda: False)
+        m = Model()
+        x = m.add_var("x", ub=4)
+        m.add_constr(x >= 1)
+        m.set_objective(x)
+        with pytest.warns(RuntimeWarning):
+            res = solve(m, backend="auto")
+        assert res.status is SolverStatus.OPTIMAL
+        assert res.objective == pytest.approx(1.0)
+
+    def test_explicit_scipy_backend_raises_without_scipy(self, monkeypatch):
+        monkeypatch.setattr(scipy_backend_mod, "sciopt", None)
+        with pytest.raises(ImportError, match="requires scipy"):
+            solve(knapsack_model(), backend="scipy")
+
+    @needs_scipy
+    def test_auto_prefers_scipy_when_available(self):
+        rec = EventRecorder()
+        res = solve(knapsack_model(), backend="auto", listener=rec)
+        assert res.status is SolverStatus.OPTIMAL
+        assert not rec.of_kind("backend_degraded")
+
+
+class TestWarmStartRegressions:
+    def test_wrong_shape_raises(self):
+        p = knapsack_model().compile()
+        with pytest.raises(ValueError, match="initial_incumbent"):
+            branch_and_bound(
+                p, solve_lp_simplex, BranchAndBoundOptions(initial_incumbent=np.zeros(2))
+            )
+
+    def test_presolve_tightened_bound_no_longer_drops_warm_start(self):
+        # Regression: presolve turns the singleton row 1e-7*x <= 2e-7 into
+        # the bound x <= 2, and the old shape/feasibility check against the
+        # presolved problem silently discarded a warm start (x=3) that was
+        # feasible for the *original* model within tolerance.  It must now
+        # be mapped (clipped) through the presolve reductions and kept.
+        m = Model()
+        x = m.add_var("x", vtype="integer", ub=10)
+        m.add_constr(1e-7 * x <= 2e-7)
+        m.set_objective(x, sense="max")
+        rec = EventRecorder()
+        res = solve_compiled(
+            m.compile(),
+            backend="simplex",
+            bb_options=BranchAndBoundOptions(initial_incumbent=np.array([3.0])),
+            listener=rec,
+        )
+        assert res.status is SolverStatus.OPTIMAL
+        assert res.objective == pytest.approx(2.0)
+        sources = [ev.data["source"] for ev in rec.of_kind("incumbent")]
+        assert "warm_start" in sources
+        assert not rec.of_kind("warm_start_rejected")
+
+    def test_infeasible_warm_start_is_loud(self):
+        p = knapsack_model().compile()
+        rec = EventRecorder()
+        with pytest.warns(UserWarning, match="initial_incumbent"):
+            res = branch_and_bound(
+                p,
+                solve_lp_simplex,
+                BranchAndBoundOptions(initial_incumbent=np.ones(8)),
+                telemetry=Telemetry(rec),
+            )
+        assert res.status is SolverStatus.OPTIMAL
+        assert len(rec.of_kind("warm_start_rejected")) == 1
+
+    def test_wagner_whitin_warm_start_survives_presolve_and_cuts(self):
+        from repro.core import DRRPInstance, solve_drrp
+
+        inst = DRRPInstance.example(horizon=10)
+        rec = EventRecorder()
+        plan = solve_drrp(inst, backend="simplex+cuts", warm_start=True, listener=rec)
+        assert plan.status is SolverStatus.OPTIMAL
+        sources = [ev.data["source"] for ev in rec.of_kind("incumbent")]
+        assert sources and sources[0] == "warm_start"
+        assert not rec.of_kind("warm_start_rejected")
+
+
+class TestDeadlineEnforcement:
+    def test_deadline_checked_between_child_solves(self):
+        # Regression: the budget was only checked at the top of the node
+        # loop, so a node spawning two slow child LP solves overran the
+        # limit by 2 LP solves.  With the mid-node check the overrun is at
+        # most one child solve.
+        p = knapsack_model(
+            values=(10, 13, 7, 8, 9, 4), weights=(3, 4, 2, 3, 3, 1), cap=7
+        ).compile()
+        calls = {"n": 0}
+
+        def slow_lp(prob):
+            calls["n"] += 1
+            if calls["n"] > 1:  # root stays fast so branching starts
+                time.sleep(0.2)
+            return solve_lp_simplex(prob)
+
+        start = time.monotonic()
+        res = branch_and_bound(p, slow_lp, BranchAndBoundOptions(time_limit=0.05))
+        elapsed = time.monotonic() - start
+        assert res.status in (SolverStatus.TIME_LIMIT, SolverStatus.FEASIBLE)
+        # old behavior: two sleeping children ≈ 0.4 s; fixed: ≤ one child
+        assert elapsed < 0.35
+
+    def test_expired_deadline_inside_cut_rounds(self):
+        p = knapsack_model().compile()
+        rec = EventRecorder()
+        strengthened = strengthen_with_gomory_cuts(
+            p, deadline=Deadline(0.0), telemetry=Telemetry(rec)
+        )
+        assert strengthened.A_ub.shape == p.A_ub.shape  # no rounds ran
+        events = rec.of_kind("deadline_exceeded")
+        assert events and events[0].data["where"] == "gomory_cuts"
+
+    def test_simplex_pivot_loop_respects_deadline(self):
+        # A moderately large dense LP cannot finish in zero budget; the
+        # pivot loop must unwind with TIME_LIMIT instead of completing.
+        rng = np.random.default_rng(0)
+        n = 40
+        m = Model()
+        xs = [m.add_var(f"x{i}", ub=10.0) for i in range(n)]
+        for _ in range(n):
+            coefs = rng.uniform(0.1, 1.0, n)
+            m.add_constr(sum(float(c) * x for c, x in zip(coefs, xs)) >= float(rng.uniform(5, 20)))
+        m.set_objective(sum(float(c) * x for c, x in zip(rng.uniform(0.5, 2.0, n), xs)))
+        res = solve(m, backend="simplex", deadline=Deadline(0.0), use_presolve=False)
+        assert res.status is SolverStatus.TIME_LIMIT
+
+    def test_large_srrp_deadline_returns_fast_with_honest_status(self):
+        # Acceptance: 0.1 s budget on a large SRRP deterministic equivalent
+        # returns FEASIBLE/TIME_LIMIT within ~2x the budget — never hangs.
+        from repro.core import SRRPInstance, build_tree
+        from repro.core.costs import on_demand_schedule
+        from repro.core.srrp import build_srrp_model
+        from repro.market import ec2_catalog
+
+        depth = 7  # 2^8 - 1 = 255 vertices, 765 variables
+        tree = build_tree(
+            0.34,
+            [(np.array([0.2, 0.5]), np.array([0.5, 0.5]))] * depth,
+        )
+        rng = np.random.default_rng(3)
+        inst = SRRPInstance(
+            demand=rng.uniform(0.2, 1.5, depth + 1),
+            costs=on_demand_schedule(ec2_catalog()["m1.large"], depth + 1),
+            tree=tree,
+        )
+        model, _ = build_srrp_model(inst)
+        start = time.monotonic()
+        res = solve(model, backend="simplex", time_limit=0.1)
+        elapsed = time.monotonic() - start
+        assert res.status in (SolverStatus.TIME_LIMIT, SolverStatus.FEASIBLE)
+        assert elapsed < 1.0  # ~2x budget plus generous CI slack
+
+    @needs_scipy
+    def test_benders_deadline_returns_honest_status(self):
+        from tests.solver.test_benders import newsvendor
+        from repro.solver.benders import solve_benders
+
+        res = solve_benders(newsvendor(), deadline=Deadline(0.0))
+        assert res.status in (SolverStatus.TIME_LIMIT, SolverStatus.FEASIBLE)
+
+    @needs_scipy
+    def test_milp_scipy_deadline_maps_to_time_limit(self):
+        res = solve(knapsack_model(), backend="scipy", deadline=Deadline(0.0))
+        assert res.status in (SolverStatus.TIME_LIMIT, SolverStatus.FEASIBLE)
+
+
+class TestEventStream:
+    def _assert_well_formed(self, rec: EventRecorder):
+        assert rec.events, "no events recorded"
+        for ev in rec.events:
+            assert isinstance(ev, SolveEvent)
+            assert ev.kind in EVENT_KINDS
+        ts = [ev.t for ev in rec.events]
+        assert ts == sorted(ts), "timestamps must be monotone non-decreasing"
+        starts = [ev.data["phase"] for ev in rec.of_kind("phase_start")]
+        ends = [ev.data["phase"] for ev in rec.of_kind("phase_end")]
+        assert sorted(starts) == sorted(ends), "unbalanced phase brackets"
+
+    def test_simplex_lp_stream(self):
+        m = Model()
+        x = m.add_var("x", ub=3)
+        y = m.add_var("y", ub=3)
+        m.add_constr(x + y <= 4)
+        m.set_objective(-1 * x - 2 * y)
+        rec = EventRecorder()
+        res = solve(m, backend="simplex", listener=rec)
+        assert res.status is SolverStatus.OPTIMAL
+        self._assert_well_formed(rec)
+        assert rec.events[0].kind == "solve_start"
+        assert rec.events[-1].kind == "solve_end"
+        phases = {ev.data["phase"] for ev in rec.of_kind("phase_end")}
+        assert "simplex_phase1" in phases and "simplex_phase2" in phases
+        pivots = [ev.data["pivots"] for ev in rec.of_kind("phase_end") if "pivots" in ev.data]
+        assert pivots and all(p >= 0 for p in pivots)
+
+    def test_branch_and_bound_stream(self):
+        rec = EventRecorder()
+        res = solve(knapsack_model(), backend="simplex", listener=rec)
+        assert res.status is SolverStatus.OPTIMAL
+        self._assert_well_formed(rec)
+        kinds = rec.kinds()
+        assert kinds.get("node_open", 0) >= 1
+        assert kinds.get("node_close", 0) >= 1
+        assert kinds.get("incumbent", 0) >= 1
+        # every close refers to a previously opened node id
+        opened = {ev.data["node"] for ev in rec.of_kind("node_open")}
+        assert {ev.data["node"] for ev in rec.of_kind("node_close")} <= opened
+        # incumbent objectives improve monotonically (maximize: increasing)
+        objs = [ev.data["objective"] for ev in rec.of_kind("incumbent")]
+        assert objs == sorted(objs)
+
+    @needs_scipy
+    def test_benders_stream(self):
+        from tests.solver.test_benders import newsvendor
+        from repro.solver.benders import solve_benders
+
+        rec = EventRecorder()
+        res = solve_benders(newsvendor(), listener=rec)
+        assert res.status is SolverStatus.OPTIMAL
+        iters = rec.of_kind("benders_iteration")
+        assert iters
+        assert [ev.data["iteration"] for ev in iters] == list(range(len(iters)))
+
+    def test_summary_line_and_json_roundtrip(self):
+        import json
+
+        rec = EventRecorder()
+        solve(knapsack_model(), backend="simplex", listener=rec)
+        line = rec.summary_line()
+        assert line.startswith("telemetry:") and "nodes=" in line
+        payload = json.loads(rec.to_json())
+        assert len(payload) == len(rec.events)
+        assert all("kind" in item and "t" in item for item in payload)
+
+    def test_plain_callable_listener(self):
+        seen = []
+        res = solve(knapsack_model(), backend="simplex", listener=seen.append)
+        assert res.status is SolverStatus.OPTIMAL
+        assert seen and all(isinstance(ev, SolveEvent) for ev in seen)
+
+    def test_bad_listener_rejected(self):
+        with pytest.raises(TypeError):
+            solve(knapsack_model(), backend="simplex", listener=object())
+
+
+class TestCrossBackendAgreement:
+    """Property: all backends agree (objective within 1e-6) on randomized
+    small lot-sizing / DRRP-structured instances."""
+
+    def _backends(self):
+        backends = ["simplex", "simplex+cuts"]
+        if scipy_available():
+            backends.append("scipy")
+        return backends
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=12, deadline=None)
+    def test_lot_sizing_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        T = int(rng.integers(2, 6))
+        demand = rng.uniform(0.0, 3.0, T)
+        setup = float(rng.uniform(0.5, 8.0))
+        hold = float(rng.uniform(0.05, 1.0))
+        m = lot_sizing_model(demand, setup, hold)
+        objs = {be: solve(m, backend=be).objective for be in self._backends()}
+        lo, hi = min(objs.values()), max(objs.values())
+        assert hi - lo < 1e-6, f"backends disagree: {objs}"
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_random_drrp_instances(self, seed):
+        from repro.core import DRRPInstance
+        from repro.core.costs import CostSchedule
+        from repro.core.drrp import build_drrp_model
+
+        rng = np.random.default_rng(seed)
+        T = int(rng.integers(2, 6))
+        costs = CostSchedule(
+            compute=rng.uniform(0.05, 1.0, T),
+            storage=rng.uniform(0.0, 0.01, T),
+            io=rng.uniform(0.01, 0.4, T),
+            transfer_in=rng.uniform(0.0, 0.2, T),
+            transfer_out=rng.uniform(0.0, 0.3, T),
+        )
+        inst = DRRPInstance(demand=rng.uniform(0.0, 2.0, T), costs=costs)
+        model, _ = build_drrp_model(inst)
+        objs = {be: solve(model, backend=be).objective for be in self._backends()}
+        lo, hi = min(objs.values()), max(objs.values())
+        assert hi - lo < 1e-6, f"backends disagree: {objs}"
