@@ -12,6 +12,10 @@ Commands mirror the library's main workflows:
     Regenerate paper figures (all, or a listed subset).
 ``export-dataset``
     Write the bundled reference dataset as CSVs for external tools.
+``fuzz``
+    Differential-fuzz the solver stack against exact certificates and
+    independent oracles (see :mod:`repro.verify`); CI runs the seeded
+    ``--smoke`` configuration on every push and a longer budget nightly.
 """
 
 from __future__ import annotations
@@ -62,6 +66,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("export-dataset", help="write reference traces as CSV")
     p_exp.add_argument("directory", help="output directory")
+
+    p_fuzz = sub.add_parser("fuzz", help="differential-fuzz the solver stack")
+    p_fuzz.add_argument("--seed", type=int, default=0, help="generator seed (default 0)")
+    p_fuzz.add_argument(
+        "--cases", type=int, default=None, metavar="N",
+        help="maximum generated instances (default: smoke preset)",
+    )
+    p_fuzz.add_argument(
+        "--time-limit", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the whole campaign",
+    )
+    p_fuzz.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke preset: the standard case count under a 60 s budget",
+    )
+    p_fuzz.add_argument(
+        "--families", default=None,
+        help="comma-separated generator families (default: all)",
+    )
+    p_fuzz.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="persist shrunk reproducers for any disagreement here",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="keep disagreement witnesses at generated size",
+    )
+    p_fuzz.add_argument(
+        "--telemetry", choices=("summary", "json"), default=None,
+        help="record fuzz/solve events: 'summary' prints one line, 'json' dumps the stream",
+    )
 
     return parser
 
@@ -186,12 +221,60 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    import math
+
+    from repro.solver import EventRecorder
+    from repro.verify import FAMILIES, SMOKE_CASES, FuzzConfig, run_fuzz
+
+    families = tuple(FAMILIES)
+    if args.families:
+        families = tuple(f.strip() for f in args.families.split(",") if f.strip())
+        unknown = set(families) - set(FAMILIES)
+        if unknown:
+            print(
+                f"unknown families {sorted(unknown)}; choose from {sorted(FAMILIES)}",
+                file=sys.stderr,
+            )
+            return 2
+    cases = args.cases if args.cases is not None else SMOKE_CASES
+    budget = args.time_limit if args.time_limit is not None else math.inf
+    if args.smoke:
+        budget = min(budget, 60.0)
+    recorder = EventRecorder() if args.telemetry else None
+    config = FuzzConfig(
+        seed=args.seed,
+        max_cases=cases,
+        budget=budget,
+        families=families,
+        out_dir=args.out_dir,
+        shrink=not args.no_shrink,
+    )
+    report = run_fuzz(config, listener=recorder)
+    print(report.summary_line())
+    for fam, tally in report.by_family.items():
+        print(
+            f"  {fam:14s} cases={tally['cases']:4d} certified={tally['certified']:4d} "
+            f"disagreements={tally['disagreements']}"
+        )
+    for d in report.disagreements:
+        print(f"  DISAGREEMENT {d.family}/{d.kind}: {d.detail}", file=sys.stderr)
+    for path in report.reproducer_files:
+        print(f"  reproducer: {path}", file=sys.stderr)
+    if recorder is not None:
+        if args.telemetry == "json":
+            print(recorder.to_json(indent=2))
+        print(recorder.summary_line())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "plan": _cmd_plan,
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,
     "report": _cmd_report,
     "export-dataset": _cmd_export,
+    "fuzz": _cmd_fuzz,
 }
 
 

@@ -11,7 +11,13 @@ from .scenario import (
     bid_adjusted_stage_distributions,
     build_tree,
 )
-from .srrp import SRRPInstance, SRRPPlan, build_srrp_model, solve_srrp
+from .srrp import (
+    SRRPInstance,
+    SRRPPlan,
+    build_srrp_model,
+    solve_srrp,
+    validate_nonanticipativity,
+)
 from .rolling import (
     DeterministicPolicy,
     NoPlanPolicy,
@@ -68,6 +74,7 @@ __all__ = [
     "SRRPPlan",
     "build_srrp_model",
     "solve_srrp",
+    "validate_nonanticipativity",
     "DeterministicPolicy",
     "NoPlanPolicy",
     "OnDemandPolicy",

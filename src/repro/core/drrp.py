@@ -219,12 +219,19 @@ def solve_drrp(
     events to ``recorder`` and caps the whole solve at half a second (the
     best incumbent plan is returned with status ``FEASIBLE`` on expiry).
 
+    A deadline that expires before *any* incumbent is found (e.g.
+    ``time_limit=0``, or an already-expired ``Deadline``) does not raise:
+    for uncapacitated instances the Wagner-Whitin plan is returned as the
+    incumbent with status ``TIME_LIMIT``, so a zero budget degrades to the
+    polynomial-time planner instead of an error.
+
     Raises
     ------
     RuntimeError
-        If the MILP terminates without a solution (DRRP with nonnegative
-        demand and free inventory is always feasible, so this indicates a
-        solver failure rather than a modeling condition).
+        If the MILP terminates without a solution and no Wagner-Whitin
+        fallback applies (DRRP with nonnegative demand and free inventory
+        is always feasible, so this indicates a solver failure rather
+        than a modeling condition).
     """
     model, vars_ = build_drrp_model(instance)
     if warm_start and instance.bottleneck_rate is None and backend in ("bb-scipy", "simplex", "simplex+cuts"):
@@ -239,6 +246,14 @@ def solve_drrp(
         )
     res = solve(model, backend=backend, **solve_kwargs)
     if not res.status.has_solution:
+        if res.status is SolverStatus.TIME_LIMIT and instance.bottleneck_rate is None:
+            from .lotsizing import solve_wagner_whitin
+
+            ww = solve_wagner_whitin(instance)
+            ww.status = SolverStatus.TIME_LIMIT
+            ww.extra["fallback"] = "wagner-whitin"
+            ww.extra["solver_status"] = res.status.value
+            return ww
         raise RuntimeError(f"DRRP solve failed with status {res.status.value}")
     # LP vertices can carry -1e-17 noise on nonnegative variables; clamp so
     # downstream consumers (e.g. chaining beta[-1] into the next instance's

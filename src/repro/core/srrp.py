@@ -26,7 +26,13 @@ from repro.solver import Model, SolverStatus, lin_sum, solve
 from .costs import CostSchedule
 from .scenario import ScenarioTree
 
-__all__ = ["SRRPInstance", "SRRPPlan", "build_srrp_model", "solve_srrp"]
+__all__ = [
+    "SRRPInstance",
+    "SRRPPlan",
+    "build_srrp_model",
+    "solve_srrp",
+    "validate_nonanticipativity",
+]
 
 
 @dataclass(frozen=True)
@@ -107,14 +113,76 @@ class SRRPPlan:
         }
 
     def validate(self, instance: SRRPInstance, tol: float = 1e-6) -> None:
-        """Check tree-indexed balance/forcing constraints (test helper)."""
+        """Check every SRRP constraint of the policy (test helper).
+
+        Raises :class:`AssertionError` with the violating vertex and the
+        magnitude of the violation: inventory balance (14), the forcing
+        bound (16), nonnegativity (18) and the binary rental marker (19).
+        """
+        n = instance.tree.num_nodes
+        for name, arr in (("alpha", self.alpha), ("beta", self.beta), ("chi", self.chi)):
+            if np.asarray(arr).shape != (n,):
+                raise AssertionError(
+                    f"{name} must be vertex-indexed with length {n}, got shape {np.asarray(arr).shape}"
+                )
         for node in instance.tree.nodes:
+            v = node.index
+            if self.alpha[v] < -tol or self.beta[v] < -tol:
+                raise AssertionError(
+                    f"negative quantity at vertex {v}: alpha={self.alpha[v]:.6g}, beta={self.beta[v]:.6g}"
+                )
+            if min(abs(self.chi[v]), abs(self.chi[v] - 1.0)) > tol:
+                raise AssertionError(f"chi[{v}]={self.chi[v]:.6g} is not binary")
             prev = instance.initial_storage if node.parent < 0 else self.beta[node.parent]
-            lhs = prev + self.alpha[node.index] - self.beta[node.index]
+            lhs = prev + self.alpha[v] - self.beta[v]
             if abs(lhs - instance.demand[node.depth]) > tol:
-                raise AssertionError(f"balance violated at vertex {node.index}")
-            if self.alpha[node.index] > instance.forcing_bound * (self.chi[node.index] > 0.5) + tol:
-                raise AssertionError(f"forcing violated at vertex {node.index}")
+                raise AssertionError(
+                    f"balance violated at vertex {v}: residual {lhs - instance.demand[node.depth]:.6g}"
+                )
+            cap = instance.forcing_bound * (self.chi[v] > 0.5)
+            if self.alpha[v] > cap + tol:
+                raise AssertionError(
+                    f"forcing violated at vertex {v}: alpha={self.alpha[v]:.6g} > "
+                    f"bound {cap:.6g} (chi={self.chi[v]:.6g})"
+                )
+
+
+def validate_nonanticipativity(
+    tree: ScenarioTree,
+    scenario_decisions: dict[int, dict[str, np.ndarray]],
+    tol: float = 1e-6,
+) -> None:
+    """Check that per-scenario decision paths agree on shared vertices.
+
+    ``scenario_decisions`` maps a leaf index to the arrays a scenario
+    would execute along its root path (the shape returned by
+    :meth:`SRRPPlan.decisions_for_scenario`).  Vertex-indexed policies
+    satisfy non-anticipativity by construction, but decisions that were
+    reconstructed, transported, or tampered with per scenario can diverge
+    where their histories are still identical — two scenarios through the
+    same vertex prescribing different here-and-now actions.  Raises
+    :class:`AssertionError` naming the shared vertex and both scenarios.
+    """
+    seen: dict[tuple[int, str], tuple[int, float]] = {}
+    for leaf_index, decisions in scenario_decisions.items():
+        path = tree.path(leaf_index)
+        for step, node in enumerate(path):
+            for name in ("alpha", "beta", "chi"):
+                if name not in decisions:
+                    continue
+                value = float(np.asarray(decisions[name])[step])
+                key = (node.index, name)
+                if key in seen:
+                    other_leaf, other_value = seen[key]
+                    if abs(value - other_value) > tol:
+                        raise AssertionError(
+                            f"non-anticipativity violated at vertex {node.index} "
+                            f"(stage {node.depth}): scenario {other_leaf} has "
+                            f"{name}={other_value:.6g} but scenario {leaf_index} "
+                            f"has {name}={value:.6g}"
+                        )
+                else:
+                    seen[key] = (leaf_index, value)
 
 
 def build_srrp_model(instance: SRRPInstance) -> tuple[Model, dict[str, list]]:

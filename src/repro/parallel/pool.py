@@ -20,7 +20,20 @@ __all__ = ["parallel_map", "default_workers"]
 
 
 def default_workers(cap: int = 8) -> int:
-    """A sensible worker count: physical parallelism minus one, capped."""
+    """A sensible worker count: physical parallelism minus one, capped.
+
+    The ``REPRO_WORKERS`` environment variable overrides the heuristic
+    (still floored at 1): set ``REPRO_WORKERS=1`` to force every sweep
+    serial — e.g. in CI containers whose advertised CPU count exceeds the
+    actual quota — or a higher value to opt into more parallelism than the
+    default cap allows.  Non-numeric values are ignored.
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env is not None:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
     cpus = os.cpu_count() or 1
     return max(1, min(cap, cpus - 1))
 
@@ -44,6 +57,9 @@ def parallel_map(
     items = list(items)
     if n_workers is None:
         n_workers = default_workers()
+    # Never spawn more processes than there are items: a 2-item sweep on an
+    # 8-worker default would pay 6 process startups for nothing.
+    n_workers = min(n_workers, len(items))
     if n_workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
     if chunksize is None:

@@ -110,6 +110,8 @@ class _SubSolve:
     value: float
     dual: np.ndarray
     y: np.ndarray
+    mu: np.ndarray        # upper-bound duals of the y columns (>= 0)
+    bound_term: float     # mu @ y_ub over the finite bounds
 
 
 def _solve_subproblem(s: Scenario, x: np.ndarray, penalty: float) -> _SubSolve:
@@ -134,7 +136,19 @@ def _solve_subproblem(s: Scenario, x: np.ndarray, penalty: float) -> _SubSolve:
     if res.status != 0:
         raise RuntimeError(f"elastic subproblem unsolved (status {res.status}): {res.message}")
     dual = np.asarray(res.eqlin.marginals, dtype=float)
-    return _SubSolve(value=float(res.fun), dual=dual, y=np.asarray(res.x[:ny]))
+    # Finite y upper bounds contribute their own dual term: the recourse dual
+    # is max dual'rhs - mu'u s.t. dual'W - mu <= q, mu >= 0, so an optimality
+    # cut built from `dual` alone would overshoot whenever a bound binds.
+    mu = np.zeros(ny)
+    if s.y_ub is not None:
+        upper = getattr(res, "upper", None)
+        marg = None if upper is None else getattr(upper, "marginals", None)
+        if marg is not None:
+            mu = np.maximum(-np.asarray(marg, dtype=float)[:ny], 0.0)
+    finite = s.y_ub is not None and np.isfinite(np.asarray(s.y_ub, dtype=float))
+    bound_term = float(mu[finite] @ np.asarray(s.y_ub, dtype=float)[finite]) if s.y_ub is not None else 0.0
+    return _SubSolve(value=float(res.fun), dual=dual, y=np.asarray(res.x[:ny]),
+                     mu=mu, bound_term=bound_term)
 
 
 def _master_problem(p: TwoStageProblem, theta_lb: float) -> CompiledProblem:
@@ -182,6 +196,7 @@ def solve_benders(
     master = _master_problem(problem, theta_lb)
     cuts_rows: list[np.ndarray] = []
     cuts_rhs: list[float] = []
+    cut_records: list[dict] = []  # scenario + dual vector per cut, for audits
     trace: list[dict] = []
 
     best_upper = math.inf
@@ -197,7 +212,8 @@ def solve_benders(
             return SolverResult(
                 status=SolverStatus.FEASIBLE, x=best_x, objective=best_upper,
                 nodes=it,
-                extra={"recourse_values": best_recourse, "cuts": len(cuts_rows), "trace": trace},
+                extra={"recourse_values": best_recourse, "cuts": len(cuts_rows), "cut_records": cut_records,
+                       "penalty": opts.infeasibility_penalty, "trace": trace},
             )
         return SolverResult(status=SolverStatus.TIME_LIMIT, nodes=it, extra={"trace": trace})
 
@@ -245,13 +261,14 @@ def solve_benders(
             return SolverResult(
                 status=SolverStatus.OPTIMAL, x=best_x, objective=best_upper, bound=lower,
                 nodes=it + 1,
-                extra={"recourse_values": best_recourse, "cuts": len(cuts_rows), "trace": trace},
+                extra={"recourse_values": best_recourse, "cuts": len(cuts_rows), "cut_records": cut_records,
+                       "penalty": opts.infeasibility_penalty, "trace": trace},
             )
 
-        # add violated optimality cuts: theta_s >= p_s (dual'(h_s - T_s x))
+        # add violated optimality cuts: theta_s >= p_s (dual'(h_s - T_s x) - mu'u)
         added = 0
         for si, (s, sb) in enumerate(zip(problem.scenarios, subs)):
-            cut_const = s.prob * float(sb.dual @ s.h)
+            cut_const = s.prob * float(sb.dual @ s.h - sb.bound_term)
             cut_coefx = s.prob * (sb.dual @ s.T)  # theta_s >= cut_const - cut_coefx @ x
             if thetas[si] < s.prob * sb.value - 1e-9 * max(1.0, abs(sb.value)):
                 row = np.zeros(n + S)
@@ -260,20 +277,26 @@ def solve_benders(
                 # -cut_coefx @ x - theta_s <= -cut_const
                 cuts_rows.append(row)
                 cuts_rhs.append(-cut_const)
+                cut_records.append(
+                    {"scenario": si, "iteration": it,
+                     "dual": sb.dual.copy(), "mu": sb.mu.copy()}
+                )
                 added += 1
         if added == 0:
             # numerically converged without closing the reported gap
             return SolverResult(
                 status=SolverStatus.OPTIMAL, x=best_x, objective=best_upper, bound=lower,
                 nodes=it + 1,
-                extra={"recourse_values": best_recourse, "cuts": len(cuts_rows), "trace": trace},
+                extra={"recourse_values": best_recourse, "cuts": len(cuts_rows), "cut_records": cut_records,
+                       "penalty": opts.infeasibility_penalty, "trace": trace},
             )
 
     return SolverResult(
         status=SolverStatus.ITERATION_LIMIT, x=best_x,
         objective=best_upper if best_x is not None else math.nan,
         nodes=opts.max_iterations,
-        extra={"cuts": len(cuts_rows), "trace": trace},
+        extra={"cuts": len(cuts_rows), "cut_records": cut_records,
+                       "penalty": opts.infeasibility_penalty, "trace": trace},
     )
 
 

@@ -63,13 +63,42 @@ def _bounds(problem: CompiledProblem) -> list[tuple[float | None, float | None]]
     ]
 
 
-def _finish(problem: CompiledProblem, status: SolverStatus, x, iterations: int = 0, nodes: int = 0, bound=None) -> SolverResult:
+def _finish(problem: CompiledProblem, status: SolverStatus, x, iterations: int = 0, nodes: int = 0, bound=None, extra=None) -> SolverResult:
     if status.has_solution and x is not None:
         x = np.asarray(x, dtype=float)
         obj = problem.objective_value(x)
         b = obj if bound is None else (-bound if problem.maximize else bound)
-        return SolverResult(status=status, x=x, objective=obj, bound=b, iterations=iterations, nodes=nodes)
-    return SolverResult(status=status, iterations=iterations, nodes=nodes)
+        return SolverResult(
+            status=status, x=x, objective=obj, bound=b,
+            iterations=iterations, nodes=nodes, extra=extra or {},
+        )
+    return SolverResult(status=status, iterations=iterations, nodes=nodes, extra=extra or {})
+
+
+def _dual_certificate_from_linprog(problem: CompiledProblem, res) -> dict[str, np.ndarray] | None:
+    """Map HiGHS marginals to the checker's dual convention.
+
+    ``linprog`` marginals are the sensitivities d(opt)/d(rhs); for a
+    minimization with ``A_ub x <= b_ub`` they are nonpositive and relate to
+    the checker's nonnegative multipliers by a sign flip (``y = -marginal``).
+    Bound multipliers are re-derived by the checker from the reduced costs.
+    """
+    ineq = getattr(res, "ineqlin", None)
+    eq = getattr(res, "eqlin", None)
+    m_ub, m_eq = problem.A_ub.shape[0], problem.A_eq.shape[0]
+    y_ub = np.zeros(m_ub)
+    y_eq = np.zeros(m_eq)
+    if m_ub:
+        marg = getattr(ineq, "marginals", None)
+        if marg is None or len(marg) != m_ub:
+            return None
+        y_ub = -np.asarray(marg, dtype=float)
+    if m_eq:
+        marg = getattr(eq, "marginals", None)
+        if marg is None or len(marg) != m_eq:
+            return None
+        y_eq = -np.asarray(marg, dtype=float)
+    return {"y_ub": y_ub, "y_eq": y_eq}
 
 
 def solve_lp_scipy(
@@ -106,7 +135,12 @@ def solve_lp_scipy(
     iters = int(getattr(res, "nit", 0) or 0)
     if status is SolverStatus.ITERATION_LIMIT and deadline is not None and deadline.expired():
         status = SolverStatus.TIME_LIMIT  # HiGHS reports its time limit as status 1
-    return _finish(problem, status, res.x if res.success else None, iterations=iters)
+    extra = None
+    if status is SolverStatus.OPTIMAL and res.success:
+        cert = _dual_certificate_from_linprog(problem, res)
+        if cert is not None:
+            extra = {"dual_certificate": cert}
+    return _finish(problem, status, res.x if res.success else None, iterations=iters, extra=extra)
 
 
 def solve_milp_scipy(

@@ -38,6 +38,9 @@ __all__ = ["StandardForm", "SimplexTableau", "standardize", "simplex_solve", "so
 _EPS = 1e-9
 
 
+ROW_UB, ROW_EQ, ROW_BOUND = 0, 1, 2
+
+
 @dataclass
 class StandardForm:
     """Standard-form data plus the bookkeeping to map solutions back.
@@ -45,6 +48,13 @@ class StandardForm:
     ``x_original[j] = shift[j] + x_std[pos[j]] - (x_std[neg[j]] if split)``
     where ``pos``/``neg`` give the standard-form columns of each original
     variable (``neg[j] < 0`` when the variable was not split).
+
+    ``row_kind``/``row_ref``/``row_sign`` record, for every standard-form
+    row, which original constraint it came from (``ROW_UB``/``ROW_EQ`` with
+    the original row index, or ``ROW_BOUND`` with the variable index) and
+    whether the row was negated for phase 1.  This is what lets dual
+    vectors computed on the standard form be mapped back to multipliers of
+    the *original* ``A_ub``/``A_eq`` rows for certificate checking.
     """
 
     A: np.ndarray
@@ -54,6 +64,9 @@ class StandardForm:
     pos: np.ndarray
     neg: np.ndarray
     n_structural: int  # columns that correspond to original variables
+    row_kind: np.ndarray | None = None
+    row_ref: np.ndarray | None = None
+    row_sign: np.ndarray | None = None
 
     def recover(self, x_std: np.ndarray) -> np.ndarray:
         x = self.shift + x_std[self.pos]
@@ -61,6 +74,28 @@ class StandardForm:
         if split.any():
             x[split] -= x_std[self.neg[split]]
         return x
+
+    def map_row_duals(self, y_std: np.ndarray, m_ub: int, m_eq: int) -> dict[str, np.ndarray]:
+        """Translate standard-form row multipliers to original-row ones.
+
+        For a standard row built as ``sign * (original equation)``, the
+        multiplier on the original equation is ``sign * y_std``; the
+        original-space convention used by :mod:`repro.verify.certify`
+        (``y_ub >= 0`` entering the reduced costs as ``c + A_ub' y_ub``)
+        flips the sign once more.  Bound-row multipliers are dropped — the
+        checker re-derives optimal bound multipliers from the reduced
+        costs, which can only improve the certified bound.
+        """
+        y_row = -self.row_sign * y_std
+        y_ub = np.zeros(m_ub)
+        y_eq = np.zeros(m_eq)
+        for r in range(y_row.shape[0]):
+            kind = self.row_kind[r]
+            if kind == ROW_UB:
+                y_ub[self.row_ref[r]] = y_row[r]
+            elif kind == ROW_EQ:
+                y_eq[self.row_ref[r]] = y_row[r]
+        return {"y_ub": y_ub, "y_eq": y_eq}
 
 
 def standardize(problem: CompiledProblem) -> StandardForm:
@@ -117,15 +152,20 @@ def standardize(problem: CompiledProblem) -> StandardForm:
             adjust += coef * shift[j]
         return adjust
 
+    row_kind = np.zeros(m, dtype=np.int8)
+    row_ref = np.zeros(m, dtype=int)
+
     r = 0
     for i in range(m_ub):
         adj = scatter(problem.A_ub[i], A[r])
         A[r, n_structural + i] = 1.0  # slack
         b[r] = problem.b_ub[i] - adj
+        row_kind[r], row_ref[r] = ROW_UB, i
         r += 1
     for i in range(m_eq):
         adj = scatter(problem.A_eq[i], A[r])
         b[r] = problem.b_eq[i] - adj
+        row_kind[r], row_ref[r] = ROW_EQ, i
         r += 1
     for k, j in enumerate(bounded):
         A[r, pos[j]] = 1.0
@@ -133,6 +173,7 @@ def standardize(problem: CompiledProblem) -> StandardForm:
             A[r, neg[j]] = -1.0
         A[r, n_structural + m_ub + k] = 1.0  # bound slack
         b[r] = ub[j] - shift[j]
+        row_kind[r], row_ref[r] = ROW_BOUND, j
         r += 1
 
     # objective
@@ -147,18 +188,32 @@ def standardize(problem: CompiledProblem) -> StandardForm:
     flip = b < 0
     A[flip] *= -1.0
     b[flip] *= -1.0
+    row_sign = np.where(flip, -1.0, 1.0)
 
-    return StandardForm(A=A, b=b, c=c, shift=shift, pos=pos, neg=neg, n_structural=n_structural)
+    return StandardForm(
+        A=A, b=b, c=c, shift=shift, pos=pos, neg=neg, n_structural=n_structural,
+        row_kind=row_kind, row_ref=row_ref, row_sign=row_sign,
+    )
 
 
 @dataclass
 class SimplexTableau:
     """Final simplex state: ``T`` is the (m+1, n+1) tableau whose last row is
     reduced costs and last column the basic solution; ``basis[i]`` is the
-    column basic in row ``i``."""
+    column basic in row ``i``.
+
+    ``rows[i]`` is the index of tableau row ``i`` in the *input* constraint
+    matrix (redundant rows are dropped after phase 1, so the tableau may
+    have fewer rows than the standard form).  ``farkas`` is populated only
+    on infeasible exits: the phase-1 dual vector ``y`` (one entry per input
+    row) satisfying ``y'A <= 0`` and ``y'b > 0`` — a certificate that
+    ``Ax = b, x >= 0`` has no solution.
+    """
 
     T: np.ndarray
     basis: np.ndarray
+    rows: np.ndarray | None = None
+    farkas: np.ndarray | None = None
 
     @property
     def m(self) -> int:
@@ -259,7 +314,9 @@ def simplex_solve(
         if np.any(c < -_EPS):
             return "unbounded", None, -math.inf, 0, None
         x = np.zeros(n)
-        return "optimal", x, 0.0, 0, SimplexTableau(np.zeros((1, n + 1)), np.zeros(0, dtype=int))
+        return "optimal", x, 0.0, 0, SimplexTableau(
+            np.zeros((1, n + 1)), np.zeros(0, dtype=int), rows=np.zeros(0, dtype=int)
+        )
 
     # Phase 1: artificial basis.
     T = np.zeros((m + 1, n + m + 1))
@@ -280,7 +337,11 @@ def simplex_solve(
     if status in ("limit", "deadline"):
         return status, None, math.nan, it1, None
     if T[-1, -1] < -1e-7:
-        return "infeasible", None, math.nan, it1, None
+        # Phase-1 optimum is positive: read the Farkas vector off the
+        # artificial columns (c_a = 1, so y_i = 1 - reduced_cost(a_i)).
+        farkas = 1.0 - T[-1, n : n + m]
+        tab = SimplexTableau(T, basis, rows=np.arange(m), farkas=farkas)
+        return "infeasible", None, math.nan, it1, tab
 
     # Drive remaining artificials out of the basis where possible.
     for i in range(m):
@@ -297,6 +358,7 @@ def simplex_solve(
             keep_rows[i] = False
     T = np.concatenate([T[:-1][keep_rows], T[-1:]], axis=0)
     basis = basis[keep_rows]
+    row_ids = np.nonzero(keep_rows)[0]
     T = np.delete(T, np.s_[n : n + m], axis=1)
     m2 = T.shape[0] - 1
 
@@ -315,13 +377,38 @@ def simplex_solve(
             info["pivots"] = it2
     else:
         status, it2 = _iterate(T, basis, max_iter, deadline)
-    tableau = SimplexTableau(T, basis)
+    tableau = SimplexTableau(T, basis, rows=row_ids)
     if status == "optimal":
         x = tableau.solution()
         return "optimal", x, float(c @ x), it1 + it2, tableau
     if status == "unbounded":
         return "unbounded", None, -math.inf, it1 + it2, None
     return status, None, math.nan, it1 + it2, None
+
+
+def _dual_certificate(
+    problem: CompiledProblem, sf: StandardForm, tableau: SimplexTableau
+) -> dict[str, np.ndarray] | None:
+    """Recover original-space dual multipliers from the optimal basis.
+
+    Solves ``B' y = c_B`` on the standard form restricted to the rows that
+    survived phase 1 (dropped redundant rows get multiplier 0), then maps
+    the row duals back through the ub/eq/bound bookkeeping.  Returns
+    ``None`` when the basis matrix is numerically singular — the solve is
+    then simply uncertified rather than wrongly certified.
+    """
+    if tableau.rows is None or sf.row_kind is None:
+        return None
+    kept = tableau.rows
+    B = sf.A[kept][:, tableau.basis]
+    c_B = sf.c[tableau.basis]
+    try:
+        y_kept = np.linalg.solve(B.T, c_B)
+    except np.linalg.LinAlgError:
+        return None
+    y_std = np.zeros(sf.A.shape[0])
+    y_std[kept] = y_kept
+    return sf.map_row_duals(y_std, problem.A_ub.shape[0], problem.A_eq.shape[0])
 
 
 def solve_lp_simplex(
@@ -336,6 +423,12 @@ def solve_lp_simplex(
     MILPs).  The returned ``extra['tableau']``/``extra['standard_form']``
     feed the Gomory cut generator.  An expired ``deadline`` unwinds the
     pivot loop and surfaces as ``SolverStatus.TIME_LIMIT``.
+
+    Certificates: an ``OPTIMAL`` result carries
+    ``extra['dual_certificate']`` (``y_ub``/``y_eq`` multipliers of the
+    original rows) and an ``INFEASIBLE`` one carries
+    ``extra['farkas_certificate']`` — both in the exact convention checked
+    by :func:`repro.verify.certify_result`.
     """
     sf = standardize(problem)
     status, x_std, obj_std, iters, tableau = simplex_solve(
@@ -345,12 +438,21 @@ def solve_lp_simplex(
         x = sf.recover(x_std)
         raw = float(problem.c @ x) + problem.c0
         obj = -raw if problem.maximize else raw
+        extra = {"tableau": tableau, "standard_form": sf}
+        cert = _dual_certificate(problem, sf, tableau)
+        if cert is not None:
+            extra["dual_certificate"] = cert
         return SolverResult(
             status=SolverStatus.OPTIMAL, x=x, objective=obj, bound=obj,
-            iterations=iters, extra={"tableau": tableau, "standard_form": sf},
+            iterations=iters, extra=extra,
         )
     if status == "infeasible":
-        return SolverResult(status=SolverStatus.INFEASIBLE, iterations=iters)
+        extra = {}
+        if tableau is not None and tableau.farkas is not None:
+            extra["farkas_certificate"] = sf.map_row_duals(
+                tableau.farkas, problem.A_ub.shape[0], problem.A_eq.shape[0]
+            )
+        return SolverResult(status=SolverStatus.INFEASIBLE, iterations=iters, extra=extra)
     if status == "unbounded":
         return SolverResult(status=SolverStatus.UNBOUNDED, iterations=iters)
     if status == "deadline":

@@ -44,6 +44,10 @@ Event kinds (``SolveEvent.kind``) emitted by the stack:
     A supplied initial incumbent failed the feasibility check.
 ``deadline_exceeded``
     A layer observed the shared deadline expiring and is unwinding.
+``fuzz_case`` / ``fuzz_disagreement`` / ``fuzz_summary``
+    Differential-fuzzing progress from :mod:`repro.verify.fuzz`: one event
+    per generated case (family, verdict), one per oracle divergence, and
+    one final tally.
 """
 
 from __future__ import annotations
@@ -77,6 +81,9 @@ EVENT_KINDS = frozenset(
         "backend_degraded",
         "warm_start_rejected",
         "deadline_exceeded",
+        "fuzz_case",
+        "fuzz_disagreement",
+        "fuzz_summary",
     }
 )
 

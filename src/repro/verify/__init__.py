@@ -1,0 +1,57 @@
+"""Solver certification and differential fuzzing.
+
+Three layers of independent evidence that the solver stack is right:
+
+* :mod:`repro.verify.certify` — exact-arithmetic certificate checking of
+  final answers (primal feasibility, duality gap, Farkas infeasibility
+  proofs, plan-level constraint walks).
+* :mod:`repro.verify.audits` — invariants of the solve *process*
+  (branch-and-bound bound monotonicity and prune justification, Benders
+  cut dual-feasibility).
+* :mod:`repro.verify.oracle` / :mod:`repro.verify.fuzz` — differential
+  testing over seeded generators with planted optima
+  (:mod:`repro.verify.generators`), with shrinking of any divergence to a
+  minimal reproducer (:mod:`repro.verify.shrink`).
+
+Entry point: ``repro fuzz`` on the CLI, or :func:`run_fuzz` here.
+"""
+
+from .audits import all_passed, audit_bb_events, audit_benders_cuts
+from .certify import (
+    CertificateReport,
+    Check,
+    certify_drrp_plan,
+    certify_infeasible,
+    certify_result,
+    certify_srrp_plan,
+    exact_dual_bound,
+)
+from .fuzz import SMOKE_CASES, FuzzConfig, FuzzReport, run_fuzz
+from .generators import FAMILIES, GeneratedCase
+from .oracle import Disagreement, cross_check_case, serialize_witness, shrink_disagreement
+from .shrink import shrink_drrp, shrink_problem
+
+__all__ = [
+    "CertificateReport",
+    "Check",
+    "certify_result",
+    "certify_infeasible",
+    "certify_drrp_plan",
+    "certify_srrp_plan",
+    "exact_dual_bound",
+    "audit_bb_events",
+    "audit_benders_cuts",
+    "all_passed",
+    "FAMILIES",
+    "GeneratedCase",
+    "Disagreement",
+    "cross_check_case",
+    "shrink_disagreement",
+    "serialize_witness",
+    "shrink_problem",
+    "shrink_drrp",
+    "FuzzConfig",
+    "FuzzReport",
+    "run_fuzz",
+    "SMOKE_CASES",
+]

@@ -1,0 +1,140 @@
+"""Structural audits of solver *process* evidence.
+
+The certificate checker (:mod:`repro.verify.certify`) validates final
+answers; the audits here validate the evidence a solver emits *while
+running*:
+
+* :func:`audit_bb_events` replays a branch-and-bound telemetry stream and
+  checks the invariants of a correct best-first search — closed-node
+  bounds never decrease, prunes are justified by the incumbent at the
+  time, and incumbents strictly improve.
+* :func:`audit_benders_cuts` checks every optimality cut the L-shaped
+  loop added: a cut is valid if and only if its generating multipliers
+  are feasible for the elastic recourse dual (``dual'W - mu <= q``,
+  ``mu >= 0``, ``|dual| <= penalty``) — an infeasible multiplier vector
+  would make the cut slice off true solutions, which is exactly the bug
+  class the differential oracle caught in the finite-``y_ub`` case.
+
+Both return a list of :class:`~repro.verify.certify.Check` records so
+failures read the same way as certification failures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solver.benders import TwoStageProblem
+from repro.solver.telemetry import SolveEvent
+
+from .certify import Check
+
+__all__ = ["audit_bb_events", "audit_benders_cuts", "all_passed"]
+
+
+def all_passed(checks: list[Check]) -> bool:
+    return all(c.passed for c in checks)
+
+
+def audit_bb_events(
+    events: list[SolveEvent], tol: float = 1e-9, maximize: bool = False
+) -> list[Check]:
+    """Replay a telemetry stream and check branch-and-bound invariants.
+
+    Bounds in ``node_open`` / ``node_close`` / ``node_prune`` events are in
+    the solver's internal minimize sense, as is the ``incumbent`` field of
+    a prune event; ``incumbent`` *events* carry the model-sense objective,
+    so ``maximize`` tells the audit which direction counts as improvement.
+    """
+    checks: list[Check] = []
+
+    closes = [e for e in events if e.kind == "node_close"]
+    prev = -np.inf
+    monotone = True
+    worst = 0.0
+    for e in closes:
+        b = float(e.data["bound"])
+        if b < prev - tol:
+            monotone = False
+            worst = max(worst, prev - b)
+        prev = max(prev, b)
+    checks.append(Check(
+        "bounds_monotone", monotone, worst,
+        "best-first node_close bounds must be non-decreasing",
+    ))
+
+    prunes = [e for e in events if e.kind == "node_prune" and "incumbent" in e.data]
+    bad_prunes = 0
+    worst = 0.0
+    for e in prunes:
+        b, inc = float(e.data["bound"]), float(e.data["incumbent"])
+        if not np.isfinite(inc):
+            continue  # pruning against +inf incumbent never happens; skip defensively
+        # branch-and-bound prunes at a relative gap (see BranchAndBoundOptions
+        # .rel_gap); allow the same slack here so tight-but-correct prunes pass
+        if b < inc - 1e-6 * max(1.0, abs(inc)) - tol:
+            bad_prunes += 1
+            worst = max(worst, inc - b)
+    checks.append(Check(
+        "prunes_justified", bad_prunes == 0, worst,
+        f"{bad_prunes} prune(s) discarded a node whose bound beat the incumbent",
+    ))
+
+    incumbents = [e for e in events if e.kind == "incumbent"]
+    improving = True
+    worst = 0.0
+    prev_obj = None
+    for e in incumbents:
+        obj = float(e.data["objective"])
+        if prev_obj is not None:
+            delta = obj - prev_obj if maximize else prev_obj - obj
+            if delta < -tol:
+                improving = False
+                worst = max(worst, -delta)
+        prev_obj = obj
+    checks.append(Check(
+        "incumbents_improve", improving, worst,
+        "each incumbent must be at least as good as the previous one",
+    ))
+    return checks
+
+
+def audit_benders_cuts(
+    problem: TwoStageProblem,
+    cut_records: list[dict],
+    penalty: float,
+    tol: float = 1e-7,
+) -> list[Check]:
+    """Check dual feasibility of every recorded L-shaped optimality cut.
+
+    ``cut_records`` and ``penalty`` come from ``result.extra`` of
+    :func:`repro.solver.benders.solve_benders`.  The elastic subproblem is
+    ``min q'y + penalty(u+v)`` s.t. ``Wy + u - v = h - Tx``, ``0 <= y <=
+    y_ub``, so a multiplier pair ``(dual, mu)`` generates a globally valid
+    cut iff ``dual'W - mu <= q``, ``mu >= 0`` and ``|dual| <= penalty``
+    (the elastic columns' reduced costs).
+    """
+    checks: list[Check] = []
+    for k, rec in enumerate(cut_records):
+        s = problem.scenarios[int(rec["scenario"])]
+        dual = np.asarray(rec["dual"], dtype=float)
+        mu = np.asarray(rec.get("mu", np.zeros(s.q.shape[0])), dtype=float)
+        label = f"cut[{k}] (scenario {rec['scenario']}, iteration {rec.get('iteration')})"
+
+        viol = float(np.max(-mu, initial=0.0))
+        if viol > tol:
+            checks.append(Check(f"{label} mu_nonneg", False, viol,
+                                "bound multipliers must be nonnegative"))
+            continue
+        reduced = dual @ s.W - mu - s.q
+        viol = float(np.max(reduced, initial=0.0))
+        if viol > tol * (1.0 + float(np.abs(s.q).max(initial=0.0))):
+            checks.append(Check(f"{label} dual_feasible", False, viol,
+                                "dual'W - mu <= q violated: the cut can cut off optima"))
+            continue
+        viol = float(np.max(np.abs(dual), initial=0.0)) - penalty
+        if viol > tol * (1.0 + penalty):
+            checks.append(Check(f"{label} elastic_bound", False, viol,
+                                "|dual| exceeds the elastic penalty"))
+            continue
+        checks.append(Check(f"{label}", True, 0.0, "valid optimality cut"))
+    return checks

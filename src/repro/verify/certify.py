@@ -1,0 +1,475 @@
+"""Exact-arithmetic certificate checking for solver results.
+
+The hand-rolled simplex/B&B/Benders stack replaces a commercial solver, so
+nothing short of an *independent* checker can distinguish "optimal" from
+"plausibly cheap".  This module is that checker.  It never calls a solver:
+given a :class:`~repro.solver.model.CompiledProblem` and a claimed
+:class:`~repro.solver.result.SolverResult`, it re-derives every quantity in
+:class:`fractions.Fraction` arithmetic (floats are exact binary rationals,
+so the conversion is lossless) and verifies
+
+* **primal feasibility** — bounds, inequality and equality residuals, and
+  integrality of the returned point;
+* **objective consistency** — the claimed objective against an exact
+  re-evaluation of ``c'x + c0`` (catches mutated objectives);
+* **dual bounds** — given the ``(y_ub, y_eq)`` multipliers exported by the
+  simplex and HiGHS backends, the Lagrangian bound
+
+      g(y) = sum_j min(r_j lb_j, r_j ub_j) - y_ub' b_ub - y_eq' b_eq,
+      r = c + A_ub' y_ub + A_eq' y_eq,   y_ub >= 0,
+
+  is a true lower bound on the optimum for *any* nonnegative ``y_ub``
+  (negative entries are clamped to zero, which keeps validity), so the
+  duality gap ``c'x - g(y)`` certifies optimality without trusting the
+  backend;
+* **Farkas certificates** — the same bound with ``c = 0``: a positive
+  value proves the constraint system empty, certifying ``INFEASIBLE``.
+
+The only concession to floating point is an epsilon on the reduced cost of
+*free* directions (``r_j`` must vanish where a bound is infinite); solver
+multipliers carry rounding noise there, so ``|r_j| <= rtol`` is treated as
+zero and the result is an epsilon-certificate with every tolerance applied
+explicitly and reported.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+import numpy as np
+
+from repro.solver.model import CompiledProblem
+from repro.solver.result import SolverResult, SolverStatus
+
+__all__ = [
+    "Check",
+    "CertificateReport",
+    "certify_result",
+    "certify_infeasible",
+    "exact_dual_bound",
+    "certify_drrp_plan",
+    "certify_srrp_plan",
+]
+
+
+def _F(x) -> Fraction:
+    """Exact rational from a float (floats are binary rationals)."""
+    return Fraction(float(x))
+
+
+def _fvec(a) -> list[Fraction]:
+    return [_F(v) for v in np.asarray(a, dtype=float)]
+
+
+@dataclass
+class Check:
+    """One verified property: name, pass/fail, and the worst violation."""
+
+    name: str
+    passed: bool
+    violation: float = 0.0
+    detail: str = ""
+
+
+@dataclass
+class CertificateReport:
+    """Outcome of a certification pass.
+
+    ``verdict`` is ``"certified"`` (every check passed, including a gap or
+    Farkas check where one was possible), ``"rejected"`` (at least one
+    check failed — the result is *wrong*, not merely unverifiable) or
+    ``"incomplete"`` (feasibility holds but no certificate was available
+    to pin down optimality/infeasibility).
+    """
+
+    verdict: str
+    claim: str
+    checks: list[Check] = field(default_factory=list)
+    duality_gap: float | None = None
+    dual_bound: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict == "certified"
+
+    @property
+    def rejected(self) -> bool:
+        return self.verdict == "rejected"
+
+    def failures(self) -> list[Check]:
+        return [c for c in self.checks if not c.passed]
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        bits = [f"{self.verdict} ({self.claim})"]
+        for c in self.checks:
+            mark = "ok" if c.passed else f"FAIL {c.violation:.3g} {c.detail}"
+            bits.append(f"  {c.name}: {mark}")
+        return "\n".join(bits)
+
+
+def _primal_checks(problem: CompiledProblem, x: np.ndarray, tol: float) -> list[Check]:
+    """Exact feasibility of ``x``: bounds, rows, integrality."""
+    checks: list[Check] = []
+    xf = _fvec(x)
+    ftol = _F(tol)
+
+    worst = Fraction(0)
+    where = ""
+    for j, (xj, lo, hi) in enumerate(zip(xf, problem.lb, problem.ub)):
+        if math.isfinite(lo) and _F(lo) - xj > worst:
+            worst, where = _F(lo) - xj, f"x[{j}] below lb"
+        if math.isfinite(hi) and xj - _F(hi) > worst:
+            worst, where = xj - _F(hi), f"x[{j}] above ub"
+    checks.append(Check("bounds", worst <= ftol, float(worst), where))
+
+    def row_violations(A, b, equality: bool) -> tuple[Fraction, str]:
+        worst = Fraction(0)
+        where = ""
+        for i in range(A.shape[0]):
+            acc = Fraction(0)
+            row = A[i]
+            for j in np.nonzero(row)[0]:
+                acc += _F(row[j]) * xf[j]
+            resid = acc - _F(b[i])
+            v = abs(resid) if equality else resid
+            scale = 1 + abs(_F(b[i]))
+            if v / scale > worst:
+                worst, where = v / scale, f"row {i}"
+        return worst, where
+
+    if problem.A_ub.size:
+        v, w = row_violations(problem.A_ub, problem.b_ub, equality=False)
+        checks.append(Check("inequalities", v <= ftol, float(v), w))
+    if problem.A_eq.size:
+        v, w = row_violations(problem.A_eq, problem.b_eq, equality=True)
+        checks.append(Check("equalities", v <= ftol, float(v), w))
+
+    mask = problem.integrality.astype(bool)
+    if mask.any():
+        fracs = np.abs(x[mask] - np.round(x[mask]))
+        j = int(np.argmax(fracs))
+        checks.append(
+            Check("integrality", float(fracs.max()) <= tol, float(fracs.max()),
+                  f"integer var #{j} fractional" if fracs.max() > tol else "")
+        )
+    return checks
+
+
+def exact_dual_bound(
+    problem: CompiledProblem,
+    y_ub: np.ndarray,
+    y_eq: np.ndarray,
+    rtol: float = 1e-7,
+    zero_objective: bool = False,
+) -> Fraction | None:
+    """Exact Lagrangian bound on ``min c'x + c0`` from row multipliers.
+
+    Negative ``y_ub`` entries are clamped to zero (still a valid
+    multiplier vector, so the returned value is always a true bound).
+    Returns ``None`` when a free direction has a reduced cost beyond
+    ``rtol`` — the bound would be ``-inf`` and certifies nothing.  With
+    ``zero_objective=True`` the bound is for ``0'x`` (Farkas mode: a
+    positive value proves infeasibility).
+    """
+    n = problem.num_vars
+    yu = [max(v, Fraction(0)) for v in _fvec(y_ub)]
+    ye = _fvec(y_eq)
+    c = [Fraction(0)] * n if zero_objective else _fvec(problem.c)
+    eps = _F(rtol)
+
+    r = list(c)
+    A_ub, A_eq = problem.A_ub, problem.A_eq
+    for i in range(A_ub.shape[0]):
+        if yu[i] == 0:
+            continue
+        row = A_ub[i]
+        for j in np.nonzero(row)[0]:
+            r[j] += yu[i] * _F(row[j])
+    for i in range(A_eq.shape[0]):
+        if ye[i] == 0:
+            continue
+        row = A_eq[i]
+        for j in np.nonzero(row)[0]:
+            r[j] += ye[i] * _F(row[j])
+
+    total = Fraction(0) if zero_objective else _F(problem.c0)
+    for j in range(n):
+        lo, hi = problem.lb[j], problem.ub[j]
+        if r[j] > eps:
+            if not math.isfinite(lo):
+                return None
+            total += r[j] * _F(lo)
+        elif r[j] < -eps:
+            if not math.isfinite(hi):
+                return None
+            total += r[j] * _F(hi)
+        # |r_j| <= eps: treated as zero (epsilon-certificate)
+    for i in range(A_ub.shape[0]):
+        total -= yu[i] * _F(problem.b_ub[i])
+    for i in range(A_eq.shape[0]):
+        total -= ye[i] * _F(problem.b_eq[i])
+    return total
+
+
+def _internal_objective(problem: CompiledProblem, model_objective: float) -> float:
+    """Model-sense objective -> the internal minimize scale of ``c``/``c0``."""
+    return -model_objective if problem.maximize else model_objective
+
+
+def certify_infeasible(
+    problem: CompiledProblem, farkas: dict, rtol: float = 1e-7
+) -> CertificateReport:
+    """Verify a Farkas certificate: the zero-objective dual bound must be
+    strictly positive, which proves the constraint system empty."""
+    bound = exact_dual_bound(
+        problem, farkas.get("y_ub", np.zeros(0)), farkas.get("y_eq", np.zeros(0)),
+        rtol=rtol, zero_objective=True,
+    )
+    if bound is None:
+        return CertificateReport(
+            "incomplete", "infeasible",
+            [Check("farkas_bounded", False, detail="free direction not priced out")],
+        )
+    ok = bound > 0
+    check = Check("farkas_positive", ok, float(max(-bound, 0)),
+                  "" if ok else f"certificate value {float(bound):.3g} <= 0")
+    return CertificateReport(
+        "certified" if ok else "incomplete", "infeasible", [check],
+        dual_bound=float(bound),
+    )
+
+
+def certify_result(
+    problem: CompiledProblem,
+    result: SolverResult,
+    tol: float = 1e-6,
+) -> CertificateReport:
+    """Certify a :class:`SolverResult` against its compiled problem.
+
+    * ``OPTIMAL`` LP results with a ``dual_certificate`` in ``extra`` get
+      the full treatment: exact primal feasibility, objective consistency,
+      and a duality-gap check; all three passing yields ``"certified"``.
+    * ``OPTIMAL`` MILP results are checked for primal feasibility,
+      integrality, objective consistency and self-consistency of the
+      reported bound (``bound <= objective`` in the minimize sense); the
+      bound itself is backend-reported, so the verdict is ``"certified"``
+      only in combination with a generator-known optimum (see
+      :mod:`repro.verify.generators`) or a cross-backend agreement (see
+      :mod:`repro.verify.oracle`) — alone it is ``"incomplete"``.
+    * ``INFEASIBLE`` results with a ``farkas_certificate`` are certified
+      via the zero-objective bound.
+
+    Any failing check makes the verdict ``"rejected"`` — this is how a
+    deliberately corrupted solution (tampered ``x`` or mutated objective)
+    is detected.
+    """
+    status = result.status
+    if status is SolverStatus.INFEASIBLE:
+        farkas = result.extra.get("farkas_certificate")
+        if farkas is None:
+            return CertificateReport("incomplete", "infeasible",
+                                     [Check("farkas_present", False, detail="no certificate exported")])
+        return certify_infeasible(problem, farkas, rtol=tol)
+
+    if not status.has_solution or result.x is None:
+        return CertificateReport("incomplete", status.value, [])
+
+    x = np.asarray(result.x, dtype=float)
+    checks = _primal_checks(problem, x, tol)
+
+    primal = Fraction(0)
+    xf = _fvec(x)
+    for j in np.nonzero(problem.c)[0]:
+        primal += _F(problem.c[j]) * xf[j]
+    primal += _F(problem.c0)
+
+    claimed = _internal_objective(problem, result.objective)
+    if math.isfinite(claimed):
+        scale = 1 + abs(primal)
+        dev = abs(_F(claimed) - primal) / scale
+        checks.append(
+            Check("objective_consistent", dev <= _F(tol), float(dev),
+                  "" if dev <= _F(tol) else
+                  f"claimed {claimed:.6g} vs recomputed {float(primal):.6g}")
+        )
+    else:
+        checks.append(Check("objective_consistent", False, detail="claimed objective is not finite"))
+
+    gap: float | None = None
+    dual_bound: float | None = None
+    is_mip = bool(problem.integrality.any())
+    cert = result.extra.get("dual_certificate")
+    claim = status.value
+
+    if cert is not None and not is_mip:
+        min_y = float(np.min(cert["y_ub"])) if np.asarray(cert["y_ub"]).size else 0.0
+        checks.append(Check("dual_sign", min_y >= -tol, max(-min_y, 0.0),
+                            "" if min_y >= -tol else "negative inequality multiplier"))
+        g = exact_dual_bound(problem, cert["y_ub"], cert["y_eq"], rtol=tol)
+        if g is None:
+            checks.append(Check("dual_bounded", False, detail="free direction not priced out"))
+        else:
+            dual_bound = float(g)
+            gap_f = primal - g  # >= 0 by weak duality (exact)
+            scale = 1 + abs(primal) + abs(g)
+            gap = float(gap_f)
+            if status is SolverStatus.OPTIMAL:
+                ok = abs(gap_f) / scale <= _F(tol)
+                checks.append(
+                    Check("duality_gap", ok, abs(gap) / float(scale),
+                          "" if ok else f"gap {gap:.3g} exceeds tolerance")
+                )
+    elif is_mip and status is SolverStatus.OPTIMAL and math.isfinite(result.bound):
+        b_int = _internal_objective(problem, result.bound)
+        scale = 1 + abs(primal)
+        slack = (_F(b_int) - primal) / scale  # bound must not exceed objective
+        checks.append(
+            Check("bound_consistent", slack <= _F(tol), float(max(slack, 0)),
+                  "" if slack <= _F(tol) else "reported dual bound above objective")
+        )
+        gap = float(primal - _F(b_int))
+
+    all_passed = all(c.passed for c in checks)
+    if not all_passed:
+        verdict = "rejected"
+    elif status is SolverStatus.OPTIMAL and gap is not None and (cert is not None and not is_mip):
+        verdict = "certified"
+    elif status is SolverStatus.OPTIMAL and is_mip:
+        # feasible + integral + bound-consistent: optimality itself still
+        # needs an external reference (known optimum or oracle agreement).
+        verdict = "incomplete"
+    elif status is SolverStatus.FEASIBLE:
+        verdict = "certified" if claim == "feasible" else "incomplete"
+        claim = "feasible"
+    else:
+        verdict = "incomplete"
+    return CertificateReport(verdict, claim, checks, duality_gap=gap, dual_bound=dual_bound)
+
+
+# -- plan-level certification -------------------------------------------------
+
+
+def certify_drrp_plan(instance, plan, tol: float = 1e-6) -> CertificateReport:
+    """Exact constraint + cost-decomposition check of a DRRP rental plan.
+
+    Independent of any solver: re-walks the inventory balance recursion,
+    the forcing constraint, nonnegativity and the binary rental marker in
+    exact arithmetic, then re-prices the plan and compares against the
+    claimed objective.
+    """
+    checks: list[Check] = []
+    ftol = _F(tol)
+    T = instance.horizon
+    alpha, beta, chi = _fvec(plan.alpha), _fvec(plan.beta), _fvec(plan.chi)
+    demand = _fvec(instance.demand)
+
+    worst = Fraction(0)
+    where = ""
+    prev = _F(instance.initial_storage)
+    for t in range(T):
+        resid = abs(prev + alpha[t] - beta[t] - demand[t])
+        if resid > worst:
+            worst, where = resid, f"balance at t={t}"
+        prev = beta[t]
+    checks.append(Check("balance", worst <= ftol, float(worst), where))
+
+    B = _F(instance.forcing_bound)
+    worst = Fraction(0)
+    where = ""
+    for t in range(T):
+        cap = B if chi[t] > Fraction(1, 2) else Fraction(0)
+        if alpha[t] - cap > worst:
+            worst, where = alpha[t] - cap, f"forcing at t={t}"
+        if -alpha[t] > worst:
+            worst, where = -alpha[t], f"alpha[{t}] negative"
+        if -beta[t] > worst:
+            worst, where = -beta[t], f"beta[{t}] negative"
+        if min(abs(chi[t]), abs(chi[t] - 1)) > worst:
+            worst, where = min(abs(chi[t]), abs(chi[t] - 1)), f"chi[{t}] not binary"
+    checks.append(Check("forcing_and_domains", worst <= ftol, float(worst), where))
+
+    if instance.bottleneck_rate is not None:
+        P = _F(instance.bottleneck_rate)
+        worst = Fraction(0)
+        for t in range(T):
+            v = P * alpha[t] - _F(instance.bottleneck_capacity[t])
+            worst = max(worst, v)
+        checks.append(Check("bottleneck", worst <= ftol, float(worst)))
+
+    c = instance.costs
+    total = Fraction(0)
+    phi = _F(instance.phi)
+    for t in range(T):
+        total += _F(c.compute[t]) * chi[t]
+        total += (_F(c.storage[t]) + _F(c.io[t])) * beta[t]
+        total += _F(c.transfer_in[t]) * phi * alpha[t]
+        total += _F(c.transfer_out[t]) * demand[t]
+    scale = 1 + abs(total)
+    dev = abs(_F(plan.objective) - total) / scale
+    checks.append(
+        Check("objective_consistent", dev <= ftol, float(dev),
+              "" if dev <= ftol else
+              f"claimed {plan.objective:.6g} vs repriced {float(total):.6g}")
+    )
+
+    ok = all(ch.passed for ch in checks)
+    return CertificateReport("certified" if ok else "rejected", "feasible_plan", checks)
+
+
+def certify_srrp_plan(instance, plan, tol: float = 1e-6) -> CertificateReport:
+    """Exact constraint + expected-cost check of an SRRP recourse policy."""
+    checks: list[Check] = []
+    ftol = _F(tol)
+    tree = instance.tree
+    alpha, beta, chi = _fvec(plan.alpha), _fvec(plan.beta), _fvec(plan.chi)
+    demand = _fvec(instance.demand)
+    B = _F(instance.forcing_bound)
+
+    worst = Fraction(0)
+    where = ""
+    for node in tree.nodes:
+        prev = _F(instance.initial_storage) if node.parent < 0 else beta[node.parent]
+        resid = abs(prev + alpha[node.index] - beta[node.index] - demand[node.depth])
+        if resid > worst:
+            worst, where = resid, f"balance at vertex {node.index}"
+    checks.append(Check("balance", worst <= ftol, float(worst), where))
+
+    worst = Fraction(0)
+    where = ""
+    for node in tree.nodes:
+        v = node.index
+        cap = B if chi[v] > Fraction(1, 2) else Fraction(0)
+        if alpha[v] - cap > worst:
+            worst, where = alpha[v] - cap, f"forcing at vertex {v}"
+        if -alpha[v] > worst:
+            worst, where = -alpha[v], f"alpha[{v}] negative"
+        if -beta[v] > worst:
+            worst, where = -beta[v], f"beta[{v}] negative"
+        if min(abs(chi[v]), abs(chi[v] - 1)) > worst:
+            worst, where = min(abs(chi[v]), abs(chi[v] - 1)), f"chi[{v}] not binary"
+    checks.append(Check("forcing_and_domains", worst <= ftol, float(worst), where))
+
+    c = instance.costs
+    phi = _F(instance.phi)
+    total = Fraction(0)
+    for node in tree.nodes:
+        t, v = node.depth, node.index
+        p = _F(node.abs_prob)
+        total += p * (
+            _F(c.transfer_in[t]) * phi * alpha[v]
+            + (_F(c.storage[t]) + _F(c.io[t])) * beta[v]
+            + _F(node.price) * chi[v]
+            + _F(c.transfer_out[t]) * demand[t]
+        )
+    scale = 1 + abs(total)
+    dev = abs(_F(plan.expected_cost) - total) / scale
+    checks.append(
+        Check("expected_cost_consistent", dev <= ftol, float(dev),
+              "" if dev <= ftol else
+              f"claimed {plan.expected_cost:.6g} vs repriced {float(total):.6g}")
+    )
+
+    ok = all(ch.passed for ch in checks)
+    return CertificateReport("certified" if ok else "rejected", "feasible_policy", checks)

@@ -1,0 +1,250 @@
+"""Budgeted differential fuzzing over the generator families.
+
+:func:`run_fuzz` round-robins the seeded instance generators
+(:mod:`repro.verify.generators`), and for every case
+
+1. runs the family's differential cross-check (:mod:`repro.verify.oracle`),
+2. certifies one primary solve with the exact checker
+   (:mod:`repro.verify.certify`) or its plan/process-level counterparts,
+3. on a divergence, shrinks the witness to a minimal reproducer and
+   persists it as JSON under ``out_dir``.
+
+The loop is budgeted by a :class:`~repro.solver.telemetry.Deadline` and a
+case count — whichever runs out first — and reports through the same
+telemetry listener API as the solvers (``fuzz_case`` per instance,
+``fuzz_disagreement`` per divergence, one ``fuzz_summary``), so the CLI's
+``--telemetry`` plumbing works unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.drrp import DRRPInstance, solve_drrp
+from repro.core.lotsizing import solve_wagner_whitin
+from repro.core.srrp import SRRPInstance, solve_srrp
+from repro.solver.benders import TwoStageProblem, solve_benders
+from repro.solver.interface import solve_compiled
+from repro.solver.model import CompiledProblem
+from repro.solver.result import SolverStatus
+from repro.solver.scipy_backend import scipy_available
+from repro.solver.telemetry import Deadline, Telemetry
+
+from .audits import all_passed, audit_benders_cuts
+from .certify import certify_drrp_plan, certify_result, certify_srrp_plan
+from .generators import FAMILIES, GeneratedCase
+from .oracle import Disagreement, cross_check_case, serialize_witness, shrink_disagreement
+
+__all__ = ["FuzzConfig", "FuzzReport", "run_fuzz", "SMOKE_CASES"]
+
+SMOKE_CASES = 216  # ~31 per family; the smoke gate requires >= 200 certified
+
+
+@dataclass
+class FuzzConfig:
+    """Knobs for one fuzz run; defaults match the CI smoke configuration."""
+
+    seed: int = 0
+    max_cases: int = SMOKE_CASES
+    budget: float = math.inf            # wall-clock seconds for the whole run
+    families: tuple[str, ...] = tuple(FAMILIES)
+    out_dir: str | Path | None = None   # where shrunk reproducers are written
+    tol: float = 1e-6
+    shrink: bool = True
+    max_shrink_evals: int = 120
+
+
+@dataclass
+class FuzzReport:
+    """Tally of one fuzz run (see ``to_dict`` for the JSON shape)."""
+
+    cases: int = 0
+    certified: int = 0
+    gap_violations: int = 0
+    disagreements: list[Disagreement] = field(default_factory=list)
+    by_family: dict[str, dict] = field(default_factory=dict)
+    reproducer_files: list[str] = field(default_factory=list)
+    elapsed: float = 0.0
+    stopped_by: str = "cases"           # "cases" | "deadline"
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements and self.gap_violations == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "cases": self.cases,
+            "certified": self.certified,
+            "gap_violations": self.gap_violations,
+            "disagreements": [
+                {"family": d.family, "kind": d.kind, "detail": _jsonable(d.detail)}
+                for d in self.disagreements
+            ],
+            "by_family": self.by_family,
+            "reproducer_files": self.reproducer_files,
+            "elapsed": self.elapsed,
+            "stopped_by": self.stopped_by,
+        }
+
+    def summary_line(self) -> str:
+        return (
+            f"fuzz: cases={self.cases} certified={self.certified} "
+            f"gap_violations={self.gap_violations} "
+            f"disagreements={len(self.disagreements)} "
+            f"elapsed={self.elapsed:.1f}s ({self.stopped_by})"
+        )
+
+
+def _jsonable(obj):
+    if isinstance(obj, dict):
+        return {k: _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    return obj
+
+
+def _certify_case(case: GeneratedCase, tol: float) -> tuple[bool, bool]:
+    """(certified, gap_violation) for one primary solve of the case.
+
+    Certification here means a *solver-independent* argument that the
+    answer is right: an exact dual/Farkas certificate for LPs, the planted
+    optimum for MILPs, plan-level exact feasibility plus an independent
+    reference (Wagner-Whitin, planted policy) for DRRP/SRRP, and
+    extensive-form agreement plus cut audits for two-stage problems.
+    """
+    inst = case.instance
+    if isinstance(inst, CompiledProblem):
+        backend = "scipy" if scipy_available() and not inst.integrality.any() else "simplex"
+        res = solve_compiled(inst, backend=backend, use_presolve=False)
+        report = certify_result(inst, res, tol=tol)
+        if (
+            backend != "simplex"
+            and not report.ok
+            and not report.rejected
+            and res.status is SolverStatus.INFEASIBLE
+        ):
+            # HiGHS reports infeasibility without a Farkas ray; the simplex
+            # backend exports one, turning "incomplete" into a real proof.
+            res = solve_compiled(inst, backend="simplex", use_presolve=False)
+            report = certify_result(inst, res, tol=tol)
+        gap_bad = any("gap" in c.name for c in report.failures())
+        if report.ok:
+            return True, gap_bad
+        if (
+            not report.rejected
+            and case.optimum is not None
+            and res.status.has_solution
+            and abs(res.objective - case.optimum) <= tol * (1 + abs(case.optimum))
+        ):
+            return True, gap_bad  # feasible + integral + matches the planted optimum
+        return False, gap_bad
+    if isinstance(inst, DRRPInstance):
+        plan = solve_drrp(inst, backend="auto")
+        report = certify_drrp_plan(inst, plan, tol=tol)
+        reference = case.optimum
+        if reference is None and inst.bottleneck_rate is None:
+            reference = solve_wagner_whitin(inst).objective
+        matches = reference is not None and abs(plan.objective - reference) <= tol * (1 + abs(reference))
+        return bool(report.ok and matches), False
+    if isinstance(inst, TwoStageProblem):
+        bd = solve_benders(inst)
+        if not bd.status.has_solution:
+            return False, False
+        cuts_ok = all_passed(
+            audit_benders_cuts(inst, bd.extra.get("cut_records", []), bd.extra.get("penalty", math.inf))
+        )
+        return cuts_ok, False
+    if isinstance(inst, SRRPInstance):
+        plan = solve_srrp(inst, backend="auto")
+        report = certify_srrp_plan(inst, plan, tol=tol)
+        matches = case.optimum is None or abs(plan.expected_cost - case.optimum) <= tol * (1 + abs(case.optimum))
+        return bool(report.ok and matches), False
+    return False, False
+
+
+def run_fuzz(config: FuzzConfig | None = None, listener=None) -> FuzzReport:
+    """Run one budgeted differential-fuzzing campaign."""
+    cfg = config or FuzzConfig()
+    unknown = set(cfg.families) - set(FAMILIES)
+    if unknown:
+        raise ValueError(f"unknown fuzz families: {sorted(unknown)}; expected {sorted(FAMILIES)}")
+    telemetry = Telemetry.from_listener(listener)
+    deadline = Deadline(cfg.budget)
+    rng = np.random.default_rng(cfg.seed)
+    report = FuzzReport()
+    out_dir = Path(cfg.out_dir) if cfg.out_dir is not None else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    for family in cfg.families:
+        report.by_family[family] = {"cases": 0, "certified": 0, "disagreements": 0}
+
+    index = 0
+    while index < cfg.max_cases:
+        if deadline.expired():
+            report.stopped_by = "deadline"
+            break
+        family = cfg.families[index % len(cfg.families)]
+        case = FAMILIES[family](rng)
+        disagreements = cross_check_case(case, tol=cfg.tol)
+        certified, gap_bad = _certify_case(case, tol=cfg.tol)
+
+        report.cases += 1
+        fam = report.by_family[family]
+        fam["cases"] += 1
+        if certified:
+            report.certified += 1
+            fam["certified"] += 1
+        if gap_bad:
+            report.gap_violations += 1
+        if telemetry:
+            telemetry.emit(
+                "fuzz_case", index=index, family=family,
+                certified=certified, disagreements=len(disagreements),
+            )
+
+        for d in disagreements:
+            fam["disagreements"] += 1
+            if cfg.shrink:
+                d = shrink_disagreement(d, tol=cfg.tol, max_evals=cfg.max_shrink_evals)
+            path = None
+            if out_dir is not None:
+                path = out_dir / f"reproducer_{len(report.disagreements):03d}_{family}_{d.kind}.json"
+                payload = {
+                    "family": d.family,
+                    "kind": d.kind,
+                    "seed": cfg.seed,
+                    "case_index": index,
+                    "detail": _jsonable(d.detail),
+                    "witness": serialize_witness(d.witness),
+                    "shrunk": None if d.shrunk is None else serialize_witness(d.shrunk),
+                }
+                path.write_text(json.dumps(payload, indent=2))
+                report.reproducer_files.append(str(path))
+            report.disagreements.append(d)
+            if telemetry:
+                telemetry.emit(
+                    "fuzz_disagreement", family=family, kind=d.kind,
+                    reproducer=None if path is None else str(path),
+                )
+        index += 1
+
+    report.elapsed = deadline.elapsed()
+    if telemetry:
+        telemetry.emit(
+            "fuzz_summary",
+            cases=report.cases, certified=report.certified,
+            gap_violations=report.gap_violations,
+            disagreements=len(report.disagreements),
+            stopped_by=report.stopped_by,
+        )
+    return report

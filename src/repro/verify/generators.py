@@ -1,0 +1,354 @@
+"""Seeded random instances with *constructed* known optima.
+
+Fuzzing a solver is only as strong as the oracle that says what the right
+answer was.  Rather than trusting any solver, every family here builds the
+instance *backwards from its own optimum*:
+
+* **LPs** (:func:`planted_lp`) pick a point ``x*``, an active set, and
+  nonnegative multipliers first, then choose ``b`` to make the active rows
+  tight and ``c`` to satisfy the KKT conditions exactly — ``x*`` is
+  provably optimal by weak duality, with integer data so the optimum is
+  exact in floating point.
+* **MILPs** (:func:`planted_milp`) reuse the LP construction with ``x*``
+  integral on the integer-marked variables: the LP relaxation bound is
+  attained by an integral point, so the MILP optimum *value* is known even
+  when the solver returns a different optimal vertex.
+* **Infeasible LPs** (:func:`infeasible_lp`) contain a contradictory row
+  pair, so a Farkas certificate must exist.
+* **DRRP** (:func:`planted_drrp`) builds lot-sizing instances backwards
+  from a chosen rental schedule via an exchange argument: with holding
+  costs high enough that carrying any unit across a slot costs more than
+  the dearest setup, the unique optimal policy rents exactly at the slots
+  with positive demand ("rent-per-slot" family); with zero holding cost,
+  constant transfer-in price and positive demand in slot 0, a single
+  setup at slot 0 dominates ("single-setup" family).
+* **SRRP** (:func:`planted_srrp`) lifts the rent-per-slot argument to a
+  scenario tree: the planted recourse policy rents at every vertex whose
+  stage has positive demand, and the known optimum is its expected cost.
+* **Two-stage problems** (:func:`random_two_stage`) have no planted
+  optimum; they exist to cross-check the extensive form against Benders
+  decomposition, which must agree with each other.
+
+All generators take a :class:`numpy.random.Generator` so a fuzz run is
+reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.costs import CostSchedule
+from repro.core.drrp import DRRPInstance
+from repro.core.scenario import build_tree
+from repro.core.srrp import SRRPInstance
+from repro.solver.benders import Scenario, TwoStageProblem
+from repro.solver.model import CompiledProblem
+
+__all__ = [
+    "GeneratedCase",
+    "planted_lp",
+    "planted_milp",
+    "infeasible_lp",
+    "planted_drrp",
+    "random_drrp",
+    "planted_srrp",
+    "random_two_stage",
+    "FAMILIES",
+]
+
+
+@dataclass
+class GeneratedCase:
+    """One generated instance plus its ground truth.
+
+    ``optimum`` is the provably optimal objective value (``None`` when the
+    family has no planted optimum and relies on cross-checking only);
+    ``x_star`` a known optimal point where the construction yields one;
+    ``feasible`` is ``False`` for instances built to be infeasible.
+    """
+
+    family: str
+    instance: object
+    optimum: float | None = None
+    x_star: np.ndarray | None = None
+    feasible: bool = True
+    meta: dict = field(default_factory=dict)
+
+
+def _planted_lp_parts(rng: np.random.Generator, n: int, m: int, integral_x: bool):
+    """Shared KKT-backwards construction for LP/MILP families."""
+    ub = rng.integers(2, 8, n).astype(float)
+    lb = np.zeros(n)
+    # x*: interior, at-lb and at-ub coordinates, integral when requested.
+    x_star = np.array([float(rng.integers(0, int(u) + 1)) for u in ub])
+    if not integral_x:
+        interior = rng.random(n) < 0.5
+        x_star = np.where(
+            interior, np.round(rng.uniform(0.25, 1.0, n) * ub * 4) / 4, x_star
+        )
+        x_star = np.minimum(x_star, ub)
+
+    A = rng.integers(-3, 4, (m, n)).astype(float)
+    rhs_at_x = A @ x_star
+    active = rng.random(m) < 0.6
+    if m:
+        active[rng.integers(0, m)] = True  # at least one binding row
+    slack = rng.integers(1, 6, m).astype(float)
+    b = np.where(active, rhs_at_x, rhs_at_x + slack)
+
+    y = np.where(active, rng.integers(0, 4, m).astype(float), 0.0)
+    # KKT: c + A'y + z_ub - z_lb = 0 with complementary bound multipliers.
+    c = -(A.T @ y)
+    at_lb = x_star <= lb
+    at_ub = x_star >= ub
+    z_lb = np.where(at_lb, rng.integers(0, 3, n).astype(float), 0.0)
+    z_ub = np.where(at_ub & ~at_lb, rng.integers(0, 3, n).astype(float), 0.0)
+    c = c + z_lb - z_ub
+    return c, A, b, lb, ub, x_star, y
+
+
+def planted_lp(rng: np.random.Generator, n: int = 6, m: int = 5) -> GeneratedCase:
+    """LP with a KKT-constructed optimum (integer data, exact value)."""
+    c, A, b, lb, ub, x_star, _ = _planted_lp_parts(rng, n, m, integral_x=False)
+    problem = CompiledProblem(
+        c=c, c0=float(rng.integers(-5, 6)), A_ub=A, b_ub=b,
+        A_eq=np.zeros((0, n)), b_eq=np.zeros(0),
+        lb=lb, ub=ub, integrality=np.zeros(n, dtype=int), maximize=False,
+    )
+    return GeneratedCase(
+        family="lp", instance=problem,
+        optimum=float(c @ x_star) + problem.c0, x_star=x_star,
+    )
+
+
+def planted_milp(rng: np.random.Generator, n: int = 6, m: int = 5) -> GeneratedCase:
+    """MILP whose LP relaxation optimum is integral — the value transfers."""
+    c, A, b, lb, ub, x_star, _ = _planted_lp_parts(rng, n, m, integral_x=True)
+    integrality = (rng.random(n) < 0.6).astype(int)
+    if not integrality.any():
+        integrality[int(rng.integers(0, n))] = 1
+    problem = CompiledProblem(
+        c=c, c0=0.0, A_ub=A, b_ub=b,
+        A_eq=np.zeros((0, n)), b_eq=np.zeros(0),
+        lb=lb, ub=ub, integrality=integrality, maximize=False,
+    )
+    return GeneratedCase(
+        family="milp", instance=problem, optimum=float(c @ x_star), x_star=x_star,
+    )
+
+
+def infeasible_lp(rng: np.random.Generator, n: int = 4, m: int = 3) -> GeneratedCase:
+    """LP with a contradictory row pair — must be reported INFEASIBLE."""
+    A = rng.integers(-2, 4, (m, n)).astype(float)
+    b = rng.integers(3, 12, m).astype(float)
+    row = rng.integers(1, 4, n).astype(float)
+    cut = float(rng.integers(2, 9))
+    A = np.vstack([A, row, -row])
+    b = np.concatenate([b, [cut], [-(cut + 1 + float(rng.integers(0, 4)))]])
+    problem = CompiledProblem(
+        c=rng.integers(-3, 4, n).astype(float), c0=0.0, A_ub=A, b_ub=b,
+        A_eq=np.zeros((0, n)), b_eq=np.zeros(0),
+        lb=np.zeros(n), ub=np.full(n, 10.0), integrality=np.zeros(n, dtype=int),
+        maximize=False,
+    )
+    return GeneratedCase(family="lp-infeasible", instance=problem, feasible=False)
+
+
+def _schedule(rng: np.random.Generator, T: int, holding: np.ndarray,
+              compute: np.ndarray, tin_const: bool) -> CostSchedule:
+    tin = (np.full(T, float(rng.integers(1, 4))) if tin_const
+           else rng.integers(1, 4, T).astype(float))
+    return CostSchedule(
+        compute=compute,
+        storage=holding / 2.0,
+        io=holding - holding / 2.0,
+        transfer_in=tin,
+        transfer_out=rng.integers(0, 3, T).astype(float),
+    )
+
+
+def planted_drrp(rng: np.random.Generator, T: int = 8) -> GeneratedCase:
+    """DRRP built backwards from a chosen rental schedule.
+
+    Two provable sub-families (exchange arguments in the module docstring):
+
+    * ``rent-per-slot``: holding cost per carried unit exceeds the dearest
+      setup, so covering any demand from inventory is dominated by a fresh
+      setup at its own slot — optimal χ rents exactly where demand > 0.
+    * ``single-setup``: zero holding cost, constant transfer-in price and
+      demand in slot 0, so one setup at the cheapest-possible slot (slot
+      0, forced by demand[0] > 0 and made cheapest by construction)
+      covers everything.
+    """
+    phi = 0.5
+    if rng.random() < 0.5:
+        # rent-per-slot: plant the schedule = slots with positive demand
+        demand = rng.integers(1, 6, T).astype(float)
+        zero_out = rng.random(T) < 0.3
+        zero_out[0] = False
+        demand[zero_out] = 0.0
+        setup = rng.integers(1, 5, T).astype(float)
+        # h_min * d_min > K_max  =>  carrying one slot beats nothing
+        h = float(setup.max()) + 1.0
+        costs = _schedule(rng, T, np.full(T, h), setup, tin_const=False)
+        inst = DRRPInstance(demand=demand, costs=costs, phi=phi, vm_name="planted")
+        rent = demand > 0
+        optimum = float(
+            setup[rent].sum()
+            + (costs.transfer_in * phi * demand).sum()
+            + (costs.transfer_out * demand).sum()
+        )
+        x_star = np.concatenate([demand, np.zeros(T), rent.astype(float)])
+        meta = {"sub_family": "rent-per-slot"}
+    else:
+        # single-setup: everything produced in slot 0
+        demand = rng.integers(0, 5, T).astype(float)
+        demand[0] = float(rng.integers(1, 5))
+        setup = rng.integers(2, 7, T).astype(float)
+        setup[0] = 1.0  # strictly cheapest, and slot 0 is forced anyway
+        costs = _schedule(rng, T, np.zeros(T), setup, tin_const=True)
+        inst = DRRPInstance(demand=demand, costs=costs, phi=phi, vm_name="planted")
+        total = demand.sum()
+        optimum = float(
+            setup[0]
+            + costs.transfer_in[0] * phi * total
+            + (costs.transfer_out * demand).sum()
+        )
+        alpha = np.zeros(T)
+        alpha[0] = total
+        beta = np.concatenate([np.cumsum(alpha - demand)])
+        chi = np.zeros(T)
+        chi[0] = 1.0
+        x_star = np.concatenate([alpha, beta, chi])
+        meta = {"sub_family": "single-setup"}
+    return GeneratedCase(family="drrp", instance=inst, optimum=optimum,
+                         x_star=x_star, meta=meta)
+
+
+def random_drrp(rng: np.random.Generator, T: int = 8) -> GeneratedCase:
+    """Unstructured DRRP instance (no planted optimum — the Wagner-Whitin
+    DP serves as the independent reference in the oracle)."""
+    demand = np.round(rng.uniform(0, 4, T), 2)
+    demand[rng.random(T) < 0.2] = 0.0
+    costs = CostSchedule(
+        compute=np.round(rng.uniform(0.5, 4, T), 2),
+        storage=np.round(rng.uniform(0.01, 0.5, T), 3),
+        io=np.round(rng.uniform(0.01, 0.5, T), 3),
+        transfer_in=np.round(rng.uniform(0.05, 1.5, T), 2),
+        transfer_out=np.round(rng.uniform(0.0, 1.0, T), 2),
+    )
+    inst = DRRPInstance(
+        demand=demand, costs=costs, phi=float(np.round(rng.uniform(0.1, 1.0), 2)),
+        initial_storage=float(np.round(rng.uniform(0, 2), 2)), vm_name="random",
+    )
+    return GeneratedCase(family="drrp-random", instance=inst)
+
+
+def planted_srrp(rng: np.random.Generator, depth: int = 3, branching: int = 2) -> GeneratedCase:
+    """SRRP built from a chosen recourse policy: rent at every vertex whose
+    stage has positive demand.
+
+    Holding cost exceeds the dearest vertex price, so per scenario the
+    rent-per-slot exchange argument applies; the tree optimum is the
+    expectation of the per-scenario optima, which the planted policy
+    attains — hence it is optimal and its expected cost is exact.
+    """
+    T = depth + 1
+    demand = rng.integers(1, 5, T).astype(float)
+    if T > 2 and rng.random() < 0.5:
+        demand[int(rng.integers(1, T))] = 0.0
+
+    price_cap = 6.0
+    stage_dists = []
+    for _ in range(depth):
+        vals = np.sort(rng.integers(1, int(price_cap) + 1, branching)).astype(float)
+        probs = rng.integers(1, 4, branching).astype(float)
+        probs /= probs.sum()
+        stage_dists.append((vals, probs))
+    tree = build_tree(float(rng.integers(1, int(price_cap) + 1)), stage_dists)
+
+    h = price_cap + 1.0  # > any vertex price: carrying a unit never pays
+    costs = CostSchedule(
+        compute=np.zeros(T),  # per-vertex prices come from the tree
+        storage=np.full(T, h / 2),
+        io=np.full(T, h / 2),
+        transfer_in=rng.integers(1, 3, T).astype(float),
+        transfer_out=rng.integers(0, 2, T).astype(float),
+    )
+    phi = 0.5
+    inst = SRRPInstance(demand=demand, costs=costs, tree=tree, phi=phi, vm_name="planted")
+
+    optimum = 0.0
+    for node in tree.nodes:
+        t = node.depth
+        d = demand[t]
+        optimum += node.abs_prob * (
+            (node.price if d > 0 else 0.0)
+            + costs.transfer_in[t] * phi * d
+            + costs.transfer_out[t] * d
+        )
+    n = tree.num_nodes
+    alpha = np.array([demand[node.depth] for node in tree.nodes])
+    chi = (alpha > 0).astype(float)
+    x_star = np.concatenate([alpha, np.zeros(n), chi])
+    return GeneratedCase(family="srrp", instance=inst, optimum=float(optimum), x_star=x_star)
+
+
+def random_two_stage(rng: np.random.Generator, n_x: int = 3, n_y: int = 3,
+                     n_scen: int = 3) -> GeneratedCase:
+    """Small two-stage stochastic LP/MILP for extensive-form-vs-Benders.
+
+    Bounded by construction (finite boxes both stages).  The extensive form
+    carries the scenario rows as hard equalities while Benders makes its
+    subproblems elastic, so for the two formulations to be provably
+    identical every instance must have *complete recourse*: ``W`` ends in a
+    ``[+I | -I]`` slack block with modest positive cost and a box wide
+    enough to absorb any residual, which makes the recourse stage feasible
+    for every first-stage choice (Benders' elastic penalty then never
+    binds).
+    """
+    integer_first = rng.random() < 0.4
+    c = rng.integers(1, 6, n_x).astype(float)
+    lb = np.zeros(n_x)
+    ub = rng.integers(2, 6, n_x).astype(float)
+    integrality = np.full(n_x, int(integer_first))
+    probs = rng.integers(1, 4, n_scen).astype(float)
+    probs /= probs.sum()
+    scenarios = []
+    m = 2
+    # Residual |h - T x - W y| is bounded by the integer data ranges below;
+    # 100 is far beyond it, so the slack box never binds.
+    slack_box = 100.0
+    for s in range(n_scen):
+        W = rng.integers(-2, 4, (m, n_y)).astype(float)
+        W = np.hstack([W, np.eye(m), -np.eye(m)])
+        T_ = rng.integers(-2, 3, (m, n_x)).astype(float)
+        h = rng.integers(-3, 6, m).astype(float)
+        q = np.concatenate([
+            rng.integers(1, 5, n_y).astype(float),
+            rng.integers(2, 6, 2 * m).astype(float),
+        ])
+        scenarios.append(Scenario(
+            prob=float(probs[s]), q=q, W=W, T=T_, h=h,
+            y_ub=np.concatenate([np.full(n_y, 8.0), np.full(2 * m, slack_box)]),
+        ))
+    tsp = TwoStageProblem(
+        c=c, lb=lb, ub=ub, integrality=integrality, scenarios=scenarios,
+        A_ub=rng.integers(0, 3, (1, n_x)).astype(float),
+        b_ub=np.array([float(rng.integers(4, 10))]),
+    )
+    return GeneratedCase(family="two-stage", instance=tsp,
+                         meta={"integer_first": integer_first})
+
+
+FAMILIES = {
+    "lp": planted_lp,
+    "milp": planted_milp,
+    "lp-infeasible": infeasible_lp,
+    "drrp": planted_drrp,
+    "drrp-random": random_drrp,
+    "srrp": planted_srrp,
+    "two-stage": random_two_stage,
+}

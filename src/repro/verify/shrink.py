@@ -1,0 +1,165 @@
+"""Greedy shrinking of disagreement witnesses to minimal reproducers.
+
+When the differential oracle finds two backends disagreeing on an
+instance, the raw witness is rarely the best bug report: a 30-variable LP
+usually contains a 3-variable core that triggers the same divergence.
+These helpers delta-debug an instance against a caller-supplied
+``predicate`` ("does the disagreement still reproduce?"), greedily
+applying size-reducing transformations and keeping each one that
+preserves the predicate.
+
+The predicate is treated as a black box and may be expensive (it re-runs
+two solvers), so every shrinker takes a ``max_evals`` budget and stops
+when it is exhausted.  Shrinking is best-effort minimisation, not global:
+the result is 1-minimal with respect to the transformation set actually
+tried, which is what a human debugging the solver needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+import numpy as np
+
+from repro.core.drrp import DRRPInstance
+from repro.solver.model import CompiledProblem
+
+__all__ = ["shrink_problem", "shrink_drrp"]
+
+
+class _Budget:
+    def __init__(self, max_evals: int, predicate: Callable) -> None:
+        self.left = int(max_evals)
+        self.predicate = predicate
+
+    def holds(self, candidate) -> bool:
+        if self.left <= 0:
+            return False
+        self.left -= 1
+        try:
+            return bool(self.predicate(candidate))
+        except Exception:
+            # A candidate that crashes the predicate is not a reproducer of
+            # the *original* disagreement — discard it.
+            return False
+
+
+def _drop_row(problem: CompiledProblem, kind: str, i: int) -> CompiledProblem:
+    if kind == "ub":
+        keep = np.arange(problem.A_ub.shape[0]) != i
+        return replace(problem, A_ub=problem.A_ub[keep], b_ub=problem.b_ub[keep], variables=[])
+    keep = np.arange(problem.A_eq.shape[0]) != i
+    return replace(problem, A_eq=problem.A_eq[keep], b_eq=problem.b_eq[keep], variables=[])
+
+
+def _drop_var(problem: CompiledProblem, j: int) -> CompiledProblem:
+    """Fix variable j at its lower bound and eliminate the column."""
+    if not np.isfinite(problem.lb[j]):
+        raise ValueError("cannot eliminate a variable with no lower bound")
+    keep = np.arange(problem.c.shape[0]) != j
+    fixed = problem.lb[j]
+    return CompiledProblem(
+        c=problem.c[keep],
+        c0=problem.c0 + float(problem.c[j] * fixed),
+        A_ub=problem.A_ub[:, keep],
+        b_ub=problem.b_ub - problem.A_ub[:, j] * fixed,
+        A_eq=problem.A_eq[:, keep],
+        b_eq=problem.b_eq - problem.A_eq[:, j] * fixed,
+        lb=problem.lb[keep],
+        ub=problem.ub[keep],
+        integrality=problem.integrality[keep],
+        maximize=problem.maximize,
+        variables=[],
+    )
+
+
+def shrink_problem(
+    problem: CompiledProblem,
+    predicate: Callable[[CompiledProblem], bool],
+    max_evals: int = 200,
+) -> CompiledProblem:
+    """Minimise a :class:`CompiledProblem` witness under ``predicate``.
+
+    Passes, in order of how much each removal simplifies the instance:
+    eliminate variables (fixed at their lower bound), drop inequality
+    rows, drop equality rows, zero objective coefficients.  Each pass
+    repeats until it stops making progress, then the whole cycle repeats.
+    """
+    budget = _Budget(max_evals, predicate)
+    current = problem
+    progress = True
+    while progress and budget.left > 0:
+        progress = False
+        # variables (largest reduction first)
+        j = current.c.shape[0] - 1
+        while j >= 0 and budget.left > 0:
+            if current.c.shape[0] > 1 and np.isfinite(current.lb[j]):
+                cand = _drop_var(current, j)
+                if budget.holds(cand):
+                    current = cand
+                    progress = True
+            j -= 1
+        for kind, count in (("ub", current.A_ub.shape[0]), ("eq", current.A_eq.shape[0])):
+            i = count - 1
+            while i >= 0 and budget.left > 0:
+                rows = current.A_ub if kind == "ub" else current.A_eq
+                if i < rows.shape[0]:
+                    cand = _drop_row(current, kind, i)
+                    if budget.holds(cand):
+                        current = cand
+                        progress = True
+                i -= 1
+        for j in range(current.c.shape[0]):
+            if budget.left <= 0:
+                break
+            if current.c[j] != 0.0:
+                cand = replace(current, c=current.c.copy(), variables=[])
+                cand.c[j] = 0.0
+                if budget.holds(cand):
+                    current = cand
+                    progress = True
+    return current
+
+
+def shrink_drrp(
+    instance: DRRPInstance,
+    predicate: Callable[[DRRPInstance], bool],
+    max_evals: int = 100,
+) -> DRRPInstance:
+    """Minimise a DRRP witness: truncate the horizon from the back, then
+    zero out individual demand slots."""
+    budget = _Budget(max_evals, predicate)
+    current = instance
+
+    def truncated(inst: DRRPInstance, T: int) -> DRRPInstance:
+        return DRRPInstance(
+            demand=inst.demand[:T],
+            costs=inst.costs.slice(0, T),
+            phi=inst.phi,
+            initial_storage=inst.initial_storage,
+            vm_name=inst.vm_name,
+        )
+
+    # binary-search-style truncation: try halving before single-slot steps
+    while current.horizon > 1 and budget.left > 0:
+        T = current.horizon
+        for target in (T // 2, T - 1):
+            if 1 <= target < T:
+                cand = truncated(current, target)
+                if budget.holds(cand):
+                    current = cand
+                    break
+        else:
+            break
+
+    for t in range(current.horizon):
+        if budget.left <= 0:
+            break
+        if current.demand[t] != 0.0:
+            demand = current.demand.copy()
+            demand[t] = 0.0
+            cand = replace(current, demand=demand)
+            if budget.holds(cand):
+                current = cand
+    return current

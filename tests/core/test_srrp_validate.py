@@ -1,0 +1,103 @@
+"""Adversarial SRRPPlan.validate and non-anticipativity checking.
+
+Satellite contract: tampered non-anticipativity (two scenarios sharing a
+vertex with different first-stage alpha) and a violated forcing bound are
+both rejected with informative errors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.srrp import solve_srrp, validate_nonanticipativity
+from repro.verify.generators import planted_srrp
+
+
+@pytest.fixture
+def solved():
+    case = planted_srrp(np.random.default_rng(17))
+    plan = solve_srrp(case.instance, backend="auto")
+    return case.instance, plan
+
+
+class TestValidateAdversarial:
+    def test_clean_plan_validates(self, solved):
+        instance, plan = solved
+        plan.validate(instance)
+
+    def test_forcing_violation_rejected_with_vertex(self, solved):
+        instance, plan = solved
+        # drop the rental marker at a generating leaf: balance and binarity
+        # are untouched, but alpha > 0 now exceeds forcing_bound * chi = 0
+        leaf = next(
+            n for n in instance.tree.leaves() if plan.alpha[n.index] > 0.5
+        )
+        plan.chi = plan.chi.copy()
+        plan.chi[leaf.index] = 0.0
+        with pytest.raises(AssertionError, match=rf"forcing violated at vertex {leaf.index}"):
+            plan.validate(instance)
+
+    def test_balance_violation_rejected_with_residual(self, solved):
+        instance, plan = solved
+        plan.alpha = plan.alpha.copy()
+        plan.alpha[0] += 2.0
+        with pytest.raises(AssertionError, match="balance violated at vertex 0"):
+            plan.validate(instance)
+
+    def test_negative_quantity_rejected(self, solved):
+        instance, plan = solved
+        plan.beta = plan.beta.copy()
+        plan.beta[1] = -0.5
+        with pytest.raises(AssertionError, match="negative quantity"):
+            plan.validate(instance)
+
+    def test_fractional_chi_rejected(self, solved):
+        instance, plan = solved
+        plan.chi = plan.chi.copy()
+        plan.chi[0] = 0.4
+        with pytest.raises(AssertionError, match="not binary"):
+            plan.validate(instance)
+
+    def test_wrong_shape_rejected(self, solved):
+        instance, plan = solved
+        plan.alpha = plan.alpha[:-1]
+        with pytest.raises(AssertionError, match="vertex-indexed"):
+            plan.validate(instance)
+
+
+class TestNonAnticipativity:
+    def test_vertex_indexed_policy_passes(self, solved):
+        instance, plan = solved
+        decisions = {
+            leaf.index: plan.decisions_for_scenario(leaf.index)
+            for leaf in instance.tree.leaves()
+        }
+        validate_nonanticipativity(instance.tree, decisions)
+
+    def test_divergent_first_stage_alpha_rejected(self, solved):
+        instance, plan = solved
+        leaves = instance.tree.leaves()
+        assert len(leaves) >= 2
+        decisions = {
+            leaf.index: plan.decisions_for_scenario(leaf.index)
+            for leaf in leaves
+        }
+        # two scenarios share the root but prescribe different here-and-now
+        # generation: exactly the tampering the checker must catch
+        tampered = decisions[leaves[1].index]
+        tampered["alpha"] = tampered["alpha"].copy()
+        tampered["alpha"][0] += 1.0
+        with pytest.raises(AssertionError, match="non-anticipativity violated at vertex 0"):
+            validate_nonanticipativity(instance.tree, decisions)
+
+    def test_divergence_below_shared_prefix_is_allowed(self, solved):
+        instance, plan = solved
+        leaves = instance.tree.leaves()
+        decisions = {
+            leaf.index: plan.decisions_for_scenario(leaf.index)
+            for leaf in leaves
+        }
+        # changing a *leaf* decision touches no shared vertex
+        tampered = decisions[leaves[0].index]
+        tampered["alpha"] = tampered["alpha"].copy()
+        tampered["alpha"][-1] += 1.0
+        validate_nonanticipativity(instance.tree, decisions)

@@ -47,6 +47,31 @@ class TestParallelMap:
     def test_default_workers_positive(self):
         assert 1 <= default_workers() <= 8
 
+    def test_workers_clamped_to_item_count(self):
+        # 2 items must never fan out to more than 2 worker processes
+        pids = set(parallel_map(pid_of, [1, 2], n_workers=8, chunksize=1))
+        assert len(pids) <= 2
+
+
+class TestWorkersEnvOverride:
+    def test_env_value_honored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_env_overrides_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "12")
+        assert default_workers() == 12
+
+    def test_env_floored_at_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert default_workers() == 1
+        monkeypatch.setenv("REPRO_WORKERS", "-4")
+        assert default_workers() == 1
+
+    def test_junk_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        assert 1 <= default_workers() <= 8
+
 
 class TestSeeding:
     def test_spawned_streams_deterministic(self):

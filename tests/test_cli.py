@@ -60,6 +60,43 @@ class TestReportCommand:
         assert "fig4" in out
 
 
+class TestFuzzCommand:
+    def test_small_seeded_run(self, capsys):
+        code = main(["fuzz", "--seed", "0", "--cases", "7", "--no-shrink"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fuzz: cases=7 certified=7 gap_violations=0" in out
+
+    def test_family_subset_and_tallies(self, capsys):
+        code = main(["fuzz", "--seed", "2", "--cases", "4", "--families", "lp,drrp"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lp" in out and "drrp" in out and "milp" not in out
+
+    def test_unknown_family_exits_2(self, capsys):
+        code = main(["fuzz", "--families", "lp,bogus"])
+        assert code == 2
+        assert "unknown families" in capsys.readouterr().err
+
+    def test_telemetry_summary(self, capsys):
+        code = main(["fuzz", "--seed", "1", "--cases", "3", "--telemetry", "summary"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "telemetry: events=4" in out  # 3 fuzz_case + 1 fuzz_summary
+
+    def test_telemetry_json_lists_event_kinds(self, capsys):
+        code = main(["fuzz", "--seed", "1", "--cases", "2", "--telemetry", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fuzz_case" in out and "fuzz_summary" in out
+
+    def test_zero_time_limit_stops_on_deadline(self, capsys):
+        code = main(["fuzz", "--seed", "0", "--time-limit", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cases=0" in out and "deadline" in out
+
+
 class TestExportCommand:
     def test_writes_csvs(self, tmp_path, capsys):
         code = main(["export-dataset", str(tmp_path / "ds")])

@@ -1,0 +1,99 @@
+"""Exact certificate checking: real answers certify, corrupted ones don't."""
+
+import numpy as np
+import pytest
+
+from repro.solver.interface import solve_compiled
+from repro.solver.result import SolverStatus
+from repro.solver.scipy_backend import scipy_available
+from repro.verify import certify_drrp_plan, certify_result
+from repro.verify.generators import infeasible_lp, planted_drrp, planted_lp
+
+needs_scipy = pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
+
+BACKENDS = ["simplex"] + (["scipy"] if scipy_available() else [])
+
+
+class TestLPCertificates:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_optimal_lp_certifies_on_both_backends(self, rng, backend):
+        for _ in range(10):
+            case = planted_lp(rng)
+            res = solve_compiled(case.instance, backend=backend, use_presolve=False)
+            assert res.status is SolverStatus.OPTIMAL
+            assert "dual_certificate" in res.extra
+            report = certify_result(case.instance, res)
+            assert report.ok, [str(c.detail) for c in report.failures()]
+            assert report.duality_gap is not None
+            assert abs(report.duality_gap) <= 1e-6 * (1 + abs(res.objective))
+
+    def test_infeasible_lp_farkas_certifies(self, rng):
+        for _ in range(10):
+            case = infeasible_lp(rng)
+            res = solve_compiled(case.instance, backend="simplex", use_presolve=False)
+            assert res.status is SolverStatus.INFEASIBLE
+            assert "farkas_certificate" in res.extra
+            report = certify_result(case.instance, res)
+            assert report.ok, [str(c.detail) for c in report.failures()]
+
+    def test_certificate_survives_maximize_sense(self, rng):
+        case = planted_lp(rng)
+        problem = case.instance
+        # flip to an equivalent maximize model: max -c'x has optimum -opt
+        problem.c = -problem.c
+        problem.maximize = True
+        res = solve_compiled(problem, backend="simplex", use_presolve=False)
+        assert res.status is SolverStatus.OPTIMAL
+        assert certify_result(problem, res).ok
+
+
+class TestCorruptionDetection:
+    """Acceptance: a deliberately corrupted solution must be rejected."""
+
+    def test_mutated_objective_rejected(self, rng):
+        case = planted_lp(rng)
+        res = solve_compiled(case.instance, backend="simplex", use_presolve=False)
+        res.objective -= 1.0
+        report = certify_result(case.instance, res)
+        assert report.rejected
+        assert any(c.name == "objective_consistent" for c in report.failures())
+
+    def test_tampered_solution_vector_rejected(self, rng):
+        case = planted_lp(rng)
+        res = solve_compiled(case.instance, backend="simplex", use_presolve=False)
+        res.x = res.x + 10.0  # pushed out of the box / constraint set
+        report = certify_result(case.instance, res)
+        assert report.rejected
+
+    def test_infeasible_drrp_plan_rejected(self, rng):
+        case = planted_drrp(rng)
+        from repro.core.drrp import solve_drrp
+
+        plan = solve_drrp(case.instance, backend="auto")
+        assert certify_drrp_plan(case.instance, plan).ok
+        plan.alpha = plan.alpha.copy()
+        plan.alpha[0] += 2.0  # breaks the inventory balance recursion
+        report = certify_drrp_plan(case.instance, plan)
+        assert report.rejected
+        assert any("balance" in c.name for c in report.failures())
+
+    def test_understated_cost_rejected(self, rng):
+        case = planted_drrp(rng)
+        from repro.core.drrp import solve_drrp
+
+        plan = solve_drrp(case.instance, backend="auto")
+        plan.objective *= 0.5
+        report = certify_drrp_plan(case.instance, plan)
+        assert report.rejected
+        assert any(c.name == "objective_consistent" for c in report.failures())
+
+
+class TestGapIsExact:
+    def test_planted_optimum_has_zero_gap(self, rng):
+        # integer data end to end: gap must be *exactly* zero in Fraction math
+        case = planted_lp(rng)
+        res = solve_compiled(case.instance, backend="simplex", use_presolve=False)
+        report = certify_result(case.instance, res)
+        assert report.ok
+        assert report.dual_bound is not None
+        assert abs(res.objective - case.optimum) <= 1e-9 * (1 + abs(case.optimum))

@@ -1,0 +1,67 @@
+"""Fuzz driver: budgets, telemetry, tallies, and the smoke gate contract."""
+
+import math
+
+import pytest
+
+from repro.solver.telemetry import EventRecorder
+from repro.verify.fuzz import SMOKE_CASES, FuzzConfig, FuzzReport, run_fuzz
+from repro.verify.generators import FAMILIES
+
+
+class TestRunFuzz:
+    def test_small_run_is_clean_and_tallied(self):
+        rec = EventRecorder()
+        report = run_fuzz(FuzzConfig(seed=5, max_cases=14), listener=rec)
+        assert report.cases == 14
+        assert report.certified == 14
+        assert report.gap_violations == 0
+        assert report.ok
+        assert sum(f["cases"] for f in report.by_family.values()) == 14
+        kinds = rec.kinds()
+        assert kinds.get("fuzz_case") == 14
+        assert kinds.get("fuzz_summary") == 1
+        assert "fuzz_disagreement" not in kinds
+
+    def test_zero_budget_stops_immediately(self):
+        report = run_fuzz(FuzzConfig(seed=0, max_cases=50, budget=0.0))
+        assert report.cases == 0
+        assert report.stopped_by == "deadline"
+
+    def test_seeded_runs_are_reproducible(self):
+        a = run_fuzz(FuzzConfig(seed=3, max_cases=7))
+        b = run_fuzz(FuzzConfig(seed=3, max_cases=7))
+        assert a.to_dict()["by_family"] == b.to_dict()["by_family"]
+
+    def test_family_subset_and_unknown_family(self):
+        report = run_fuzz(FuzzConfig(seed=1, max_cases=4, families=("lp", "drrp")))
+        assert set(report.by_family) == {"lp", "drrp"}
+        with pytest.raises(ValueError, match="unknown fuzz families"):
+            run_fuzz(FuzzConfig(families=("lp", "bogus")))
+
+    def test_report_shapes(self):
+        report = run_fuzz(FuzzConfig(seed=2, max_cases=len(FAMILIES)))
+        d = report.to_dict()
+        assert set(d) >= {"cases", "certified", "gap_violations", "disagreements", "by_family"}
+        assert isinstance(report.summary_line(), str)
+        assert math.isfinite(report.elapsed)
+
+
+class TestSmokeContract:
+    """The CI gate: `repro fuzz --smoke --seed 0` must certify >= 200
+    instances with zero duality-gap violations.  Run here at a reduced
+    case count for speed; `test_cli.py` and CI exercise the full preset."""
+
+    def test_smoke_preset_exceeds_200_cases(self):
+        assert SMOKE_CASES >= 200
+
+    def test_reduced_smoke_certifies_everything(self):
+        report = run_fuzz(FuzzConfig(seed=0, max_cases=35, budget=120.0))
+        assert report.certified == report.cases == 35
+        assert report.gap_violations == 0
+        assert not report.disagreements
+
+
+def test_fuzz_report_defaults():
+    r = FuzzReport()
+    assert r.ok and r.cases == 0

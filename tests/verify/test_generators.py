@@ -1,0 +1,120 @@
+"""The generators' planted optima must match what the solvers find."""
+
+import numpy as np
+import pytest
+
+from repro.core.drrp import solve_drrp
+from repro.core.lotsizing import solve_wagner_whitin
+from repro.core.srrp import solve_srrp
+from repro.solver.benders import extensive_form, solve_benders
+from repro.solver.interface import solve_compiled
+from repro.solver.result import SolverStatus
+from repro.solver.scipy_backend import scipy_available
+from repro.verify.generators import (
+    FAMILIES,
+    infeasible_lp,
+    planted_drrp,
+    planted_lp,
+    planted_milp,
+    planted_srrp,
+    random_two_stage,
+)
+
+needs_scipy = pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
+
+
+def close(a, b, tol=1e-6):
+    return abs(a - b) <= tol * (1 + abs(b))
+
+
+class TestPlantedLP:
+    def test_optimum_matches_solver(self, rng):
+        for _ in range(15):
+            case = planted_lp(rng)
+            res = solve_compiled(case.instance, backend="simplex", use_presolve=False)
+            assert res.status is SolverStatus.OPTIMAL
+            assert close(res.objective, case.optimum)
+
+    def test_x_star_is_feasible(self, rng):
+        for _ in range(15):
+            case = planted_lp(rng)
+            assert case.instance.is_feasible(case.x_star)
+
+    def test_seeded_reproducibility(self):
+        a = planted_lp(np.random.default_rng(7))
+        b = planted_lp(np.random.default_rng(7))
+        assert np.array_equal(a.instance.c, b.instance.c)
+        assert a.optimum == b.optimum
+
+
+class TestPlantedMILP:
+    def test_optimum_matches_branch_and_bound(self, rng):
+        backend = "bb-scipy" if scipy_available() else "simplex"
+        for _ in range(8):
+            case = planted_milp(rng)
+            res = solve_compiled(case.instance, backend=backend, use_presolve=False)
+            assert res.status.has_solution
+            assert close(res.objective, case.optimum)
+            assert case.instance.integrality.any()
+
+
+class TestInfeasibleLP:
+    def test_reported_infeasible(self, rng):
+        for _ in range(8):
+            case = infeasible_lp(rng)
+            assert not case.feasible
+            res = solve_compiled(case.instance, backend="simplex", use_presolve=False)
+            assert res.status is SolverStatus.INFEASIBLE
+
+
+class TestPlantedDRRP:
+    def test_both_sub_families_match_ww_and_milp(self, rng):
+        seen = set()
+        for _ in range(20):
+            case = planted_drrp(rng)
+            seen.add(case.meta["sub_family"])
+            assert close(solve_wagner_whitin(case.instance).objective, case.optimum)
+            plan = solve_drrp(case.instance, backend="auto")
+            assert close(plan.objective, case.optimum)
+        assert seen == {"rent-per-slot", "single-setup"}
+
+    def test_x_star_is_a_valid_plan(self, rng):
+        from repro.core.drrp import RentalPlan
+
+        case = planted_drrp(rng)
+        T = case.instance.horizon
+        plan = RentalPlan(
+            alpha=case.x_star[:T], beta=case.x_star[T : 2 * T], chi=case.x_star[2 * T :],
+            compute_cost=0, inventory_cost=0, transfer_in_cost=0, transfer_out_cost=0,
+            objective=case.optimum, status=SolverStatus.OPTIMAL,
+        )
+        plan.validate(case.instance)
+
+
+class TestPlantedSRRP:
+    def test_optimum_matches_deterministic_equivalent(self, rng):
+        for _ in range(5):
+            case = planted_srrp(rng)
+            plan = solve_srrp(case.instance, backend="auto")
+            assert close(plan.expected_cost, case.optimum)
+            plan.validate(case.instance)
+
+
+@needs_scipy
+class TestTwoStage:
+    def test_extensive_form_agrees_with_benders(self, rng):
+        for _ in range(6):
+            case = random_two_stage(rng)
+            ef = solve_compiled(extensive_form(case.instance), backend="auto", use_presolve=False)
+            bd = solve_benders(case.instance)
+            assert ef.status.has_solution and bd.status.has_solution
+            assert close(ef.objective, bd.objective, tol=1e-5)
+
+
+def test_family_registry_is_complete(rng):
+    assert set(FAMILIES) == {
+        "lp", "milp", "lp-infeasible", "drrp", "drrp-random", "srrp", "two-stage",
+    }
+    for gen in FAMILIES.values():
+        case = gen(rng)
+        assert case.family in FAMILIES

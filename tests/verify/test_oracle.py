@@ -1,0 +1,114 @@
+"""Differential oracle: agreement on healthy solvers, shrinkage on broken ones."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.solver.interface as interface
+from repro.solver.result import SolverResult, SolverStatus
+from repro.solver.scipy_backend import scipy_available
+from repro.verify.fuzz import FuzzConfig, run_fuzz
+from repro.verify.generators import FAMILIES, infeasible_lp, planted_lp, random_drrp
+from repro.verify.oracle import cross_check_case, serialize_witness, shrink_disagreement
+from repro.verify.shrink import shrink_drrp, shrink_problem
+
+needs_scipy = pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
+
+
+class TestHealthyStack:
+    def test_every_family_cross_checks_clean(self, rng):
+        for name, gen in FAMILIES.items():
+            for _ in range(2):
+                case = gen(rng)
+                assert cross_check_case(case) == [], f"family {name} diverged"
+
+
+class TestShrinking:
+    def test_infeasible_core_is_extracted(self, rng):
+        case = infeasible_lp(rng, n=5, m=4)
+
+        def still_infeasible(p):
+            res = interface.solve_compiled(p, backend="simplex", use_presolve=False)
+            return res.status is SolverStatus.INFEASIBLE
+
+        small = shrink_problem(case.instance, still_infeasible, max_evals=250)
+        assert still_infeasible(small)
+        # the contradictory pair needs only one variable and two rows
+        assert small.c.shape[0] <= 2
+        assert small.A_ub.shape[0] <= 3
+
+    def test_drrp_truncates_under_stable_predicate(self, rng):
+        case = random_drrp(rng)
+        small = shrink_drrp(case.instance, lambda inst: True, max_evals=60)
+        assert small.horizon == 1
+
+    def test_shrink_respects_eval_budget(self, rng):
+        case = infeasible_lp(rng)
+        calls = []
+
+        def predicate(p):
+            calls.append(1)
+            return False
+
+        shrink_problem(case.instance, predicate, max_evals=7)
+        assert len(calls) <= 7
+
+
+@needs_scipy
+class TestInjectedBug:
+    """Break one backend on purpose: the oracle must catch it, shrink the
+    witness, and persist a reproducer — the full acceptance path."""
+
+    @pytest.fixture
+    def broken_scipy_lp(self, monkeypatch):
+        real = interface.solve_lp_scipy
+
+        def lying_solver(problem, **kwargs):
+            res = real(problem, **kwargs)
+            if res.status is SolverStatus.OPTIMAL:
+                return SolverResult(
+                    status=res.status, x=res.x, objective=res.objective + 0.75,
+                    bound=res.bound, iterations=res.iterations, extra=res.extra,
+                )
+            return res
+
+        monkeypatch.setattr(interface, "solve_lp_scipy", lying_solver)
+
+    def test_disagreement_found_and_shrunk(self, rng, broken_scipy_lp):
+        case = planted_lp(rng)
+        found = cross_check_case(case)
+        assert found, "oracle missed an injected objective corruption"
+        kinds = {d.kind for d in found}
+        assert kinds & {"objective", "certificate", "ground-truth"}
+        d = next(x for x in found if x.kind in ("objective", "certificate"))
+        d = shrink_disagreement(d, max_evals=80)
+        assert d.shrunk is not None
+        assert d.shrunk.c.shape[0] <= d.witness.c.shape[0]
+        assert d.shrunk.A_ub.shape[0] <= d.witness.A_ub.shape[0]
+
+    def test_fuzz_persists_reproducer(self, broken_scipy_lp, tmp_path):
+        report = run_fuzz(
+            FuzzConfig(seed=11, max_cases=3, families=("lp",), out_dir=tmp_path),
+        )
+        assert not report.ok
+        assert report.reproducer_files
+        payload = json.loads((tmp_path / report.reproducer_files[0].split("/")[-1]).read_text())
+        assert payload["family"] == "lp"
+        assert payload["witness"]["type"] == "CompiledProblem"
+        assert payload["shrunk"] is not None
+        assert len(payload["shrunk"]["c"]) <= len(payload["witness"]["c"])
+
+
+class TestSerialization:
+    def test_every_family_serializes_to_json(self, rng):
+        for gen in FAMILIES.values():
+            case = gen(rng)
+            json.dumps(serialize_witness(case.instance))
+
+    def test_compiled_problem_round_trip_fields(self, rng):
+        case = planted_lp(rng)
+        d = serialize_witness(case.instance)
+        assert np.allclose(d["c"], case.instance.c)
+        assert np.allclose(d["A_ub"], case.instance.A_ub)
+        assert d["maximize"] is False
