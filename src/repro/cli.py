@@ -4,18 +4,27 @@ Commands mirror the library's main workflows:
 
 ``plan``
     Solve DRRP for a class/horizon and print the rental schedule.
+``run``
+    Observed run of a DRRP solve (``run drrp``) or a paper experiment
+    (``run fig10``): writes a Chrome trace (``--trace``), a provenance
+    ``manifest.json`` + JSONL event log (``--out-dir``), and prints the
+    span tree / metrics report (see :mod:`repro.obs`).
 ``analyze``
     Run the spot-price predictability summary for one class.
 ``simulate``
     Rolling-horizon bake-off (oracle, on-demand, det/sto policies).
 ``report``
-    Regenerate paper figures (all, or a listed subset).
+    Regenerate paper figures (all, or a listed subset) — or, given paths
+    to a trace / manifest / event log written by ``run``/``fuzz``, render
+    the recorded span tree, metrics, and provenance instead.
 ``export-dataset``
     Write the bundled reference dataset as CSVs for external tools.
 ``fuzz``
     Differential-fuzz the solver stack against exact certificates and
     independent oracles (see :mod:`repro.verify`); CI runs the seeded
     ``--smoke`` configuration on every push and a longer budget nightly.
+    ``--workers N`` shards the campaign over processes; ``--trace`` /
+    ``--manifest`` record the campaign like ``run`` does.
 """
 
 from __future__ import annotations
@@ -51,6 +60,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", choices=("summary", "json"), default=None,
         help="record solve events: 'summary' prints one line, 'json' dumps the stream",
     )
+    p_plan.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a Chrome trace-event file of the solve (open in ui.perfetto.dev)",
+    )
+    p_plan.add_argument(
+        "--manifest", default=None, metavar="FILE",
+        help="write a run manifest (seed/config/backend chain/result digest) as JSON",
+    )
+
+    p_run = sub.add_parser(
+        "run", help="observed run: DRRP solve or experiment with trace/manifest output"
+    )
+    p_run.add_argument(
+        "target",
+        help="'drrp' for a single observed DRRP solve, or an experiment id (fig10, ...)",
+    )
+    p_run.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a Chrome trace-event file (open in ui.perfetto.dev)",
+    )
+    p_run.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="write manifest.json + events.jsonl (+ default trace) here",
+    )
+    p_run.add_argument("--seed", type=int, default=None, help="override the run's seed")
+    p_run.add_argument("--vm", default="m1.large", help="VM class for 'drrp' (default m1.large)")
+    p_run.add_argument(
+        "--horizon", type=int, default=None,
+        help="planning horizon in slots (drrp default 24; experiments keep their own default)",
+    )
+    p_run.add_argument(
+        "--backend", default=None,
+        help="solver backend: auto | simplex | simplex+cuts | scipy | bb-scipy",
+    )
+    p_run.add_argument(
+        "--trials", type=int, default=None,
+        help="n_trials override for experiment runners that accept it",
+    )
+    p_run.add_argument(
+        "--time-limit", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the 'drrp' solve",
+    )
 
     p_an = sub.add_parser("analyze", help="spot-price predictability summary")
     p_an.add_argument("--vm", default="c1.medium")
@@ -61,8 +112,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--lookahead", type=int, default=6)
     p_sim.add_argument("--seed", type=int, default=2012)
 
-    p_rep = sub.add_parser("report", help="regenerate paper figures")
-    p_rep.add_argument("experiments", nargs="*", help="ids (default: all)")
+    p_rep = sub.add_parser(
+        "report", help="regenerate paper figures, or render a recorded trace/manifest file"
+    )
+    p_rep.add_argument(
+        "experiments", nargs="*",
+        help="experiment ids (default: all) — or paths to .trace.json / manifest.json / "
+             "events.jsonl files written by 'run' or 'fuzz'",
+    )
 
     p_exp = sub.add_parser("export-dataset", help="write reference traces as CSV")
     p_exp.add_argument("directory", help="output directory")
@@ -97,14 +154,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", choices=("summary", "json"), default=None,
         help="record fuzz/solve events: 'summary' prints one line, 'json' dumps the stream",
     )
+    p_fuzz.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard the campaign over N processes (events merge into one stream)",
+    )
+    p_fuzz.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a Chrome trace-event file of the campaign",
+    )
+    p_fuzz.add_argument(
+        "--manifest", default=None, metavar="FILE",
+        help="write a run manifest (seed/config/result digest) as JSON",
+    )
 
     return parser
+
+
+def _plan_result_payload(vm_name: str, horizon: int, plan) -> dict:
+    """The replay-stable view of one DRRP plan, for run-manifest digests."""
+    return {
+        "vm": vm_name,
+        "horizon": horizon,
+        "status": plan.status.value,
+        "total_cost": float(plan.total_cost),
+        "alpha": [float(x) for x in plan.alpha],
+        "beta": [float(x) for x in plan.beta],
+        "chi": [int(round(float(x))) for x in plan.chi],
+    }
 
 
 def _cmd_plan(args) -> int:
     from repro.core import DRRPInstance, NormalDemand, on_demand_schedule, solve_drrp, solve_noplan
     from repro.market import ec2_catalog
-    from repro.solver import EventRecorder
+    from repro.solver import EventRecorder, Telemetry
 
     catalog = ec2_catalog()
     if args.vm not in catalog:
@@ -116,10 +198,18 @@ def _cmd_plan(args) -> int:
         demand=demand, costs=on_demand_schedule(vm, args.horizon), vm_name=vm.name
     )
     solve_kwargs = {}
-    recorder = None
-    if args.telemetry:
+    recorder = tracer = None
+    if args.telemetry or args.trace or args.manifest:
         recorder = EventRecorder()
-        solve_kwargs["listener"] = recorder
+        listeners = [recorder]
+        if args.trace:
+            from repro.obs import Tracer
+
+            tracer = Tracer()
+            listeners.append(tracer)
+        solve_kwargs["listener"] = (
+            recorder if len(listeners) == 1 else Telemetry(listeners=listeners)
+        )
     if args.time_limit is not None:
         solve_kwargs["time_limit"] = args.time_limit
         # WW seed guarantees an incumbent, so a tight budget still yields a plan
@@ -149,7 +239,152 @@ def _cmd_plan(args) -> int:
     if recorder is not None:
         if args.telemetry == "json":
             print(recorder.to_json(indent=2))
-        print(recorder.summary_line())
+        if args.telemetry:
+            print(recorder.summary_line())
+    if tracer is not None:
+        from repro.obs import write_chrome_trace
+
+        roots = tracer.finish()
+        path = write_chrome_trace(
+            args.trace, roots, tracer.markers, label=f"repro plan {vm.name}"
+        )
+        print(f"trace: {path}")
+    if args.manifest:
+        from repro.obs import RunManifest
+
+        manifest = RunManifest.from_run(
+            "plan",
+            f"{vm.name}/{args.horizon}",
+            result=_plan_result_payload(vm.name, args.horizon, plan),
+            seed=args.seed,
+            config={
+                "vm": vm.name, "horizon": args.horizon, "backend": args.backend,
+                "demand_mean": args.demand_mean, "demand_std": args.demand_std,
+                "time_limit": args.time_limit,
+            },
+            recorded_events=recorder.events,
+            deadline_budget=args.time_limit,
+            elapsed=recorder.events[-1].t if recorder.events else None,
+        )
+        manifest.write(args.manifest)
+        print(manifest.summary_line())
+        print(f"manifest: {args.manifest}")
+    return 0
+
+
+def _run_drrp_observed(args) -> int:
+    from pathlib import Path
+
+    from repro.core import DRRPInstance, NormalDemand, on_demand_schedule, solve_drrp
+    from repro.market import ec2_catalog
+    from repro.obs import (
+        MetricsAggregator,
+        MetricsRegistry,
+        RunManifest,
+        Tracer,
+        render_report as render_obs_report,
+        write_chrome_trace,
+        write_events_jsonl,
+    )
+    from repro.solver import EventRecorder, Telemetry
+
+    catalog = ec2_catalog()
+    if args.vm not in catalog:
+        print(f"unknown VM class {args.vm!r}; choose from {sorted(catalog)}", file=sys.stderr)
+        return 2
+    vm = catalog[args.vm]
+    horizon = args.horizon if args.horizon is not None else 24
+    seed = args.seed if args.seed is not None else 0
+    backend = args.backend or "auto"
+    demand = NormalDemand().sample(horizon, seed)
+    inst = DRRPInstance(demand=demand, costs=on_demand_schedule(vm, horizon), vm_name=vm.name)
+
+    recorder = EventRecorder()
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    hub = Telemetry(listeners=[recorder, tracer, MetricsAggregator(registry)])
+    solve_kwargs = {}
+    if args.time_limit is not None:
+        solve_kwargs["time_limit"] = args.time_limit
+        solve_kwargs["warm_start"] = True
+    try:
+        plan = solve_drrp(inst, backend=backend, listener=hub, **solve_kwargs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except RuntimeError as exc:
+        print(f"no plan within the budget: {exc}", file=sys.stderr)
+        print(recorder.summary_line(), file=sys.stderr)
+        return 1
+    roots = tracer.finish()
+
+    print(f"{vm.name}: horizon {horizon}h, DRRP cost ${plan.total_cost:.2f} "
+          f"(status {plan.status.value})")
+    print()
+    print(render_obs_report(roots, registry, tracer.markers))
+    manifest = RunManifest.from_run(
+        "plan",
+        f"drrp:{vm.name}/{horizon}",
+        result=_plan_result_payload(vm.name, horizon, plan),
+        seed=seed,
+        config={"vm": vm.name, "horizon": horizon, "backend": backend,
+                "time_limit": args.time_limit},
+        recorded_events=recorder.events,
+        deadline_budget=args.time_limit,
+        elapsed=recorder.events[-1].t if recorder.events else None,
+    )
+    print()
+    print(manifest.summary_line())
+    trace_path = args.trace
+    if args.out_dir is not None:
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        print(f"manifest: {manifest.write(out_dir / 'manifest.json')}")
+        print(f"events: {write_events_jsonl(out_dir / 'events.jsonl', recorder.events)}")
+        if trace_path is None:
+            trace_path = out_dir / "drrp.trace.json"
+    if trace_path is not None:
+        path = write_chrome_trace(trace_path, roots, tracer.markers,
+                                  label=f"repro drrp {vm.name}")
+        print(f"trace: {path}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.target == "drrp":
+        return _run_drrp_observed(args)
+
+    import inspect
+
+    from repro.experiments.report import ALL_EXPERIMENTS, run_instrumented
+    from repro.obs import render_report as render_obs_report
+
+    if args.target not in ALL_EXPERIMENTS:
+        print(
+            f"unknown run target {args.target!r}; choose 'drrp' or one of "
+            f"{sorted(ALL_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    params = inspect.signature(ALL_EXPERIMENTS[args.target]).parameters
+    overrides = {"seed": args.seed, "horizon": args.horizon,
+                 "backend": args.backend, "n_trials": args.trials}
+    kwargs = {k: v for k, v in overrides.items() if v is not None}
+    ignored = sorted(set(kwargs) - set(params))
+    if ignored:
+        print(f"note: {args.target} does not take {', '.join(ignored)}; ignored",
+              file=sys.stderr)
+        kwargs = {k: v for k, v in kwargs.items() if k in params}
+    run = run_instrumented(args.target, out_dir=args.out_dir, trace_path=args.trace, **kwargs)
+    print(run.result.to_text())
+    print()
+    print(render_obs_report(run.roots, run.registry, run.markers))
+    print()
+    print(run.manifest.summary_line())
+    for label, path in (("manifest", run.manifest_path), ("events", run.events_path),
+                        ("trace", run.trace_path)):
+        if path is not None:
+            print(f"{label}: {path}")
     return 0
 
 
@@ -204,10 +439,90 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _render_recorded_file(path) -> tuple[str, int]:
+    """Render one recorded artifact (trace / manifest / event log) to text.
+
+    Returns ``(text, exit_code)``; dispatches on content, not extension.
+    """
+    import json
+
+    from repro.obs import (
+        MetricsAggregator,
+        MetricsRegistry,
+        RunManifest,
+        Tracer,
+        load_chrome_trace,
+        read_events_jsonl,
+        render_report as render_obs_report,
+    )
+    from repro.solver.telemetry import SolveEvent
+
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError:
+        doc = None  # maybe JSONL
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        roots, markers = load_chrome_trace(path)
+        return f"== {path} (chrome trace) ==\n" + render_obs_report(roots, None, markers), 0
+    if isinstance(doc, dict) and "result_digest" in doc:
+        man = RunManifest.load(path)
+        lines = [
+            f"== {path} (run manifest) ==",
+            man.summary_line(),
+            f"config: {json.dumps(man.config, sort_keys=True)}",
+            f"versions: {json.dumps(man.versions, sort_keys=True)}",
+        ]
+        if man.deadline_budget is not None:
+            lines.append(f"deadline_budget: {man.deadline_budget}s")
+        if man.elapsed is not None:
+            lines.append(f"elapsed: {man.elapsed:.3f}s")
+        lines.append(f"events: {json.dumps(man.events, sort_keys=True)}")
+        lines.append(f"result_digest: {man.result_digest}")
+        return "\n".join(lines), 0
+    if isinstance(doc, list):  # EventRecorder.to_json dump
+        events = [
+            SolveEvent(kind=o.pop("kind"), t=float(o.pop("t")), data=o) for o in doc
+        ]
+    else:
+        try:
+            events = read_events_jsonl(path)
+        except (json.JSONDecodeError, KeyError, ValueError, OSError):
+            return f"error: {path} is not a trace, manifest, or event log", 2
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    aggregator = MetricsAggregator(registry)
+    for ev in events:
+        tracer.on_event(ev)
+        aggregator.on_event(ev)
+    roots = tracer.finish()
+    return (
+        f"== {path} (event log) ==\n" + render_obs_report(roots, registry, tracer.markers),
+        0,
+    )
+
+
 def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    paths = [Path(a) for a in args.experiments]
+    if paths and all(p.is_file() for p in paths):
+        status = 0
+        for i, path in enumerate(paths):
+            if i:
+                print()
+            text, code = _render_recorded_file(path)
+            print(text, file=sys.stderr if code else sys.stdout)
+            status = max(status, code)
+        return status
+
     from repro.experiments.report import render_report, run_all
 
-    results = run_all(args.experiments or None)
+    try:
+        results = run_all(args.experiments or None)
+    except ValueError as exc:
+        print(f"error: {exc} (file paths render recorded runs, but every "
+              f"argument must then be an existing file)", file=sys.stderr)
+        return 2
     print(render_report(results))
     return 0
 
@@ -224,8 +539,8 @@ def _cmd_export(args) -> int:
 def _cmd_fuzz(args) -> int:
     import math
 
-    from repro.solver import EventRecorder
-    from repro.verify import FAMILIES, SMOKE_CASES, FuzzConfig, run_fuzz
+    from repro.solver import EventRecorder, Telemetry
+    from repro.verify import FAMILIES, SMOKE_CASES, FuzzConfig, run_fuzz, run_fuzz_parallel
 
     families = tuple(FAMILIES)
     if args.families:
@@ -241,7 +556,15 @@ def _cmd_fuzz(args) -> int:
     budget = args.time_limit if args.time_limit is not None else math.inf
     if args.smoke:
         budget = min(budget, 60.0)
-    recorder = EventRecorder() if args.telemetry else None
+    recorder = tracer = listener = None
+    if args.telemetry or args.trace or args.manifest:
+        recorder = EventRecorder()
+        listener = recorder
+        if args.trace:
+            from repro.obs import Tracer
+
+            tracer = Tracer()
+            listener = Telemetry(listeners=[recorder, tracer])
     config = FuzzConfig(
         seed=args.seed,
         max_cases=cases,
@@ -250,7 +573,10 @@ def _cmd_fuzz(args) -> int:
         out_dir=args.out_dir,
         shrink=not args.no_shrink,
     )
-    report = run_fuzz(config, listener=recorder)
+    if args.workers is not None and args.workers > 1:
+        report = run_fuzz_parallel(config, n_workers=args.workers, listener=listener)
+    else:
+        report = run_fuzz(config, listener=listener)
     print(report.summary_line())
     for fam, tally in report.by_family.items():
         print(
@@ -264,12 +590,38 @@ def _cmd_fuzz(args) -> int:
     if recorder is not None:
         if args.telemetry == "json":
             print(recorder.to_json(indent=2))
-        print(recorder.summary_line())
+        if args.telemetry:
+            print(recorder.summary_line())
+    if tracer is not None:
+        from repro.obs import write_chrome_trace
+
+        roots = tracer.finish()
+        print(f"trace: {write_chrome_trace(args.trace, roots, tracer.markers, label='repro fuzz')}")
+    if args.manifest:
+        from repro.obs import RunManifest
+
+        manifest = RunManifest.from_run(
+            "fuzz",
+            "smoke" if args.smoke else "campaign",
+            result=report.digest_dict(),
+            seed=args.seed,
+            config={
+                "cases": cases, "families": list(families),
+                "shrink": not args.no_shrink, "workers": args.workers,
+            },
+            recorded_events=recorder.events,
+            deadline_budget=None if math.isinf(budget) else budget,
+            elapsed=report.elapsed,
+        )
+        manifest.write(args.manifest)
+        print(manifest.summary_line())
+        print(f"manifest: {args.manifest}")
     return 0 if report.ok else 1
 
 
 _COMMANDS = {
     "plan": _cmd_plan,
+    "run": _cmd_run,
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,
     "report": _cmd_report,

@@ -67,5 +67,29 @@ class ExperimentResult:
             parts.extend(f"  - {k}: {v}" for k, v in self.findings.items())
         return "\n".join(parts)
 
+    def to_dict(self) -> dict:
+        """JSON-safe view of the reported data (rows + checked findings).
+
+        ``series`` is deliberately excluded: raw arrays are re-plotting
+        material, while rows/findings are what the paper reports — and
+        what a replay must reproduce for the digest to match.
+        """
+        from repro.solver.telemetry import jsonable
+
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "rows": jsonable(self.rows),
+            "findings": jsonable(self.findings),
+        }
+
+    def digest(self) -> str:
+        """Stable ``sha256:`` digest of the reported data (see
+        :func:`repro.obs.result_digest`): identical across faithful
+        replays, different whenever a row or finding drifts."""
+        from repro.obs.manifest import result_digest
+
+        return result_digest(self.to_dict())
+
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.to_text()

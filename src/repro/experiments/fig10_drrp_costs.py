@@ -25,8 +25,14 @@ def run(
     seed: int = 2012,
     n_trials: int = 5,
     backend: str = "auto",
+    listener=None,
 ) -> ExperimentResult:
-    """Regenerate Fig. 10 averaged over ``n_trials`` demand draws."""
+    """Regenerate Fig. 10 averaged over ``n_trials`` demand draws.
+
+    ``listener`` (a telemetry callback or hub) receives the solve events
+    of every DRRP solve in the sweep, so instrumented runs (``repro run
+    fig10 --trace ...``) get real per-solve spans and work counters.
+    """
     catalog = ec2_catalog()
     demand_model = NormalDemand()
     rows = []
@@ -43,7 +49,7 @@ def run(
                 costs=on_demand_schedule(vm, horizon),
                 vm_name=name,
             )
-            plan = solve_drrp(inst, backend=backend)
+            plan = solve_drrp(inst, backend=backend, listener=listener)
             base = solve_noplan(inst)
             drrp_costs.append(plan.total_cost)
             noplan_costs.append(base.total_cost)

@@ -2,10 +2,19 @@
 
 ``python -m repro.experiments.report`` regenerates all ten figures' data
 and prints them — the programmatic backbone of EXPERIMENTS.md.
+
+:func:`run_instrumented` is the provenance-carrying variant used by
+``repro run``: it wraps one experiment in a root span, records the full
+event stream, and produces a ``manifest.json`` (seed/config, package
+versions, backend chain, event counts, result digest) plus optional
+Chrome-trace and JSONL dumps, so any figure can be replayed and diffed.
 """
 
 from __future__ import annotations
 
+import inspect
+from dataclasses import dataclass, field as dc_field
+from pathlib import Path
 from typing import Callable
 
 from .base import ExperimentResult
@@ -26,7 +35,7 @@ from . import (
     fig12b_precision,
 )
 
-__all__ = ["ALL_EXPERIMENTS", "run_all", "render_report"]
+__all__ = ["ALL_EXPERIMENTS", "run_all", "render_report", "run_instrumented", "InstrumentedRun"]
 
 #: Experiment id -> zero-argument runner with the paper's default parameters.
 ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
@@ -60,6 +69,96 @@ def run_all(only: list[str] | None = None) -> dict[str, ExperimentResult]:
 def render_report(results: dict[str, ExperimentResult]) -> str:
     """Render results into one text report."""
     return "\n\n".join(results[eid].to_text() for eid in results)
+
+
+@dataclass
+class InstrumentedRun:
+    """Everything one observed experiment run produced."""
+
+    result: ExperimentResult
+    manifest: "RunManifest"  # noqa: F821 - imported lazily below
+    roots: list = dc_field(default_factory=list)     # span forest
+    markers: list = dc_field(default_factory=list)
+    events: list = dc_field(default_factory=list)
+    registry: object = None                          # MetricsRegistry
+    manifest_path: Path | None = None
+    trace_path: Path | None = None
+    events_path: Path | None = None
+
+
+def run_instrumented(
+    eid: str,
+    out_dir: str | Path | None = None,
+    trace_path: str | Path | None = None,
+    listener=None,
+    **runner_kwargs,
+) -> InstrumentedRun:
+    """Run one experiment under full observability.
+
+    The run is bracketed by an ``experiment:<eid>`` root span; runners
+    that accept a ``listener`` parameter (e.g. fig10) additionally stream
+    every inner solve's events into the same hub.  With ``out_dir`` set,
+    ``manifest.json`` and ``events.jsonl`` are written there; with
+    ``trace_path`` set, a Chrome trace-event file is written too.
+    ``runner_kwargs`` (seed, horizon, backend, ...) are forwarded to the
+    runner and recorded in the manifest's config.
+    """
+    from repro.obs import (
+        MetricsAggregator,
+        MetricsRegistry,
+        RunManifest,
+        Tracer,
+        span,
+        write_chrome_trace,
+        write_events_jsonl,
+    )
+    from repro.solver.telemetry import EventRecorder, Telemetry
+
+    if eid not in ALL_EXPERIMENTS:
+        raise ValueError(f"unknown experiment id {eid!r}; expected one of {sorted(ALL_EXPERIMENTS)}")
+    runner = ALL_EXPERIMENTS[eid]
+
+    recorder = EventRecorder()
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    listeners = [recorder, tracer, MetricsAggregator(registry)]
+    if listener is not None:
+        listeners.append(listener)
+    hub = Telemetry(listeners=listeners)
+
+    kwargs = dict(runner_kwargs)
+    if "listener" in inspect.signature(runner).parameters:
+        kwargs.setdefault("listener", hub)
+    with span(hub, f"experiment:{eid}") as info:
+        result = runner(**kwargs)
+        info["rows"] = len(result.rows)
+    roots = tracer.finish()
+
+    seed = kwargs.get("seed")
+    config = {k: v for k, v in kwargs.items() if k != "listener"}
+    manifest = RunManifest.from_run(
+        "experiment",
+        eid,
+        result=result.to_dict(),
+        seed=seed,
+        config=config,
+        recorded_events=recorder.events,
+        elapsed=recorder.events[-1].t if recorder.events else None,
+    )
+    run = InstrumentedRun(
+        result=result, manifest=manifest, roots=roots,
+        markers=tracer.markers, events=recorder.events, registry=registry,
+    )
+    if out_dir is not None:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        run.manifest_path = manifest.write(out_dir / "manifest.json")
+        run.events_path = write_events_jsonl(out_dir / "events.jsonl", recorder.events)
+        if trace_path is None:
+            trace_path = out_dir / f"{eid}.trace.json"
+    if trace_path is not None:
+        run.trace_path = write_chrome_trace(trace_path, roots, tracer.markers, label=f"repro {eid}")
+    return run
 
 
 def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI

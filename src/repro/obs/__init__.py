@@ -1,0 +1,89 @@
+"""Observability over the solve pipeline: spans, metrics, traces, manifests.
+
+Layered on the :mod:`repro.solver.telemetry` event hub — no solver
+changes required to adopt it:
+
+>>> from repro.obs import Tracer
+>>> tracer = Tracer()
+>>> result = solve(model, listener=tracer)            # doctest: +SKIP
+>>> roots = tracer.finish()
+>>> print(render_report(roots))                       # doctest: +SKIP
+
+* :mod:`repro.obs.spans` — hierarchical span reconstruction
+  (:class:`Tracer`) and the explicit :func:`span` context manager;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms/series with a
+  zero-cost disabled path (:data:`NULL_REGISTRY`);
+* :mod:`repro.obs.exporters` — JSONL event logs, Chrome
+  trace-event / Perfetto span dumps with a lossless loader, and the
+  terminal report;
+* :mod:`repro.obs.manifest` — per-run provenance manifests with result
+  digests, for replaying and diffing figure/fuzz runs.
+
+See ``docs/observability.md`` for the event-to-span mapping and file
+formats.
+"""
+
+from .exporters import (
+    load_chrome_trace,
+    read_events_jsonl,
+    render_report,
+    render_span_tree,
+    to_chrome_trace,
+    top_self_time,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from .manifest import (
+    RunManifest,
+    backend_chain,
+    canonical_json,
+    diff_manifests,
+    event_counts,
+    package_versions,
+    result_digest,
+)
+from .metrics import (
+    DEFAULT_DURATION_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsAggregator,
+    MetricsRegistry,
+    Series,
+)
+from .spans import Marker, Span, Tracer, span
+
+__all__ = [
+    # spans
+    "Span",
+    "Marker",
+    "Tracer",
+    "span",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Series",
+    "MetricsRegistry",
+    "MetricsAggregator",
+    "NULL_REGISTRY",
+    "DEFAULT_DURATION_BUCKETS",
+    # exporters
+    "write_events_jsonl",
+    "read_events_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "render_span_tree",
+    "render_report",
+    "top_self_time",
+    # manifests
+    "RunManifest",
+    "result_digest",
+    "canonical_json",
+    "package_versions",
+    "backend_chain",
+    "event_counts",
+    "diff_manifests",
+]

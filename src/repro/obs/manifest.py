@@ -1,0 +1,220 @@
+"""Run manifests: enough provenance to replay and diff any run.
+
+Every instrumented entry point — ``repro run``, ``repro plan``,
+``repro fuzz``, the experiment harness — can write a ``manifest.json``
+recording *what produced this result*: the seed and configuration, the
+package versions, the backend chain the solve actually took (including
+``backend_degraded`` hops), the deadline budget, per-kind event counts,
+and a **result digest** — a SHA-256 over a canonical JSON form of the
+result with floats rounded to 12 significant digits, so bit-identical
+reruns and cross-platform reruns with sub-ulp noise both map to the same
+digest.
+
+``diff_manifests`` explains how two runs differ (changed seed?  different
+backend chain?  result drift?), which is the provenance question the
+paper's figure pipeline needs answered before any perf comparison is
+meaningful.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.solver.telemetry import jsonable
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "RunManifest",
+    "canonical_json",
+    "result_digest",
+    "package_versions",
+    "backend_chain",
+    "event_counts",
+    "diff_manifests",
+]
+
+MANIFEST_VERSION = 1
+
+#: Fields that legitimately differ between a run and its replay.
+VOLATILE_FIELDS = frozenset({"created", "elapsed", "versions", "host", "events"})
+
+
+def _canonicalize(obj):
+    """Round floats to 12 significant digits and sort mappings, recursively."""
+    obj = jsonable(obj)
+    if isinstance(obj, float):
+        return float(f"{obj:.12g}")
+    if isinstance(obj, dict):
+        return {k: _canonicalize(obj[k]) for k in sorted(obj)}
+    if isinstance(obj, list):
+        return [_canonicalize(v) for v in obj]
+    return obj
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON encoding used for digesting results."""
+    return json.dumps(_canonicalize(obj), sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def result_digest(obj) -> str:
+    """``sha256:<hex>`` over the canonical JSON form of ``obj``."""
+    return "sha256:" + hashlib.sha256(canonical_json(obj).encode()).hexdigest()
+
+
+def package_versions() -> dict:
+    """Versions of the packages that can change numeric results."""
+    versions = {"python": platform.python_version()}
+    for name in ("numpy", "scipy"):
+        mod = sys.modules.get(name)
+        if mod is None:
+            try:
+                mod = __import__(name)
+            except ImportError:
+                versions[name] = None
+                continue
+        versions[name] = getattr(mod, "__version__", "unknown")
+    try:
+        from repro import __version__ as repro_version
+    except ImportError:  # pragma: no cover - package always importable here
+        repro_version = "unknown"
+    versions["repro"] = repro_version
+    return versions
+
+
+def backend_chain(events) -> list[str]:
+    """The backend sequence a run actually took, degradations included.
+
+    Reads ``solve_start`` (requested backend) and ``backend_degraded``
+    (from/to hops) events; consecutive duplicates are collapsed so a
+    thousand-solve sweep over one backend reports a one-element chain.
+    """
+    chain: list[str] = []
+
+    def push(name) -> None:
+        if name and (not chain or chain[-1] != name):
+            chain.append(str(name))
+
+    for ev in events:
+        if ev.kind == "solve_start":
+            push(ev.data.get("backend"))
+        elif ev.kind == "backend_degraded":
+            push(ev.data.get("from_backend"))
+            push(ev.data.get("to_backend"))
+    return chain
+
+
+def event_counts(events) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for ev in events:
+        counts[ev.kind] = counts.get(ev.kind, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+@dataclass
+class RunManifest:
+    """Provenance record for one run (see module docstring)."""
+
+    kind: str                                  # "experiment" | "fuzz" | "plan" | ...
+    name: str                                  # e.g. "fig10", "smoke", "m1.large/24"
+    seed: int | None = None
+    config: dict = field(default_factory=dict)
+    versions: dict = field(default_factory=package_versions)
+    backends: list[str] = field(default_factory=list)
+    deadline_budget: float | None = None
+    events: dict = field(default_factory=dict)  # per-kind event counts
+    result_digest: str = ""
+    elapsed: float | None = None
+    created: float = 0.0                        # time.time(); 0 = unset
+    host: str = ""
+    extra: dict = field(default_factory=dict)
+    version: int = MANIFEST_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.created:
+            self.created = time.time()
+        if not self.host:
+            self.host = platform.node()
+
+    @classmethod
+    def from_run(
+        cls,
+        kind: str,
+        name: str,
+        *,
+        result,
+        seed: int | None = None,
+        config: dict | None = None,
+        recorded_events=(),
+        deadline_budget: float | None = None,
+        elapsed: float | None = None,
+        extra: dict | None = None,
+    ) -> "RunManifest":
+        """Build a manifest from a finished run's result + event stream."""
+        recorded_events = list(recorded_events)
+        return cls(
+            kind=kind,
+            name=name,
+            seed=seed,
+            config=jsonable(config or {}),
+            backends=backend_chain(recorded_events),
+            deadline_budget=deadline_budget,
+            events=event_counts(recorded_events),
+            result_digest=result_digest(result),
+            elapsed=elapsed,
+            extra=jsonable(extra or {}),
+        )
+
+    def to_dict(self) -> dict:
+        return jsonable(asdict(self))
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, allow_nan=False) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunManifest":
+        data = json.loads(Path(path).read_text())
+        data.pop("version", None)
+        known = {f for f in cls.__dataclass_fields__ if f != "version"}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        return cls(**kwargs)
+
+    def replays(self, other: "RunManifest") -> bool:
+        """True when ``other`` is a faithful replay: same inputs, same digest."""
+        return not diff_manifests(self, other)
+
+    def summary_line(self) -> str:
+        backends = "->".join(self.backends) if self.backends else "-"
+        n_events = sum(self.events.values())
+        return (
+            f"manifest: {self.kind}/{self.name} seed={self.seed} "
+            f"backends={backends} events={n_events} digest={self.result_digest[:19]}..."
+        )
+
+
+def diff_manifests(a: RunManifest, b: RunManifest, *, include_volatile: bool = False) -> dict:
+    """Fields that differ between two manifests: ``name -> (a_value, b_value)``.
+
+    Volatile fields (timestamps, host, package versions, event counts —
+    the last varies with wall-clock-dependent node ordering) are excluded
+    unless ``include_volatile``; an empty dict therefore means "same run,
+    same result".
+    """
+    da, db = a.to_dict(), b.to_dict()
+    diff: dict[str, tuple] = {}
+    for key in sorted(set(da) | set(db)):
+        if key == "version":
+            continue
+        if not include_volatile and key in VOLATILE_FIELDS:
+            continue
+        if da.get(key) != db.get(key):
+            diff[key] = (da.get(key), db.get(key))
+    return diff

@@ -1,6 +1,6 @@
 """Process-level parallelism helpers (pool mapping, deterministic seeding)."""
 
-from .pool import default_workers, parallel_map
+from .pool import current_telemetry, default_workers, parallel_map
 from repro.stats.rng import spawn_rngs
 
-__all__ = ["default_workers", "parallel_map", "spawn_rngs"]
+__all__ = ["current_telemetry", "default_workers", "parallel_map", "spawn_rngs"]

@@ -1,10 +1,28 @@
 """Process-pool mapping for embarrassingly parallel sweeps.
 
-Used by the auto-ARIMA grid search and the experiment harness when a sweep
-has many independent cells (e.g. the Fig. 11 sensitivity grid).  Keeps the
-dependency surface tiny: :mod:`concurrent.futures` with chunking, ordered
-results, and a serial fallback for ``n_workers <= 1`` (which also makes unit
-tests deterministic and debuggable).
+Used by the auto-ARIMA grid search, the experiment harness, and parallel
+fuzz shards.  Keeps the dependency surface tiny: :mod:`concurrent.futures`
+with chunking, ordered results, and a serial fallback for
+``n_workers <= 1`` (which also makes unit tests deterministic and
+debuggable).
+
+Telemetry across process boundaries
+-----------------------------------
+
+Events emitted inside worker processes used to be silently dropped — the
+parent's :class:`~repro.solver.telemetry.Telemetry` hub lives in the
+parent.  Passing ``telemetry=hub`` to :func:`parallel_map` fixes that:
+
+* each task runs with a process-local capture hub installed as the
+  *ambient* hub (:func:`current_telemetry`), which the task body may
+  hand to any ``listener=`` / ``telemetry=`` parameter;
+* captured events travel back with the task result (plain tuples, so the
+  usual pickling contract holds) and are re-emitted into the parent hub
+  **in item order**, tagged with a compact ``worker`` id (0, 1, ... by
+  first appearance) and the original in-worker timestamp as ``worker_t``;
+* the serial path captures the same way with ``worker=0``, so listeners
+  observe one well-ordered merged stream either way (the parent hub
+  clamps timestamps monotone).
 """
 
 from __future__ import annotations
@@ -13,10 +31,25 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.solver.telemetry import EventRecorder, Telemetry
+
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["parallel_map", "default_workers"]
+__all__ = ["parallel_map", "default_workers", "current_telemetry"]
+
+#: Process-local ambient hub installed while a captured task runs.
+_ambient: Telemetry | None = None
+
+
+def current_telemetry() -> Telemetry | None:
+    """The hub for the task currently running under :func:`parallel_map`.
+
+    ``None`` outside a telemetry-enabled ``parallel_map`` call (including
+    always in the disabled path), so task bodies can unconditionally write
+    ``run_fuzz(cfg, listener=current_telemetry())``.
+    """
+    return _ambient
 
 
 def default_workers(cap: int = 8) -> int:
@@ -38,11 +71,50 @@ def default_workers(cap: int = 8) -> int:
     return max(1, min(cap, cpus - 1))
 
 
+class _CapturedTask:
+    """Picklable wrapper running ``fn`` under a capture hub.
+
+    Returns ``(result, pid, events)`` where ``events`` is a list of
+    ``(kind, t, data)`` tuples — everything plain so it survives the
+    multiprocessing round-trip.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable) -> None:
+        self.fn = fn
+
+    def __call__(self, item):
+        global _ambient
+        recorder = EventRecorder()
+        hub = Telemetry(listeners=(recorder,))
+        previous, _ambient = _ambient, hub
+        try:
+            result = self.fn(item)
+        finally:
+            _ambient = previous
+        events = [(ev.kind, ev.t, ev.data) for ev in recorder.events]
+        return result, os.getpid(), events
+
+
+def _forward(telemetry: Telemetry, outputs) -> list:
+    """Re-emit captured worker events into the parent hub, in item order."""
+    results = []
+    worker_ids: dict[int, int] = {}
+    for result, pid, events in outputs:
+        worker = worker_ids.setdefault(pid, len(worker_ids))
+        for kind, t, data in events:
+            telemetry.emit(kind, worker=worker, worker_t=t, **data)
+        results.append(result)
+    return results
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T] | Iterable[T],
     n_workers: int | None = None,
     chunksize: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> list[R]:
     """Map ``fn`` over ``items``, preserving order.
 
@@ -53,6 +125,10 @@ def parallel_map(
 
     ``fn`` and the items must be picklable in the parallel path (module-level
     functions, plain data) — the usual multiprocessing contract.
+
+    ``telemetry`` (optional) forwards events emitted by task bodies through
+    :func:`current_telemetry` back into the given parent hub, tagged with a
+    ``worker`` id — see the module docstring.
     """
     items = list(items)
     if n_workers is None:
@@ -61,8 +137,16 @@ def parallel_map(
     # 8-worker default would pay 6 process startups for nothing.
     n_workers = min(n_workers, len(items))
     if n_workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        if telemetry is None:
+            return [fn(item) for item in items]
+        task = _CapturedTask(fn)
+        return _forward(telemetry, [task(item) for item in items])
     if chunksize is None:
         chunksize = max(1, len(items) // (4 * n_workers))
+    if telemetry is None:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))
+    task = _CapturedTask(fn)
     with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(fn, items, chunksize=chunksize))
+        outputs = list(pool.map(task, items, chunksize=chunksize))
+    return _forward(telemetry, outputs)

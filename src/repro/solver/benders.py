@@ -226,7 +226,11 @@ def solve_benders(
         else:
             A_ub, b_ub = master.A_ub, master.b_ub
         m_iter = dc_replace(master, A_ub=A_ub, b_ub=b_ub)
-        res = solve_compiled(m_iter, backend=backend, use_presolve=False, deadline=dl)
+        # Threading the hub into the master solve nests its solve_start /
+        # phase events under the Benders loop in reconstructed span trees.
+        res = solve_compiled(
+            m_iter, backend=backend, use_presolve=False, deadline=dl, listener=telemetry
+        )
         if res.status is SolverStatus.TIME_LIMIT:
             return out_of_time(it)
         if res.status is SolverStatus.INFEASIBLE:
@@ -237,7 +241,11 @@ def solve_benders(
         thetas = res.x[n:]
         lower = float(problem.c @ x + thetas.sum())
 
-        subs = [_solve_subproblem(s, x, opts.infeasibility_penalty) for s in problem.scenarios]
+        if telemetry:
+            with telemetry.phase("benders_subproblems", scenarios=S, iteration=it):
+                subs = [_solve_subproblem(s, x, opts.infeasibility_penalty) for s in problem.scenarios]
+        else:
+            subs = [_solve_subproblem(s, x, opts.infeasibility_penalty) for s in problem.scenarios]
         true_recourse = np.array([s.prob for s in problem.scenarios]) * np.array([sb.value for sb in subs])
         upper = float(problem.c @ x + true_recourse.sum())
         if upper < best_upper - 1e-12:

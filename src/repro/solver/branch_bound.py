@@ -140,6 +140,7 @@ def branch_and_bound(
     counter = itertools.count()  # heap tie-breaker
     incumbent_x: np.ndarray | None = None
     incumbent_obj = math.inf
+    best_bound = -math.inf  # tightened to the root relaxation below
     total_lp_iters = 0
     nodes_explored = 0
     nodes_pruned = 0
@@ -155,11 +156,20 @@ def branch_and_bound(
         nonlocal incumbent_obj, incumbent_x
         incumbent_obj, incumbent_x = obj, x
         if telemetry:
+            # Relative gap against the global dual bound, so listeners can
+            # chart incumbent-gap-over-time without re-deriving B&B state.
+            gap = (
+                (incumbent_obj - best_bound) / max(1.0, abs(incumbent_obj))
+                if math.isfinite(best_bound)
+                else math.inf
+            )
             telemetry.emit(
                 "incumbent",
                 objective=problem.objective_value(x[: problem.num_vars]),
                 source=source,
                 node=nodes_explored,
+                bound=best_bound,
+                gap=gap,
             )
 
     if opts.initial_incumbent is not None:

@@ -120,17 +120,27 @@ def solve_lp_scipy(
                 telemetry.emit("deadline_exceeded", where="solve_lp_scipy")
             return SolverResult(status=SolverStatus.TIME_LIMIT)
         options.setdefault("time_limit", max(deadline.remaining(), 1e-3))
-    res = sciopt.linprog(
-        c=problem.c,
-        A_ub=problem.A_ub if problem.A_ub.size else None,
-        b_ub=problem.b_ub if problem.b_ub.size else None,
-        A_eq=problem.A_eq if problem.A_eq.size else None,
-        b_eq=problem.b_eq if problem.b_eq.size else None,
-        bounds=_bounds(problem),
-        method="highs",
-        options=options or None,
-        **kwargs,
-    )
+    def run():
+        return sciopt.linprog(
+            c=problem.c,
+            A_ub=problem.A_ub if problem.A_ub.size else None,
+            b_ub=problem.b_ub if problem.b_ub.size else None,
+            A_eq=problem.A_eq if problem.A_eq.size else None,
+            b_eq=problem.b_eq if problem.b_eq.size else None,
+            bounds=_bounds(problem),
+            method="highs",
+            options=options or None,
+            **kwargs,
+        )
+
+    if telemetry:
+        with telemetry.phase(
+            "highs_lp", rows=problem.num_constraints, cols=problem.num_vars
+        ) as info:
+            res = run()
+            info["pivots"] = int(getattr(res, "nit", 0) or 0)
+    else:
+        res = run()
     status = _STATUS_FROM_LINPROG.get(res.status, SolverStatus.ERROR)
     iters = int(getattr(res, "nit", 0) or 0)
     if status is SolverStatus.ITERATION_LIMIT and deadline is not None and deadline.expired():
@@ -173,13 +183,23 @@ def solve_milp_scipy(
         options["time_limit"] = time_limit
     if mip_rel_gap is not None:
         options["mip_rel_gap"] = mip_rel_gap
-    res = sciopt.milp(
-        c=problem.c,
-        constraints=constraints or None,
-        integrality=problem.integrality,
-        bounds=sciopt.Bounds(problem.lb, problem.ub),
-        options=options or None,
-    )
+    def run():
+        return sciopt.milp(
+            c=problem.c,
+            constraints=constraints or None,
+            integrality=problem.integrality,
+            bounds=sciopt.Bounds(problem.lb, problem.ub),
+            options=options or None,
+        )
+
+    if telemetry:
+        with telemetry.phase(
+            "highs_milp", rows=problem.num_constraints, cols=problem.num_vars
+        ) as info:
+            res = run()
+            info["nodes"] = int(getattr(res, "mip_node_count", 0) or 0)
+    else:
+        res = run()
     if res.status == 0:
         status = SolverStatus.OPTIMAL
     elif res.status == 2:

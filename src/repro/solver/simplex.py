@@ -430,7 +430,14 @@ def solve_lp_simplex(
     ``extra['farkas_certificate']`` — both in the exact convention checked
     by :func:`repro.verify.certify_result`.
     """
-    sf = standardize(problem)
+    # Standard-form conversion builds the full tableau matrix — a real cost
+    # on large instances, so it gets its own phase in the event stream.
+    if telemetry:
+        with telemetry.phase("standard_form") as info:
+            sf = standardize(problem)
+            info["rows"], info["cols"] = sf.A.shape
+    else:
+        sf = standardize(problem)
     status, x_std, obj_std, iters, tableau = simplex_solve(
         sf.A, sf.b, sf.c, max_iter=max_iter, deadline=deadline, telemetry=telemetry
     )

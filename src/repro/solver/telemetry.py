@@ -57,6 +57,7 @@ import math
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from fractions import Fraction
 
 __all__ = [
     "EVENT_KINDS",
@@ -64,6 +65,7 @@ __all__ = [
     "SolveEvent",
     "Telemetry",
     "EventRecorder",
+    "jsonable",
 ]
 
 EVENT_KINDS = frozenset(
@@ -149,6 +151,51 @@ class SolveEvent:
 
     def to_dict(self) -> dict:
         return {"kind": self.kind, "t": self.t, **self.data}
+
+
+def jsonable(obj):
+    """Coerce an event payload into strictly valid JSON types.
+
+    Event payloads are free-form: certification events carry exact
+    :class:`fractions.Fraction` values, backends attach numpy scalars and
+    arrays, and bounds are routinely ``inf``/``nan``.  ``json.dumps``
+    either raises ``TypeError`` on those or (for non-finite floats) emits
+    ``Infinity`` literals that no strict JSON parser accepts.  This walk
+    maps them to faithful, portable encodings:
+
+    * ``Fraction`` -> its exact ``"p/q"`` string (lossless);
+    * numpy scalars -> the matching Python scalar, arrays -> nested lists;
+    * ``inf`` / ``-inf`` / ``nan`` -> the strings ``"Infinity"`` /
+      ``"-Infinity"`` / ``"NaN"`` (the JSON-Schema convention);
+    * anything else unserializable -> ``repr(obj)`` as a last resort.
+    """
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, str)):
+        return obj
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            return "NaN"
+        if math.isinf(obj):
+            return "Infinity" if obj > 0 else "-Infinity"
+        return obj
+    if isinstance(obj, Fraction):
+        return f"{obj.numerator}/{obj.denominator}"
+    if isinstance(obj, dict):
+        return {str(k): jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in obj]
+    # numpy scalars/arrays without importing numpy (this module must stay
+    # importable in the scipy/numpy-free degradation environment).
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist):
+        return jsonable(tolist())
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return jsonable(item())
+    try:
+        json.dumps(obj)
+        return obj
+    except TypeError:
+        return repr(obj)
 
 
 def _as_callback(listener):
@@ -242,8 +289,14 @@ class EventRecorder:
     def of_kind(self, kind: str) -> list[SolveEvent]:
         return [ev for ev in self.events if ev.kind == kind]
 
+    def to_dicts(self) -> list[dict]:
+        """Events as strictly-JSON-safe dicts (see :func:`jsonable`)."""
+        return [jsonable(ev.to_dict()) for ev in self.events]
+
     def to_json(self, indent: int | None = None) -> str:
-        return json.dumps([ev.to_dict() for ev in self.events], indent=indent)
+        # allow_nan=False guarantees the output parses everywhere; jsonable
+        # already mapped non-finite floats and exotic payload types.
+        return json.dumps(self.to_dicts(), indent=indent, allow_nan=False)
 
     def summary(self) -> dict:
         """Aggregate view used by the CLI summary line."""

@@ -26,7 +26,7 @@ from .certify import (
     certify_srrp_plan,
     exact_dual_bound,
 )
-from .fuzz import SMOKE_CASES, FuzzConfig, FuzzReport, run_fuzz
+from .fuzz import SMOKE_CASES, FuzzConfig, FuzzReport, run_fuzz, run_fuzz_parallel
 from .generators import FAMILIES, GeneratedCase
 from .oracle import Disagreement, cross_check_case, serialize_witness, shrink_disagreement
 from .shrink import shrink_drrp, shrink_problem
@@ -53,5 +53,6 @@ __all__ = [
     "FuzzConfig",
     "FuzzReport",
     "run_fuzz",
+    "run_fuzz_parallel",
     "SMOKE_CASES",
 ]

@@ -40,7 +40,7 @@ from .certify import certify_drrp_plan, certify_result, certify_srrp_plan
 from .generators import FAMILIES, GeneratedCase
 from .oracle import Disagreement, cross_check_case, serialize_witness, shrink_disagreement
 
-__all__ = ["FuzzConfig", "FuzzReport", "run_fuzz", "SMOKE_CASES"]
+__all__ = ["FuzzConfig", "FuzzReport", "run_fuzz", "run_fuzz_parallel", "SMOKE_CASES"]
 
 SMOKE_CASES = 216  # ~31 per family; the smoke gate requires >= 200 certified
 
@@ -98,6 +98,24 @@ class FuzzReport:
             f"disagreements={len(self.disagreements)} "
             f"elapsed={self.elapsed:.1f}s ({self.stopped_by})"
         )
+
+    def digest_dict(self) -> dict:
+        """The replay-stable view of a campaign, for run-manifest digests.
+
+        Excludes wall-clock-dependent fields (``elapsed``, ``stopped_by``)
+        and host-path-dependent ones (``reproducer_files``): two runs of
+        the same seeded configuration digest identically iff they found
+        the same verdicts.
+        """
+        return {
+            "cases": self.cases,
+            "certified": self.certified,
+            "gap_violations": self.gap_violations,
+            "by_family": self.by_family,
+            "disagreements": [
+                {"family": d.family, "kind": d.kind} for d in self.disagreements
+            ],
+        }
 
 
 def _jsonable(obj):
@@ -248,3 +266,89 @@ def run_fuzz(config: FuzzConfig | None = None, listener=None) -> FuzzReport:
             stopped_by=report.stopped_by,
         )
     return report
+
+
+def _fuzz_shard(cfg: FuzzConfig) -> FuzzReport:
+    """One worker's slice of a parallel campaign (module-level: picklable).
+
+    Reports into the ambient per-worker hub installed by
+    :func:`repro.parallel.parallel_map`, so shard events are forwarded to
+    the parent listener tagged with their worker id.
+    """
+    from repro.parallel import current_telemetry
+
+    return run_fuzz(cfg, listener=current_telemetry())
+
+
+def merge_reports(reports) -> FuzzReport:
+    """Fold shard reports into one campaign tally."""
+    merged = FuzzReport()
+    for rep in reports:
+        merged.cases += rep.cases
+        merged.certified += rep.certified
+        merged.gap_violations += rep.gap_violations
+        merged.disagreements.extend(rep.disagreements)
+        merged.reproducer_files.extend(rep.reproducer_files)
+        for family, tally in rep.by_family.items():
+            into = merged.by_family.setdefault(
+                family, {"cases": 0, "certified": 0, "disagreements": 0}
+            )
+            for key, val in tally.items():
+                into[key] = into.get(key, 0) + val
+        merged.elapsed = max(merged.elapsed, rep.elapsed)
+        if rep.stopped_by == "deadline":
+            merged.stopped_by = "deadline"
+    return merged
+
+
+def run_fuzz_parallel(
+    config: FuzzConfig | None = None,
+    n_workers: int | None = None,
+    listener=None,
+) -> FuzzReport:
+    """Run one campaign sharded over worker processes.
+
+    The case budget is split evenly across shards, each seeded from
+    ``config.seed`` plus a distinct offset, so shards draw disjoint
+    deterministic instance streams; the wall-clock budget applies to every
+    shard (they run concurrently).  Reproducers land in per-shard
+    subdirectories of ``config.out_dir``.  Events from every shard are
+    forwarded to ``listener`` as one merged, worker-tagged stream.
+    """
+    from repro.parallel import default_workers, parallel_map
+
+    cfg = config or FuzzConfig()
+    if n_workers is None:
+        n_workers = default_workers()
+    n_shards = max(1, min(n_workers, cfg.max_cases))
+    per_shard = cfg.max_cases // n_shards
+    shards = []
+    for i in range(n_shards):
+        cases = per_shard + (1 if i < cfg.max_cases % n_shards else 0)
+        if cases == 0:
+            continue
+        out_dir = None if cfg.out_dir is None else str(Path(cfg.out_dir) / f"shard_{i:02d}")
+        shards.append(
+            FuzzConfig(
+                seed=cfg.seed + 7919 * i,
+                max_cases=cases,
+                budget=cfg.budget,
+                families=cfg.families,
+                out_dir=out_dir,
+                tol=cfg.tol,
+                shrink=cfg.shrink,
+                max_shrink_evals=cfg.max_shrink_evals,
+            )
+        )
+    telemetry = Telemetry.from_listener(listener)
+    reports = parallel_map(_fuzz_shard, shards, n_workers=n_workers, telemetry=telemetry)
+    merged = merge_reports(reports)
+    if telemetry:
+        telemetry.emit(
+            "fuzz_summary",
+            cases=merged.cases, certified=merged.certified,
+            gap_violations=merged.gap_violations,
+            disagreements=len(merged.disagreements),
+            stopped_by=merged.stopped_by, shards=len(shards),
+        )
+    return merged

@@ -1,0 +1,146 @@
+"""Run manifests: canonical digests, provenance fields, replay diffing."""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    RunManifest,
+    backend_chain,
+    canonical_json,
+    diff_manifests,
+    event_counts,
+    package_versions,
+    result_digest,
+)
+from repro.solver.telemetry import SolveEvent
+
+
+def ev(kind, t, **data):
+    return SolveEvent(kind=kind, t=float(t), data=data)
+
+
+class TestDigest:
+    def test_key_order_irrelevant(self):
+        assert result_digest({"a": 1, "b": 2}) == result_digest({"b": 2, "a": 1})
+
+    def test_sub_ulp_float_noise_collapses(self):
+        a = {"cost": 2.614623904732118}
+        b = {"cost": 2.614623904732118 * (1 + 1e-15)}
+        assert result_digest(a) == result_digest(b)
+
+    def test_real_changes_detected(self):
+        assert result_digest({"cost": 1.0}) != result_digest({"cost": 1.0001})
+
+    def test_handles_exotic_scalars(self):
+        digest = result_digest({
+            "frac": Fraction(1, 3),
+            "np": np.float64(2.5),
+            "arr": np.arange(3),
+            "inf": math.inf,
+        })
+        assert digest.startswith("sha256:")
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        text = canonical_json({"b": 1, "a": [1.0, 2.0]})
+        assert text == '{"a":[1.0,2.0],"b":1}'
+
+
+class TestProvenanceHelpers:
+    def test_backend_chain_records_degradation_hops(self):
+        events = [
+            ev("solve_start", 0.0, backend="scipy"),
+            ev("backend_degraded", 0.1, from_backend="scipy", to_backend="simplex"),
+            ev("solve_start", 0.2, backend="simplex"),
+            ev("solve_end", 0.5, status="optimal"),
+        ]
+        assert backend_chain(events) == ["scipy", "simplex"]
+
+    def test_backend_chain_collapses_repeats(self):
+        events = [ev("solve_start", 0.1 * i, backend="simplex") for i in range(5)]
+        assert backend_chain(events) == ["simplex"]
+
+    def test_event_counts(self):
+        events = [ev("node_open", 0.1, node=1), ev("node_open", 0.2, node=2),
+                  ev("incumbent", 0.3, objective=1.0)]
+        assert event_counts(events) == {"incumbent": 1, "node_open": 2}
+
+    def test_package_versions_has_python_and_repro(self):
+        versions = package_versions()
+        assert "python" in versions and "repro" in versions
+
+
+class TestRunManifest:
+    def make(self, seed=7, cost=3.25):
+        events = [
+            ev("solve_start", 0.0, backend="simplex"),
+            ev("solve_end", 0.4, status="optimal"),
+        ]
+        return RunManifest.from_run(
+            "plan", "unit", result={"cost": cost}, seed=seed,
+            config={"horizon": 8}, recorded_events=events,
+            deadline_budget=2.0, elapsed=0.4,
+        )
+
+    def test_from_run_populates_provenance(self):
+        man = self.make()
+        assert man.backends == ["simplex"]
+        assert man.events == {"solve_end": 1, "solve_start": 1}
+        assert man.result_digest.startswith("sha256:")
+        assert man.deadline_budget == 2.0
+        assert "seed=7" in man.summary_line()
+
+    def test_write_load_round_trip(self, tmp_path):
+        man = self.make()
+        path = man.write(tmp_path / "manifest.json")
+        back = RunManifest.load(path)
+        assert back.result_digest == man.result_digest
+        assert back.config == {"horizon": 8}
+        assert diff_manifests(man, back) == {}
+
+    def test_replays_true_for_identical_runs(self):
+        assert self.make().replays(self.make())
+
+    def test_seed_change_breaks_replay(self):
+        a, b = self.make(seed=7), self.make(seed=8)
+        assert not a.replays(b)
+        assert "seed" in diff_manifests(a, b)
+
+    def test_result_drift_breaks_replay(self):
+        a, b = self.make(cost=3.25), self.make(cost=3.26)
+        diff = diff_manifests(a, b)
+        assert list(diff) == ["result_digest"]
+
+    def test_volatile_fields_excluded_unless_asked(self):
+        a, b = self.make(), self.make()
+        b.created = a.created + 100.0
+        b.elapsed = 99.0
+        assert diff_manifests(a, b) == {}
+        assert "created" in diff_manifests(a, b, include_volatile=True)
+
+
+class TestExperimentDigestReplay:
+    def test_same_experiment_digests_identically(self):
+        # The acceptance property: rerunning a seeded experiment replays
+        # to the identical result digest.
+        from repro.experiments import fig4_updates
+
+        a = fig4_updates.run()
+        b = fig4_updates.run()
+        assert a.digest() == b.digest()
+        assert a.digest().startswith("sha256:")
+
+    def test_run_instrumented_manifest_replays(self):
+        from repro.experiments.report import run_instrumented
+
+        kwargs = dict(seed=2012, n_trials=1, horizon=6, backend="scipy")
+        pytest.importorskip("scipy")
+        a = run_instrumented("fig10", **kwargs)
+        b = run_instrumented("fig10", **kwargs)
+        assert a.manifest.replays(b.manifest)
+        assert a.manifest.kind == "experiment" and a.manifest.name == "fig10"
+        assert a.roots and a.roots[0].name == "experiment:fig10"
+        # inner solves nested under the experiment root span
+        assert any(c.category == "solve" for c in a.roots[0].children)

@@ -1,0 +1,213 @@
+"""Span reconstruction: nesting, interleaved nodes, slices, truncation."""
+
+from repro.obs import Span, Tracer, span
+from repro.solver.telemetry import EventRecorder, SolveEvent, Telemetry
+
+
+def ev(kind, t, **data):
+    return SolveEvent(kind=kind, t=float(t), data=data)
+
+
+class TestNesting:
+    def test_phases_nest_under_solve(self):
+        tracer = Tracer().replay([
+            ev("solve_start", 0.0, backend="simplex"),
+            ev("phase_start", 0.1, phase="presolve"),
+            ev("phase_end", 0.3, phase="presolve", duration=0.2),
+            ev("phase_start", 0.3, phase="simplex_phase2"),
+            ev("phase_end", 0.9, phase="simplex_phase2", duration=0.6, pivots=40),
+            ev("solve_end", 1.0, status="optimal"),
+        ])
+        roots = tracer.finish()
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "solve[simplex]" and root.category == "solve"
+        assert [c.name for c in root.children] == ["presolve", "simplex_phase2"]
+        assert abs(root.duration - 1.0) < 1e-12
+        assert abs(root.self_time - 0.2) < 1e-12  # 1.0 - (0.2 + 0.6)
+        assert root.children[1].attrs["pivots"] == 40
+
+    def test_nested_solves(self):
+        # Benders: inner master solves nest under the outer solve span.
+        tracer = Tracer().replay([
+            ev("solve_start", 0.0, backend="benders"),
+            ev("solve_start", 0.1, backend="scipy"),
+            ev("solve_end", 0.4, status="optimal"),
+            ev("solve_end", 1.0, status="optimal"),
+        ])
+        root = tracer.finish()[0]
+        assert len(root.children) == 1
+        assert root.children[0].name == "solve[scipy]"
+        assert root.children[0].parent_id == root.span_id
+
+    def test_span_context_manager_emits_phase_pair(self):
+        rec = EventRecorder()
+        tracer = Tracer()
+        hub = Telemetry(listeners=[rec, tracer])
+        with span(hub, "experiment:test", trials=3) as info:
+            info["rows"] = 7
+        roots = tracer.finish()
+        assert [e.kind for e in rec.events] == ["phase_start", "phase_end"]
+        assert roots[0].name == "experiment:test"
+        assert roots[0].attrs["trials"] == 3 and roots[0].attrs["rows"] == 7
+
+    def test_span_with_none_hub_is_noop(self):
+        with span(None, "anything") as info:
+            info["ignored"] = 1  # must not raise
+        assert info == {"ignored": 1}
+
+
+class TestDeadlineTruncation:
+    def test_unbalanced_phase_closed_by_solve_end(self):
+        # Deadline expiry unwinds without phase_end; solve_end closes it.
+        tracer = Tracer().replay([
+            ev("solve_start", 0.0, backend="simplex"),
+            ev("phase_start", 0.2, phase="simplex_phase2"),
+            ev("deadline_exceeded", 0.5, budget=0.5),
+            ev("solve_end", 0.5, status="feasible"),
+        ])
+        root = tracer.finish()[0]
+        phase = root.children[0]
+        assert phase.truncated
+        assert abs(phase.end - 0.5) < 1e-12
+        assert not root.truncated or root.end is not None  # root closed normally
+
+    def test_stream_ending_mid_phase_truncates_on_finish(self):
+        tracer = Tracer().replay([
+            ev("solve_start", 0.0, backend="simplex"),
+            ev("phase_start", 0.2, phase="simplex_phase2"),
+        ])
+        roots = tracer.finish()
+        assert all(s.truncated for s, _ in roots[0].walk())
+        assert roots[0].end == 0.2  # last observed timestamp
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer().replay([ev("solve_start", 0.0, backend="x")])
+        first = tracer.finish()
+        assert tracer.finish() is first
+
+
+class TestInterleavedNodes:
+    def test_nodes_match_by_id_not_stack_order(self):
+        # Best-first exploration: node 1 opens, node 2 opens, node 1 closes
+        # first — intervals interleave, both attach to the solve span.
+        tracer = Tracer().replay([
+            ev("solve_start", 0.0, backend="simplex"),
+            ev("node_open", 0.1, node=1, depth=0),
+            ev("node_open", 0.2, node=2, depth=1),
+            ev("node_close", 0.4, node=1),
+            ev("node_prune", 0.6, node=2, reason="bound"),
+            ev("solve_end", 1.0, status="optimal"),
+        ])
+        root = tracer.finish()[0]
+        nodes = {c.name: c for c in root.children if c.category == "node"}
+        assert set(nodes) == {"node 1", "node 2"}
+        assert abs(nodes["node 1"].duration - 0.3) < 1e-12
+        assert nodes["node 2"].attrs["pruned"] is True
+        assert nodes["node 2"].parent_id == root.span_id
+        assert root.counters["nodes_opened"] == 2
+        assert root.counters["nodes_closed"] == 1
+        assert root.counters["nodes_pruned"] == 1
+
+    def test_node_spans_do_not_zero_parent_self_time(self):
+        # Queue residency overlaps the solve loop; self_time must ignore it.
+        tracer = Tracer().replay([
+            ev("solve_start", 0.0, backend="simplex"),
+            ev("node_open", 0.0, node=1),
+            ev("node_close", 1.0, node=1),
+            ev("solve_end", 1.0, status="optimal"),
+        ])
+        root = tracer.finish()[0]
+        assert abs(root.self_time - 1.0) < 1e-12
+
+    def test_nodes_open_at_solve_end_flagged_open_at_exit(self):
+        # Bound domination prunes the remaining heap in one step: nodes
+        # still open when the solve closes are closed with it, not left
+        # for finish() to call truncated.
+        tracer = Tracer().replay([
+            ev("solve_start", 0.0, backend="simplex"),
+            ev("node_open", 0.1, node=1),
+            ev("node_open", 0.2, node=2),
+            ev("node_close", 0.5, node=1),
+            ev("solve_end", 0.8, status="optimal"),
+        ])
+        root = tracer.finish()[0]
+        leftover = [c for c in root.children if c.attrs.get("open_at_exit")]
+        assert len(leftover) == 1
+        assert leftover[0].name == "node 2"
+        assert leftover[0].end == 0.8 and not leftover[0].truncated
+
+    def test_worker_lanes_kept_distinct(self):
+        # Same node id on two workers must not collide.
+        tracer = Tracer().replay([
+            ev("solve_start", 0.0, backend="simplex"),
+            ev("node_open", 0.1, node=1, worker=1),
+            ev("node_open", 0.2, node=1, worker=2),
+            ev("node_close", 0.3, node=1, worker=1),
+            ev("node_close", 0.5, node=1, worker=2),
+            ev("solve_end", 1.0, status="optimal"),
+        ])
+        root = tracer.finish()[0]
+        durs = sorted(round(c.duration, 6) for c in root.children)
+        assert durs == [0.2, 0.3]
+        assert sorted(c.worker for c in root.children) == [1, 2]
+
+
+class TestSlices:
+    def test_benders_iterations_tile_the_parent(self):
+        tracer = Tracer().replay([
+            ev("solve_start", 0.0, backend="benders"),
+            ev("benders_iteration", 0.4, iteration=1, lower=1.0, upper=5.0),
+            ev("benders_iteration", 0.7, iteration=2, lower=2.0, upper=3.0),
+            ev("solve_end", 1.0, status="optimal"),
+        ])
+        root = tracer.finish()[0]
+        iters = [c for c in root.children if c.category == "benders_iter"]
+        assert [c.name for c in iters] == ["benders_iter 1", "benders_iter 2"]
+        # back-to-back: [0, 0.4], [0.4, 0.7]
+        assert abs(iters[0].start - 0.0) < 1e-12 and abs(iters[0].end - 0.4) < 1e-12
+        assert abs(iters[1].start - 0.4) < 1e-12 and abs(iters[1].end - 0.7) < 1e-12
+        assert root.counters["benders_iters"] == 2
+
+    def test_fuzz_cases_slice_too(self):
+        tracer = Tracer().replay([
+            ev("phase_start", 0.0, phase="campaign"),
+            ev("fuzz_case", 0.2, index=0, family="lp", certified=True),
+            ev("fuzz_case", 0.5, index=1, family="milp", certified=True),
+            ev("phase_end", 0.6, phase="campaign", duration=0.6),
+        ])
+        root = tracer.finish()[0]
+        cases = [c for c in root.children if c.category == "fuzz_case"]
+        assert len(cases) == 2 and cases[1].start == 0.2 and cases[1].end == 0.5
+
+
+class TestMarkers:
+    def test_instants_become_markers_and_counters(self):
+        tracer = Tracer().replay([
+            ev("solve_start", 0.0, backend="simplex+cuts"),
+            ev("cut_round", 0.2, round=1, generated=4, added=3),
+            ev("incumbent", 0.5, objective=7.0, bound=6.5, gap=0.07),
+            ev("backend_degraded", 0.6, from_backend="scipy", to_backend="simplex"),
+            ev("solve_end", 1.0, status="optimal"),
+        ])
+        root = tracer.finish()[0]
+        assert {m.kind for m in tracer.markers} == {
+            "cut_round", "incumbent", "backend_degraded"
+        }
+        assert root.counters["cut_rounds"] == 1
+        assert root.counters["cuts_added"] == 3
+        assert root.counters["incumbents"] == 1
+        assert root.counters["degradations"] == 1
+
+
+class TestSpanUtilities:
+    def test_walk_find_total_counter(self):
+        root = Span(name="a", category="solve", start=0.0, end=2.0, span_id=1)
+        child = Span(name="b", category="phase", start=0.0, end=1.0,
+                     span_id=2, parent_id=1)
+        root.children.append(child)
+        root.count("pivots", 3)
+        child.count("pivots", 4)
+        assert [s.name for s, _ in root.walk()] == ["a", "b"]
+        assert root.find("b") is child and root.find("zzz") is None
+        assert root.total_counter("pivots") == 7

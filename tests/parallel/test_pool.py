@@ -78,3 +78,40 @@ class TestSeeding:
         a = [r.normal() for r in spawn_rngs(3, 4)]
         b = [r.normal() for r in spawn_rngs(3, 4)]
         assert np.allclose(a, b)
+
+
+class TestWorkerTelemetryMerging:
+    def test_four_worker_fuzz_run_merges_into_one_ordered_stream(self, tmp_path):
+        from repro.solver.telemetry import EventRecorder
+        from repro.verify import FuzzConfig, run_fuzz_parallel
+
+        recorder = EventRecorder()
+        config = FuzzConfig(seed=11, max_cases=12, out_dir=str(tmp_path))
+        report = run_fuzz_parallel(config, n_workers=4, listener=recorder)
+        assert report.cases == 12 and report.ok
+
+        events = recorder.events
+        assert events, "workers must forward their events to the parent hub"
+        # one stream, monotone non-decreasing parent timestamps
+        times = [e.t for e in events]
+        assert times == sorted(times)
+        # every worker-side event is tagged with a compact worker id
+        case_events = [e for e in events if e.kind == "fuzz_case"]
+        assert len(case_events) == 12
+        workers = {e.data["worker"] for e in case_events}
+        assert workers and workers <= {0, 1, 2, 3}
+        # the merged campaign summary comes from the parent, after the cases
+        summary = [e for e in events if e.kind == "fuzz_summary"][-1]
+        assert summary.data["cases"] == 12
+        assert summary.data["shards"] == 4
+
+    def test_worker_events_preserve_worker_local_clock(self):
+        from repro.solver.telemetry import EventRecorder
+        from repro.verify import FuzzConfig, run_fuzz_parallel
+
+        recorder = EventRecorder()
+        run_fuzz_parallel(FuzzConfig(seed=3, max_cases=4), n_workers=2,
+                          listener=recorder)
+        shard_events = [e for e in recorder.events if "worker" in e.data]
+        assert shard_events
+        assert all(e.data["worker_t"] >= 0.0 for e in shard_events)

@@ -386,3 +386,66 @@ class TestCrossBackendAgreement:
         objs = {be: solve(model, backend=be).objective for be in self._backends()}
         lo, hi = min(objs.values()), max(objs.values())
         assert hi - lo < 1e-6, f"backends disagree: {objs}"
+
+
+class TestEventJsonSerialization:
+    """EventRecorder.to_json must survive exact-arithmetic payloads."""
+
+    def test_certificate_carrying_event_round_trips(self):
+        import json
+        from fractions import Fraction
+
+        rec = EventRecorder()
+        hub = Telemetry(listeners=[rec])
+        hub.emit(
+            "incumbent",
+            objective=Fraction(22, 7),
+            dual=np.float64(1.25),
+            basis=np.array([1, 0, 1]),
+            bound=-math.inf,
+            gap=math.nan,
+        )
+        payload = json.loads(rec.to_json())  # must not raise
+        data = payload[0]
+        assert data["objective"] == "22/7"
+        assert data["dual"] == 1.25
+        assert data["basis"] == [1, 0, 1]
+        assert data["bound"] == "-Infinity"
+        assert data["gap"] == "NaN"
+
+    def test_to_json_is_strict_json(self):
+        rec = EventRecorder()
+        Telemetry(listeners=[rec]).emit("incumbent", objective=math.inf)
+        assert "Infinity\"" in rec.to_json()  # string, not the bare token
+        assert ": Infinity" not in rec.to_json()
+
+    def test_jsonable_handles_nested_containers(self):
+        from fractions import Fraction
+
+        from repro.solver.telemetry import jsonable
+
+        out = jsonable({"a": [Fraction(1, 2), {np.int64(3)}], "b": (math.inf,)})
+        assert out["a"][0] == "1/2"
+        assert out["a"][1] == [3]
+        assert out["b"] == ["Infinity"]
+
+
+class TestDisabledTelemetryFastPath:
+    """With no listener attached, the solvers must emit zero events —
+    the hot loops are guarded by ``if telemetry:`` on a ``None`` hub."""
+
+    def test_from_listener_none_is_identity_none(self):
+        assert Telemetry.from_listener(None) is None
+
+    def test_from_listener_passes_hub_through(self):
+        hub = Telemetry()
+        assert Telemetry.from_listener(hub) is hub
+
+    def test_solve_without_listener_keeps_recorder_empty(self):
+        # A global recorder would have to be fed explicitly; nothing in the
+        # disabled path may emit. Solve twice (LP relaxation + B&B) and
+        # confirm no event reaches a recorder created alongside.
+        rec = EventRecorder()
+        res = solve(knapsack_model(), backend="simplex")
+        assert res.status is SolverStatus.OPTIMAL
+        assert len(rec) == 0

@@ -107,3 +107,130 @@ class TestExportCommand:
 
         back = traces_from_csv_dir(tmp_path / "ds")
         assert len(back) == 4
+
+
+class TestRunCommand:
+    def test_drrp_trace_round_trips_and_root_matches_solve(self, tmp_path, capsys):
+        out_dir = tmp_path / "run"
+        code = main(["run", "drrp", "--horizon", "8", "--seed", "3",
+                     "--out-dir", str(out_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== span tree ==" in out and "manifest:" in out
+
+        from repro.obs import load_chrome_trace, read_events_jsonl
+
+        roots, _ = load_chrome_trace(out_dir / "drrp.trace.json")
+        solve_roots = [r for r in roots if r.category == "solve"]
+        assert len(solve_roots) == 1
+        root = solve_roots[0]
+
+        # acceptance: root span duration == solve_start -> solve_end, <1 ms off
+        events = read_events_jsonl(out_dir / "events.jsonl")
+        t0 = next(e.t for e in events if e.kind == "solve_start")
+        t1 = next(e.t for e in reversed(events) if e.kind == "solve_end")
+        assert abs(root.duration - (t1 - t0)) < 1e-3
+
+        # `report` on the trace file renders the same tree
+        code = main(["report", str(out_dir / "drrp.trace.json")])
+        rep = capsys.readouterr().out
+        assert code == 0
+        assert "chrome trace" in rep and "solve[" in rep
+
+    def test_run_writes_replayable_manifest(self, tmp_path, capsys):
+        out_dir = tmp_path / "m"
+        code = main(["run", "drrp", "--horizon", "6", "--seed", "1",
+                     "--out-dir", str(out_dir)])
+        capsys.readouterr()
+        assert code == 0
+
+        from repro.obs import RunManifest
+
+        first = RunManifest.load(out_dir / "manifest.json")
+        code = main(["run", "drrp", "--horizon", "6", "--seed", "1",
+                     "--out-dir", str(tmp_path / "m2")])
+        capsys.readouterr()
+        assert code == 0
+        second = RunManifest.load(tmp_path / "m2" / "manifest.json")
+        assert first.replays(second)
+
+    def test_experiment_target(self, tmp_path, capsys):
+        out_dir = tmp_path / "fig4"
+        code = main(["run", "fig4", "--out-dir", str(out_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig4" in out and "experiment:fig4" in out
+        assert (out_dir / "manifest.json").exists()
+        assert (out_dir / "fig4.trace.json").exists()
+        assert (out_dir / "events.jsonl").exists()
+
+    def test_unknown_target_exits_2(self, capsys):
+        assert main(["run", "bogus"]) == 2
+        assert "unknown run target" in capsys.readouterr().err
+
+
+class TestReportOnRecordedFiles:
+    def test_manifest_file_renders_provenance(self, tmp_path, capsys):
+        out_dir = tmp_path / "run"
+        assert main(["run", "drrp", "--horizon", "6", "--out-dir", str(out_dir)]) == 0
+        capsys.readouterr()
+        code = main(["report", str(out_dir / "manifest.json")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "run manifest" in out and "result_digest: sha256:" in out
+
+    def test_event_log_renders_tree_and_metrics(self, tmp_path, capsys):
+        out_dir = tmp_path / "run"
+        assert main(["run", "drrp", "--horizon", "6", "--out-dir", str(out_dir)]) == 0
+        capsys.readouterr()
+        code = main(["report", str(out_dir / "events.jsonl")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "event log" in out and "== metrics ==" in out
+
+    def test_unrecognized_file_exits_2(self, tmp_path, capsys):
+        junk = tmp_path / "junk.txt"
+        junk.write_text("not an artifact")
+        code = main(["report", str(junk)])
+        assert code == 2
+        assert "not a trace" in capsys.readouterr().err
+
+
+class TestPlanObservability:
+    def test_trace_and_manifest_flags(self, tmp_path, capsys):
+        trace = tmp_path / "plan.trace.json"
+        manifest = tmp_path / "plan.manifest.json"
+        code = main(["plan", "--horizon", "6", "--seed", "2",
+                     "--trace", str(trace), "--manifest", str(manifest)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert trace.exists() and manifest.exists()
+        assert "manifest: plan/m1.large/6" in out
+
+        from repro.obs import RunManifest, load_chrome_trace
+
+        roots, _ = load_chrome_trace(trace)
+        assert any(r.category == "solve" for r in roots)
+        man = RunManifest.load(manifest)
+        assert man.seed == 2 and man.config["horizon"] == 6
+
+
+class TestFuzzObservability:
+    def test_manifest_flag(self, tmp_path, capsys):
+        manifest = tmp_path / "fuzz.manifest.json"
+        code = main(["fuzz", "--seed", "4", "--cases", "6",
+                     "--manifest", str(manifest)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert manifest.exists() and "manifest: fuzz/campaign" in out
+
+        from repro.obs import RunManifest
+
+        man = RunManifest.load(manifest)
+        assert man.events.get("fuzz_case") == 6
+
+    def test_workers_flag_shards_campaign(self, capsys):
+        code = main(["fuzz", "--seed", "4", "--cases", "8", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cases=8" in out
