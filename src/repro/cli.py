@@ -25,6 +25,24 @@ Commands mirror the library's main workflows:
     ``--smoke`` configuration on every push and a longer budget nightly.
     ``--workers N`` shards the campaign over processes; ``--trace`` /
     ``--manifest`` record the campaign like ``run`` does.
+``serve``
+    Run the planning service (:mod:`repro.service`): an HTTP server with
+    a bounded job queue, solver worker pool, and content-addressed plan
+    cache (see ``docs/service.md``).
+``submit``
+    Submit one planning job to a running ``serve`` instance and print
+    the plan.  Stdlib-only client path — works without numpy installed.
+``bench-service``
+    Deterministic load-generator benchmark against an in-process server;
+    writes ``BENCH_service.json`` and exits nonzero if any request was
+    dropped or the cache hit rate fell below the duplicate share.
+
+Exit codes, uniformly: ``0`` success (``plan``/``submit``: the plan is
+OPTIMAL; ``fuzz``: campaign completed clean), ``1`` failure (no plan,
+fuzz disagreements, service errors), ``2`` usage errors, ``3`` a usable
+but non-optimal result (``plan``/``submit``: FEASIBLE/TIME_LIMIT
+incumbent or degraded plan; ``fuzz``: the campaign was cut short by its
+deadline).
 """
 
 from __future__ import annotations
@@ -167,6 +185,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a run manifest (seed/config/result digest) as JSON",
     )
 
+    p_srv = sub.add_parser("serve", help="run the planning service (HTTP)")
+    p_srv.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=8080, help="port (default 8080; 0 = ephemeral)")
+    p_srv.add_argument("--workers", type=int, default=2, help="solver worker threads (default 2)")
+    p_srv.add_argument("--queue-size", type=int, default=64,
+                       help="bounded job queue capacity (default 64)")
+    p_srv.add_argument("--cache-size", type=int, default=512,
+                       help="plan cache entries (default 512; 0 disables)")
+    p_srv.add_argument(
+        "--time-limit", type=float, default=60.0, metavar="SECONDS",
+        help="default per-job budget, queue wait included (default 60; 0 = unbounded)",
+    )
+    p_srv.add_argument(
+        "--capture-dir", default=None, metavar="DIR",
+        help="write per-job manifest.json + events.jsonl under DIR/<job id>/",
+    )
+
+    p_sub = sub.add_parser("submit", help="submit one job to a running planning service")
+    p_sub.add_argument("--url", default="http://127.0.0.1:8080", help="service base URL")
+    p_sub.add_argument("--vm", default="m1.large", help="VM class (default m1.large)")
+    p_sub.add_argument("--horizon", type=int, default=24, help="slots to plan (default 24)")
+    p_sub.add_argument("--seed", type=int, default=0, help="demand seed")
+    p_sub.add_argument("--demand-mean", type=float, default=0.4, help="GB/h demand mean")
+    p_sub.add_argument("--demand-std", type=float, default=0.2, help="GB/h demand std")
+    p_sub.add_argument("--backend", default="auto",
+                       help="solver backend: auto | simplex | simplex+cuts | scipy | bb-scipy")
+    p_sub.add_argument("--time-limit", type=float, default=None, metavar="SECONDS",
+                       help="per-job budget (server default when unset)")
+    p_sub.add_argument("--wait-s", type=float, default=60.0,
+                       help="synchronous wait before falling back to polling (default 60)")
+    p_sub.add_argument("--no-wait", action="store_true",
+                       help="submit asynchronously and print the job id only")
+    p_sub.add_argument("--json", action="store_true", dest="as_json",
+                       help="print the raw plan payload as JSON")
+
+    p_bench = sub.add_parser(
+        "bench-service", help="deterministic load-generator benchmark for the service"
+    )
+    p_bench.add_argument("--requests", type=int, default=200,
+                         help="total submissions (default 200)")
+    p_bench.add_argument("--duplicate-share", type=float, default=0.3,
+                         help="fraction of submissions repeating an earlier instance (default 0.3)")
+    p_bench.add_argument("--seed", type=int, default=0, help="workload seed")
+    p_bench.add_argument("--workers", type=int, default=2, help="server worker threads")
+    p_bench.add_argument("--client-threads", type=int, default=8,
+                         help="concurrent client threads (default 8)")
+    p_bench.add_argument("--out", default="BENCH_service.json", metavar="FILE",
+                         help="benchmark record filename (REPRO_BENCH_DIR honored)")
+
     return parser
 
 
@@ -269,7 +336,9 @@ def _cmd_plan(args) -> int:
         manifest.write(args.manifest)
         print(manifest.summary_line())
         print(f"manifest: {args.manifest}")
-    return 0
+    # Exit-code contract: 0 only for a proven optimum; a usable incumbent
+    # under a budget (FEASIBLE/TIME_LIMIT) is 3 so scripts can tell.
+    return 0 if plan.status.value == "optimal" else 3
 
 
 def _run_drrp_observed(args) -> int:
@@ -616,7 +685,115 @@ def _cmd_fuzz(args) -> int:
         manifest.write(args.manifest)
         print(manifest.summary_line())
         print(f"manifest: {args.manifest}")
-    return 0 if report.ok else 1
+    # 1 = disagreement/failure; 3 = clean but deadline-truncated (partial
+    # evidence); 0 = the full configured campaign ran clean.
+    if not report.ok:
+        return 1
+    return 3 if report.stopped_by == "deadline" else 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import ServiceConfig, serve
+
+    try:
+        config = ServiceConfig(
+            workers=args.workers,
+            queue_size=args.queue_size,
+            cache_size=args.cache_size,
+            default_time_limit=args.time_limit if args.time_limit > 0 else None,
+            capture_dir=args.capture_dir,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"planning service on http://{args.host}:{args.port} "
+          f"(workers={config.workers}, queue={config.queue_size}, "
+          f"cache={config.cache_size}) — Ctrl-C to stop", flush=True)
+    serve(host=args.host, port=args.port, config=config, block=True)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from repro.service import Saturated, ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, timeout=args.wait_s + 30.0)
+    payload = {
+        "kind": "drrp",
+        "vm": args.vm,
+        "horizon": args.horizon,
+        "seed": args.seed,
+        "demand_mean": args.demand_mean,
+        "demand_std": args.demand_std,
+        "backend": args.backend,
+    }
+    if args.time_limit is not None:
+        payload["time_limit"] = args.time_limit
+    try:
+        if args.no_wait:
+            result = client.submit(payload)
+            print(f"job {result.job_id}: {result.state}"
+                  + (" (cached)" if result.cached else ""))
+            if result.plan is None:
+                return 0
+        else:
+            result = client.solve(payload, wait_s=args.wait_s)
+    except Saturated as exc:
+        print(f"server saturated (HTTP {exc.status}); retry after {exc.retry_after:g}s",
+              file=sys.stderr)
+        return 1
+    except (ServiceError, OSError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    plan = result.plan
+    if args.as_json:
+        print(json.dumps(plan, indent=2, sort_keys=True))
+    else:
+        hit = " [cache hit]" if result.hit else ""
+        degraded = f" [degraded: {result.degraded}]" if result.degraded else ""
+        print(f"job {result.job_id}: {plan['status']}{hit}{degraded}")
+        cost = plan.get("total_cost", plan.get("expected_cost"))
+        rent = sum(1 for x in plan.get("chi", []) if x)
+        print(f"{args.vm}: horizon {args.horizon}h, cost ${cost:.2f}, "
+              f"rent slots {rent}/{len(plan.get('chi', []))}")
+    if result.degraded or plan["status"] != "optimal":
+        return 3
+    return 0
+
+
+def _cmd_bench_service(args) -> int:
+    from repro.service.loadgen import LoadgenConfig, run_loadgen, summary_line
+
+    try:
+        cfg = LoadgenConfig(
+            requests=args.requests,
+            duplicate_share=args.duplicate_share,
+            seed=args.seed,
+            workers=args.workers,
+            client_threads=args.client_threads,
+            out=args.out,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    record = run_loadgen(cfg)
+    print(summary_line(record))
+    if "path" in record:
+        print(f"record: {record['path']}")
+    failures = []
+    if record["dropped"]:
+        failures.append(f"{record['dropped']} requests dropped")
+    if record["cache"]["hit_rate"] < record["duplicate_share"]:
+        failures.append(
+            f"cache hit rate {record['cache']['hit_rate']:.0%} below "
+            f"duplicate share {record['duplicate_share']:.0%}"
+        )
+    if not record["saturation"]["rejected"]:
+        failures.append("saturation probe saw no 429 rejections")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 _COMMANDS = {
@@ -627,6 +804,9 @@ _COMMANDS = {
     "report": _cmd_report,
     "export-dataset": _cmd_export,
     "fuzz": _cmd_fuzz,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "bench-service": _cmd_bench_service,
 }
 
 

@@ -20,10 +20,15 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.solver.telemetry import SolveEvent, jsonable
+from typing import TYPE_CHECKING
+
+from repro.serialize import jsonable
 
 from .metrics import MetricsRegistry
 from .spans import Marker, Span
+
+if TYPE_CHECKING:  # annotation-only: keeps this module stdlib-importable
+    from repro.solver.telemetry import SolveEvent
 
 __all__ = [
     "write_events_jsonl",
@@ -53,6 +58,8 @@ def write_events_jsonl(path: str | Path, events) -> Path:
 
 def read_events_jsonl(path: str | Path) -> list[SolveEvent]:
     """Load a JSONL event log back into :class:`SolveEvent` records."""
+    from repro.solver.telemetry import SolveEvent
+
     events = []
     for line in Path(path).read_text().splitlines():
         line = line.strip()

@@ -18,7 +18,6 @@ meaningful.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import platform
 import sys
@@ -26,7 +25,9 @@ import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-from repro.solver.telemetry import jsonable
+# Canonical encoding and digests moved to repro.serialize (so cache keys
+# don't depend on the obs package); re-exported here for compatibility.
+from repro.serialize import canonical_json, jsonable, result_digest
 
 __all__ = [
     "MANIFEST_VERSION",
@@ -43,28 +44,6 @@ MANIFEST_VERSION = 1
 
 #: Fields that legitimately differ between a run and its replay.
 VOLATILE_FIELDS = frozenset({"created", "elapsed", "versions", "host", "events"})
-
-
-def _canonicalize(obj):
-    """Round floats to 12 significant digits and sort mappings, recursively."""
-    obj = jsonable(obj)
-    if isinstance(obj, float):
-        return float(f"{obj:.12g}")
-    if isinstance(obj, dict):
-        return {k: _canonicalize(obj[k]) for k in sorted(obj)}
-    if isinstance(obj, list):
-        return [_canonicalize(v) for v in obj]
-    return obj
-
-
-def canonical_json(obj) -> str:
-    """Deterministic JSON encoding used for digesting results."""
-    return json.dumps(_canonicalize(obj), sort_keys=True, separators=(",", ":"), allow_nan=False)
-
-
-def result_digest(obj) -> str:
-    """``sha256:<hex>`` over the canonical JSON form of ``obj``."""
-    return "sha256:" + hashlib.sha256(canonical_json(obj).encode()).hexdigest()
 
 
 def package_versions() -> dict:

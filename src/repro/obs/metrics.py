@@ -21,7 +21,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.solver.telemetry import SolveEvent
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # annotation-only: keeps this module stdlib-importable
+    from repro.solver.telemetry import SolveEvent
 
 __all__ = [
     "Counter",

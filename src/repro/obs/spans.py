@@ -39,7 +39,10 @@ import itertools
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-from repro.solver.telemetry import SolveEvent, Telemetry
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # annotation-only: keeps this module stdlib-importable
+    from repro.solver.telemetry import SolveEvent, Telemetry
 
 __all__ = ["Span", "Marker", "Tracer", "span"]
 

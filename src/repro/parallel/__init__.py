@@ -1,6 +1,21 @@
 """Process-level parallelism helpers (pool mapping, deterministic seeding)."""
 
-from .pool import current_telemetry, default_workers, parallel_map
+from .pool import (
+    PARALLEL_DEPTH_ENV,
+    current_telemetry,
+    default_workers,
+    in_parallel_worker,
+    parallel_map,
+    serial_guard,
+)
 from repro.stats.rng import spawn_rngs
 
-__all__ = ["current_telemetry", "default_workers", "parallel_map", "spawn_rngs"]
+__all__ = [
+    "PARALLEL_DEPTH_ENV",
+    "current_telemetry",
+    "default_workers",
+    "in_parallel_worker",
+    "parallel_map",
+    "serial_guard",
+    "spawn_rngs",
+]

@@ -28,7 +28,9 @@ parent.  Passing ``telemetry=hub`` to :func:`parallel_map` fixes that:
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.solver.telemetry import EventRecorder, Telemetry
@@ -36,10 +38,64 @@ from repro.solver.telemetry import EventRecorder, Telemetry
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["parallel_map", "default_workers", "current_telemetry"]
+__all__ = [
+    "parallel_map",
+    "default_workers",
+    "current_telemetry",
+    "in_parallel_worker",
+    "serial_guard",
+    "PARALLEL_DEPTH_ENV",
+]
 
 #: Process-local ambient hub installed while a captured task runs.
 _ambient: Telemetry | None = None
+
+#: Environment marker set in every parallel_map child process (alongside
+#: ``REPRO_WORKERS``): its value is the nesting depth, and any nonzero
+#: depth forces nested ``parallel_map`` calls to run serially.
+PARALLEL_DEPTH_ENV = "REPRO_PARALLEL_DEPTH"
+
+#: Thread-local nesting marker for in-process workers (service worker
+#: threads run solves under :func:`serial_guard`).
+_local = threading.local()
+
+
+def _env_depth() -> int:
+    try:
+        return max(0, int(os.environ.get(PARALLEL_DEPTH_ENV, "0")))
+    except ValueError:
+        return 0
+
+
+def in_parallel_worker() -> bool:
+    """True inside a ``parallel_map`` child process or a :func:`serial_guard`.
+
+    ``parallel_map`` checks this to refuse to fork again: a sweep whose
+    task bodies themselves call ``parallel_map`` (or a planning-service
+    worker running a solver that does) would otherwise multiply processes
+    — ``workers ** depth`` of them — instead of doing work.
+    """
+    return getattr(_local, "depth", 0) > 0 or _env_depth() > 0
+
+
+@contextmanager
+def serial_guard():
+    """Mark the current thread as a worker: nested ``parallel_map`` runs serial.
+
+    Used by in-process worker pools (e.g. the planning service), whose
+    parallelism budget is already spent on the pool itself.  Re-entrant,
+    and scoped to the calling thread.
+    """
+    _local.depth = getattr(_local, "depth", 0) + 1
+    try:
+        yield
+    finally:
+        _local.depth -= 1
+
+
+def _child_init() -> None:
+    """ProcessPoolExecutor initializer: stamp the child's nesting depth."""
+    os.environ[PARALLEL_DEPTH_ENV] = str(_env_depth() + 1)
 
 
 def current_telemetry() -> Telemetry | None:
@@ -136,6 +192,11 @@ def parallel_map(
     # Never spawn more processes than there are items: a 2-item sweep on an
     # 8-worker default would pay 6 process startups for nothing.
     n_workers = min(n_workers, len(items))
+    # Never fork from inside a worker: a nested parallel_map (task body of
+    # an outer sweep, or a solve running on a service worker thread) would
+    # multiply processes geometrically instead of adding parallelism.
+    if n_workers > 1 and in_parallel_worker():
+        n_workers = 1
     if n_workers <= 1 or len(items) <= 1:
         if telemetry is None:
             return [fn(item) for item in items]
@@ -144,9 +205,9 @@ def parallel_map(
     if chunksize is None:
         chunksize = max(1, len(items) // (4 * n_workers))
     if telemetry is None:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        with ProcessPoolExecutor(max_workers=n_workers, initializer=_child_init) as pool:
             return list(pool.map(fn, items, chunksize=chunksize))
     task = _CapturedTask(fn)
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+    with ProcessPoolExecutor(max_workers=n_workers, initializer=_child_init) as pool:
         outputs = list(pool.map(task, items, chunksize=chunksize))
     return _forward(telemetry, outputs)

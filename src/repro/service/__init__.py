@@ -1,0 +1,55 @@
+"""repro.service — planning-as-a-service on top of the solver stack.
+
+A stdlib-only HTTP server plus client for submitting DRRP/SRRP planning
+jobs: bounded job queue, solver worker pool, content-addressed plan
+cache with in-flight coalescing, admission control with backpressure
+(429/503 + ``Retry-After``), graceful degradation to polynomial
+heuristics under overload, and ``/healthz`` / ``/metrics`` endpoints
+fed by the :mod:`repro.obs` metrics registry.
+
+Importing this package pulls in nothing beyond the standard library;
+the solver stack (numpy/scipy) loads lazily on the first solve.  See
+``docs/service.md`` for the API and operational semantics.
+"""
+
+from .cache import PlanCache
+from .client import (
+    ReplanPolicy,
+    Saturated,
+    ServiceClient,
+    ServiceError,
+    SubmitResult,
+)
+from .encoding import (
+    BadRequest,
+    build_instance,
+    normalize_request,
+    plan_payload,
+    request_digest,
+)
+from .jobs import Job, JobState, JobStore
+from .loadgen import LoadgenConfig, run_loadgen
+from .server import PlanningHTTPServer, PlanningService, ServiceConfig, serve
+
+__all__ = [
+    "BadRequest",
+    "Job",
+    "JobState",
+    "JobStore",
+    "LoadgenConfig",
+    "PlanCache",
+    "PlanningHTTPServer",
+    "PlanningService",
+    "ReplanPolicy",
+    "Saturated",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SubmitResult",
+    "build_instance",
+    "normalize_request",
+    "plan_payload",
+    "request_digest",
+    "run_loadgen",
+    "serve",
+]

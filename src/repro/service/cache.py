@@ -1,0 +1,74 @@
+"""Content-addressed plan cache with LRU eviction and hit accounting.
+
+Keys are :func:`repro.service.encoding.request_digest` values — a plan is
+shared by every submission whose *problem* is identical, regardless of
+labels, budgets, or JSON spelling.  Only plans whose status is
+``optimal`` are stored: a time-limited incumbent solved under one budget
+is not a valid answer for a submission with a larger one, while an
+optimum is an optimum forever (instances are immutable by construction —
+the digest *is* the instance).
+
+Thread-safe; the server calls it from the HTTP handler threads (lookups)
+and the worker pool (inserts) concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """Bounded LRU mapping ``digest -> plan payload``."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 0:
+            raise ValueError(f"cache maxsize must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, digest: str) -> dict | None:
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self.hits += 1
+            return entry
+
+    def put(self, digest: str, plan: dict) -> None:
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            self._entries[digest] = plan
+            self._entries.move_to_end(digest)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._entries
+
+    def stats(self) -> dict:
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }

@@ -1,0 +1,280 @@
+"""Python client for the planning service (stdlib-only: ``urllib``).
+
+:class:`ServiceClient` wraps the JSON API: submit, poll, wait, fetch,
+plus health and metrics.  Saturation (429/503) surfaces as
+:class:`Saturated` carrying the server's ``Retry-After`` hint, so
+callers implement backoff explicitly instead of silently spinning.
+
+:class:`ReplanPolicy` is the rolling-horizon session the paper's §V-D
+practice maps onto: each slot it submits the *suffix* instance (demand
+still ahead, current inventory, current price view) and executes the
+returned plan's first-slot decision.  Because submissions are
+content-addressed, a re-plan tick whose inputs did not change — same
+remaining demand, same prices, inventory exactly as planned — is a plan
+cache hit on the server: the session costs one solve per *distinct*
+state, not one per tick.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+
+__all__ = ["ServiceClient", "ServiceError", "Saturated", "SubmitResult", "ReplanPolicy"]
+
+
+class ServiceError(Exception):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, body: dict | None = None, message: str | None = None):
+        self.status = status
+        self.body = body or {}
+        super().__init__(message or f"HTTP {status}: {self.body.get('error', 'error')}")
+
+
+class Saturated(ServiceError):
+    """The server applied backpressure (429/503); back off and retry."""
+
+    def __init__(self, status: int, body: dict | None = None, retry_after: float = 1.0):
+        self.retry_after = retry_after
+        super().__init__(status, body)
+
+
+@dataclass
+class SubmitResult:
+    """Outcome of one submission (plus the plan, when already available)."""
+
+    job_id: str
+    state: str
+    cached: bool = False
+    coalesced: bool = False
+    degraded: str | None = None
+    plan: dict | None = None
+    latency_s: float | None = None
+
+    @property
+    def hit(self) -> bool:
+        """True when no new solve was admitted for this submission."""
+        return self.cached or self.coalesced
+
+    @classmethod
+    def from_body(cls, body: dict, coalesced: bool = False) -> "SubmitResult":
+        job = body.get("job", {})
+        plan = body.get("plan")
+        return cls(
+            job_id=job.get("id", ""),
+            state=job.get("state", ""),
+            cached=bool(job.get("cached")),
+            coalesced=coalesced or job.get("coalesced", 0) > 0,
+            degraded=job.get("degraded") or (plan or {}).get("degraded"),
+            plan=plan,
+            latency_s=job.get("latency_s"),
+        )
+
+
+class ServiceClient:
+    """Minimal JSON/HTTP client for one planning server."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> tuple[int, dict, dict]:
+        data = None if body is None else json.dumps(body).encode()
+        req = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, json.loads(resp.read() or b"{}"), dict(resp.headers)
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read() or b"{}")
+            except json.JSONDecodeError:
+                payload = {}
+            return exc.code, payload, dict(exc.headers or {})
+
+    def _checked(self, method: str, path: str, body: dict | None = None,
+                 ok: tuple[int, ...] = (200, 202)) -> tuple[int, dict]:
+        status, payload, headers = self._request(method, path, body)
+        if status in (429, 503):
+            try:
+                retry_after = float(headers.get("Retry-After",
+                                                payload.get("retry_after", 1.0)))
+            except (TypeError, ValueError):
+                retry_after = 1.0
+            raise Saturated(status, payload, retry_after=retry_after)
+        if status not in ok:
+            raise ServiceError(status, payload)
+        return status, payload
+
+    # -- API ---------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._checked("GET", "/healthz")[1]
+
+    def metrics(self) -> dict:
+        return self._checked("GET", "/metrics")[1]
+
+    def submit(self, payload: dict) -> SubmitResult:
+        """Asynchronous submit (``POST /v1/jobs``); never waits on a solve."""
+        status, body = self._checked("POST", "/v1/jobs", payload)
+        return SubmitResult.from_body(body, coalesced=status == 202 and
+                                      body.get("job", {}).get("coalesced", 0) > 0)
+
+    def status(self, job_id: str) -> dict:
+        return self._checked("GET", f"/v1/jobs/{job_id}")[1]["job"]
+
+    def plan(self, job_id: str) -> dict:
+        return self._checked("GET", f"/v1/jobs/{job_id}/plan")[1]["plan"]
+
+    def wait(self, job_id: str, timeout: float = 60.0, poll_s: float = 0.02) -> dict:
+        """Poll a job to completion; returns the final job view."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["state"] in ("done", "failed"):
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still {job['state']} after {timeout}s")
+            time.sleep(poll_s)
+
+    def solve(self, payload: dict, wait_s: float | None = None) -> SubmitResult:
+        """Submit and wait (``POST /v1/plan``): returns the finished plan.
+
+        Falls back to polling if the server's synchronous wait window
+        elapses first (504).
+        """
+        body = dict(payload)
+        if wait_s is not None:
+            body["wait_s"] = wait_s
+        status, resp, headers = self._request("POST", "/v1/plan", body)
+        if status in (429, 503):
+            try:
+                retry_after = float(headers.get("Retry-After", resp.get("retry_after", 1.0)))
+            except (TypeError, ValueError):
+                retry_after = 1.0
+            raise Saturated(status, resp, retry_after=retry_after)
+        if status == 504:
+            job_id = resp.get("job", {}).get("id", "")
+            job = self.wait(job_id, timeout=wait_s or self.timeout)
+            if job["state"] == "failed":
+                raise ServiceError(500, {"error": job.get("error")})
+            return SubmitResult.from_body({"job": job, "plan": self.plan(job_id)})
+        if status != 200:
+            raise ServiceError(status, resp)
+        return SubmitResult.from_body(resp)
+
+
+#: Default non-compute cost rates, mirroring ``repro.market.CostRates``
+#: (storage $/GB-month over Amazon's 730 h billing month).
+DEFAULT_RATES = {
+    "storage": 0.10 / 730.0,
+    "io": 0.20,
+    "transfer_in": 0.10,
+    "transfer_out": 0.17,
+}
+
+
+@dataclass
+class ReplanPolicy:
+    """Rolling-horizon replanning session over the service (see module doc).
+
+    Pure stdlib: demand and compute prices are plain float lists for the
+    whole evaluation window; each slot's submission is the explicit
+    suffix instance over ``lookahead`` slots.  Deterministic by
+    construction — inventory follows the *returned plan* (``beta[0]``),
+    so two sessions replaying the same window submit byte-identical
+    instances and the second one runs entirely out of the plan cache.
+    """
+
+    client: ServiceClient
+    demand: list[float]
+    compute_prices: list[float]
+    lookahead: int = 6
+    phi: float = 0.5
+    initial_storage: float = 0.0
+    vm_name: str = "vm"
+    backend: str = "auto"
+    rates: dict = field(default_factory=lambda: dict(DEFAULT_RATES))
+    time_limit: float | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.compute_prices) < len(self.demand):
+            raise ValueError("need a compute price for every slot")
+        if self.lookahead < 1:
+            raise ValueError("lookahead must be >= 1")
+        self.t = 0
+        self.inventory = float(self.initial_storage)
+        self.results: list[SubmitResult] = []
+
+    @property
+    def horizon(self) -> int:
+        return len(self.demand)
+
+    @property
+    def done(self) -> bool:
+        return self.t >= self.horizon
+
+    def payload_for_slot(self) -> dict:
+        """The suffix instance submission for the current slot."""
+        stop = min(self.t + self.lookahead, self.horizon)
+        window = range(self.t, stop)
+        payload = {
+            "kind": "drrp",
+            "backend": self.backend,
+            "instance": {
+                "demand": [float(self.demand[i]) for i in window],
+                "costs": {
+                    "compute": [float(self.compute_prices[i]) for i in window],
+                    **{
+                        key: [float(self.rates[key])] * len(window)
+                        for key in ("storage", "io", "transfer_in", "transfer_out")
+                    },
+                },
+                "phi": self.phi,
+                "initial_storage": self.inventory,
+                "vm_name": self.vm_name,
+            },
+        }
+        if self.time_limit is not None:
+            payload["time_limit"] = self.time_limit
+        return payload
+
+    def plan_slot(self, wait_s: float | None = None) -> SubmitResult:
+        """Submit the current suffix instance and return the solved plan.
+
+        Idempotent per state: calling again before :meth:`advance` (a
+        re-plan tick with nothing changed) is a cache hit on the server.
+        """
+        if self.done:
+            raise RuntimeError("session already past the final slot")
+        result = self.client.solve(self.payload_for_slot(), wait_s=wait_s)
+        if result.plan is None:
+            raise ServiceError(500, {"error": "no plan in response"})
+        return result
+
+    def advance(self, result: SubmitResult) -> None:
+        """Execute the first-slot decision of ``result`` and move one slot."""
+        self.results.append(result)
+        # beta[0] is the plan's own end-of-slot inventory: carrying it
+        # forward exactly (not re-deriving it) keeps successive suffix
+        # instances reproducible across sessions, hence cacheable.
+        self.inventory = float(result.plan["beta"][0])
+        self.t += 1
+
+    def run(self, wait_s: float | None = None) -> list[SubmitResult]:
+        """Plan and advance through every remaining slot."""
+        while not self.done:
+            self.advance(self.plan_slot(wait_s=wait_s))
+        return self.results
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.hit)

@@ -1,0 +1,106 @@
+"""Job execution: normalized request -> plan payload.
+
+The one place where the service touches the solver stack (numpy and,
+optionally, scipy).  Everything here is imported lazily so the service
+package itself stays stdlib-only to import.
+
+Two paths:
+
+:func:`execute_request`
+    The real solve: builds the instance, maps the job's remaining wall
+    budget onto the solver's :class:`~repro.solver.telemetry.Deadline`,
+    and returns the JSON plan payload.  DRRP solves run warm-started so
+    an expired budget still yields the Wagner-Whitin incumbent (status
+    ``time_limit``) instead of an error.
+
+:func:`degraded_request`
+    The overload/expiry fallback: polynomial-time heuristics only, no
+    queueing and no MILP.  Uncapacitated DRRP gets Wagner-Whitin (exact
+    for that subclass); everything else gets the no-plan scheme over a
+    deterministic cost view (for SRRP, stage-expected compute prices).
+    The returned payload carries ``degraded`` naming the heuristic.
+"""
+
+from __future__ import annotations
+
+from .encoding import build_instance, plan_payload
+
+__all__ = ["execute_request", "degraded_request"]
+
+
+def execute_request(
+    request: dict,
+    time_limit: float | None = None,
+    listener=None,
+) -> dict:
+    """Solve one normalized request; returns the plan payload.
+
+    ``time_limit`` is the job's *remaining* budget in seconds (the
+    service subtracts queue wait before calling); ``None`` means
+    unbounded.  Raises ``RuntimeError`` if the solver terminates without
+    a usable solution.
+    """
+    instance = build_instance(request)
+    kind = request["kind"]
+    solve_kwargs: dict = {"backend": request["backend"]}
+    if listener is not None:
+        solve_kwargs["listener"] = listener
+    if time_limit is not None:
+        solve_kwargs["time_limit"] = max(float(time_limit), 0.0)
+    if kind == "drrp":
+        from repro.core import solve_drrp
+
+        # Warm start guarantees an incumbent under any budget (WW seed).
+        if solve_kwargs.get("time_limit") is not None and instance.bottleneck_rate is None:
+            solve_kwargs["warm_start"] = True
+        plan = solve_drrp(instance, **solve_kwargs)
+    else:
+        from repro.core import solve_srrp
+
+        plan = solve_srrp(instance, **solve_kwargs)
+    return plan_payload(kind, plan)
+
+
+def _expected_stage_prices(tree_payload: dict) -> list[float]:
+    """Per-slot expected compute price of a normalized tree payload."""
+    prices = [float(tree_payload["root_price"])]
+    for stage in tree_payload["stages"]:
+        prices.append(
+            sum(v * p for v, p in zip(stage["values"], stage["probs"]))
+        )
+    return prices
+
+
+def degraded_request(request: dict) -> dict:
+    """Heuristic plan for one normalized request (see module docstring)."""
+    import numpy as np
+
+    from repro.core import CostSchedule, DRRPInstance, solve_noplan, solve_wagner_whitin
+
+    inst = request["instance"]
+    costs = CostSchedule(**{f: np.asarray(v) for f, v in inst["costs"].items()})
+    if request["kind"] == "srrp":
+        costs = costs.with_compute(np.asarray(_expected_stage_prices(inst["tree"])))
+    drrp = DRRPInstance(
+        demand=np.asarray(inst["demand"]),
+        costs=costs,
+        phi=inst["phi"],
+        initial_storage=inst["initial_storage"],
+        vm_name=inst["vm_name"],
+    )
+    if request["kind"] == "drrp" and "bottleneck_rate" not in inst:
+        plan = solve_wagner_whitin(drrp)
+        heuristic = "wagner-whitin"
+    else:
+        plan = solve_noplan(drrp)
+        heuristic = "no-plan"
+    payload = plan_payload("drrp", plan)
+    payload["kind"] = request["kind"]
+    payload["degraded"] = heuristic
+    if request["kind"] == "srrp":
+        # The heuristic plans against expected prices; report its cost in
+        # the same (expected) sense SRRP minimizes.
+        payload["expected_cost"] = payload.pop("total_cost")
+        payload["first_alpha"] = payload["alpha"][0]
+        payload["first_chi"] = bool(payload["chi"][0])
+    return payload

@@ -1,0 +1,142 @@
+"""Job records and the in-memory job store.
+
+A :class:`Job` is one admitted planning request: its canonical request,
+content digest, lifecycle state, timing, and (once finished) the plan
+payload or error.  Jobs are shared objects — in-flight coalescing hands
+the *same* job to every identical concurrent submission — so state
+transitions happen under the store lock and completion is signalled
+through a per-job :class:`threading.Event` that any number of waiters
+may block on.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # annotation-only: keeps this module stdlib-importable
+    from repro.solver.telemetry import Deadline
+
+__all__ = ["JobState", "Job", "JobStore"]
+
+
+class JobState(str, enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    @property
+    def finished(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED)
+
+
+@dataclass
+class Job:
+    """One admitted planning request (see module docstring)."""
+
+    id: str
+    digest: str
+    request: dict
+    state: JobState = JobState.QUEUED
+    deadline: Deadline | None = None
+    submitted: float = field(default_factory=time.monotonic)
+    started: float | None = None
+    finished: float | None = None
+    cached: bool = False          # answered from the plan cache at submit
+    degraded: str | None = None   # heuristic used instead of the solver
+    coalesced: int = 0            # extra identical submissions sharing this job
+    plan: dict | None = None
+    error: str | None = None
+    done_event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def finish(self, plan: dict | None = None, error: str | None = None) -> None:
+        self.finished = time.monotonic()
+        if error is None:
+            self.plan = plan
+            self.state = JobState.DONE
+        else:
+            self.error = error
+            self.state = JobState.FAILED
+        self.done_event.set()
+
+    @property
+    def latency(self) -> float | None:
+        """Submit-to-finish wall seconds (queue wait included)."""
+        return None if self.finished is None else self.finished - self.submitted
+
+    def to_dict(self) -> dict:
+        """Client-facing view (no plan body — fetch that separately)."""
+        view = {
+            "id": self.id,
+            "state": self.state.value,
+            "kind": self.request.get("kind"),
+            "digest": self.digest,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+        }
+        if self.degraded is not None:
+            view["degraded"] = self.degraded
+        if self.latency is not None:
+            view["latency_s"] = self.latency
+        if self.error is not None:
+            view["error"] = self.error
+        if self.plan is not None:
+            view["plan_status"] = self.plan.get("status")
+        return view
+
+
+class JobStore:
+    """Thread-safe id -> job map with bounded retention of finished jobs.
+
+    Unfinished jobs are never evicted (something still references them);
+    finished ones age out FIFO beyond ``retain`` so a long-lived server
+    does not grow without bound.
+    """
+
+    def __init__(self, retain: int = 4096) -> None:
+        if retain < 1:
+            raise ValueError(f"retain must be >= 1, got {retain}")
+        self.retain = retain
+        self._jobs: OrderedDict[str, Job] = OrderedDict()
+        self._lock = threading.Lock()
+        self._counter = 0
+
+    def create(self, digest: str, request: dict, **kwargs) -> Job:
+        with self._lock:
+            self._counter += 1
+            job = Job(
+                id=f"j{self._counter:06d}-{digest[7:15]}",
+                digest=digest,
+                request=request,
+                **kwargs,
+            )
+            self._jobs[job.id] = job
+            self._evict_locked()
+            return job
+
+    def _evict_locked(self) -> None:
+        excess = len(self._jobs) - self.retain
+        if excess <= 0:
+            return
+        for job_id in [jid for jid, j in self._jobs.items() if j.state.finished][:excess]:
+            del self._jobs[job_id]
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def counts(self) -> dict:
+        with self._lock:
+            counts = {state.value: 0 for state in JobState}
+            for job in self._jobs.values():
+                counts[job.state.value] += 1
+            return counts

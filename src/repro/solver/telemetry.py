@@ -57,7 +57,10 @@ import math
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from fractions import Fraction
+
+# jsonable moved to repro.serialize (shared with stdlib-only consumers);
+# re-exported here so existing call sites keep working.
+from repro.serialize import jsonable
 
 __all__ = [
     "EVENT_KINDS",
@@ -151,51 +154,6 @@ class SolveEvent:
 
     def to_dict(self) -> dict:
         return {"kind": self.kind, "t": self.t, **self.data}
-
-
-def jsonable(obj):
-    """Coerce an event payload into strictly valid JSON types.
-
-    Event payloads are free-form: certification events carry exact
-    :class:`fractions.Fraction` values, backends attach numpy scalars and
-    arrays, and bounds are routinely ``inf``/``nan``.  ``json.dumps``
-    either raises ``TypeError`` on those or (for non-finite floats) emits
-    ``Infinity`` literals that no strict JSON parser accepts.  This walk
-    maps them to faithful, portable encodings:
-
-    * ``Fraction`` -> its exact ``"p/q"`` string (lossless);
-    * numpy scalars -> the matching Python scalar, arrays -> nested lists;
-    * ``inf`` / ``-inf`` / ``nan`` -> the strings ``"Infinity"`` /
-      ``"-Infinity"`` / ``"NaN"`` (the JSON-Schema convention);
-    * anything else unserializable -> ``repr(obj)`` as a last resort.
-    """
-    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, str)):
-        return obj
-    if isinstance(obj, float):
-        if math.isnan(obj):
-            return "NaN"
-        if math.isinf(obj):
-            return "Infinity" if obj > 0 else "-Infinity"
-        return obj
-    if isinstance(obj, Fraction):
-        return f"{obj.numerator}/{obj.denominator}"
-    if isinstance(obj, dict):
-        return {str(k): jsonable(v) for k, v in obj.items()}
-    if isinstance(obj, (list, tuple, set, frozenset)):
-        return [jsonable(v) for v in obj]
-    # numpy scalars/arrays without importing numpy (this module must stay
-    # importable in the scipy/numpy-free degradation environment).
-    tolist = getattr(obj, "tolist", None)
-    if callable(tolist):
-        return jsonable(tolist())
-    item = getattr(obj, "item", None)
-    if callable(item):
-        return jsonable(item())
-    try:
-        json.dumps(obj)
-        return obj
-    except TypeError:
-        return repr(obj)
 
 
 def _as_callback(listener):

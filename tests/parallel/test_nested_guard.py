@@ -1,0 +1,58 @@
+"""Nested fork-bomb guard: parallel_map inside a worker stays serial."""
+
+import os
+
+from repro.parallel import (
+    PARALLEL_DEPTH_ENV,
+    in_parallel_worker,
+    parallel_map,
+    serial_guard,
+)
+
+
+def pid_of(_):
+    return os.getpid()
+
+
+def nested_map(_):
+    """Runs inside a pool worker; tries to fan out again."""
+    pids = parallel_map(pid_of, list(range(6)), n_workers=4, chunksize=1)
+    return (os.getpid(), sorted(set(pids)), in_parallel_worker())
+
+
+class TestProcessDepthGuard:
+    def test_nested_parallel_map_is_forced_serial(self):
+        results = parallel_map(nested_map, [1, 2], n_workers=2, chunksize=1)
+        for worker_pid, inner_pids, flagged in results:
+            assert flagged, "worker process must know it is a worker"
+            # the inner map must not have forked: one pid, the worker's own
+            assert inner_pids == [worker_pid]
+
+    def test_env_depth_marks_worker(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_DEPTH_ENV, "1")
+        assert in_parallel_worker()
+        monkeypatch.setenv(PARALLEL_DEPTH_ENV, "garbage")
+        assert not in_parallel_worker()
+        monkeypatch.delenv(PARALLEL_DEPTH_ENV)
+        assert not in_parallel_worker()
+
+
+class TestSerialGuard:
+    def test_guard_forces_serial_in_thread(self):
+        assert not in_parallel_worker()
+        with serial_guard():
+            assert in_parallel_worker()
+            pids = set(parallel_map(pid_of, list(range(8)), n_workers=4, chunksize=1))
+            assert pids == {os.getpid()}
+        assert not in_parallel_worker()
+
+    def test_guard_is_reentrant(self):
+        with serial_guard():
+            with serial_guard():
+                assert in_parallel_worker()
+            assert in_parallel_worker()
+        assert not in_parallel_worker()
+
+    def test_explicit_single_worker_unaffected(self):
+        with serial_guard():
+            assert parallel_map(pid_of, [1], n_workers=1) == [os.getpid()]

@@ -1,0 +1,103 @@
+"""Plan cache (LRU + accounting) and job store tests."""
+
+import threading
+
+import pytest
+
+from repro.service.cache import PlanCache
+from repro.service.jobs import Job, JobState, JobStore
+
+
+class TestPlanCache:
+    def test_miss_then_hit(self):
+        cache = PlanCache(4)
+        assert cache.get("a") is None
+        cache.put("a", {"plan": 1})
+        assert cache.get("a") == {"plan": 1}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(2)
+        cache.put("a", {})
+        cache.put("b", {})
+        cache.get("a")          # refresh a; b is now oldest
+        cache.put("c", {})
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_zero_maxsize_disables(self):
+        cache = PlanCache(0)
+        cache.put("a", {})
+        assert len(cache) == 0 and cache.get("a") is None
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(-1)
+
+    def test_stats_shape(self):
+        cache = PlanCache(4)
+        cache.put("a", {})
+        cache.get("a")
+        cache.get("x")
+        stats = cache.stats()
+        assert stats["size"] == 1 and stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_thread_safety_smoke(self):
+        cache = PlanCache(16)
+
+        def worker(base):
+            for i in range(200):
+                cache.put(f"k{(base + i) % 32}", {"i": i})
+                cache.get(f"k{i % 32}")
+
+        threads = [threading.Thread(target=worker, args=(j,)) for j in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 16
+
+
+class TestJobStore:
+    def test_create_assigns_sequential_ids(self):
+        store = JobStore()
+        a = store.create("sha256:" + "0" * 64, {"kind": "drrp"})
+        b = store.create("sha256:" + "1" * 64, {"kind": "drrp"})
+        assert a.id != b.id and store.get(a.id) is a and store.get(b.id) is b
+
+    def test_finish_sets_event_and_state(self):
+        store = JobStore()
+        job = store.create("sha256:" + "0" * 64, {})
+        assert not job.done_event.is_set()
+        job.finish(plan={"status": "optimal"})
+        assert job.state is JobState.DONE and job.done_event.is_set()
+        assert job.latency is not None and job.latency >= 0
+
+    def test_failure_path(self):
+        job = Job(id="j1", digest="d", request={})
+        job.finish(error="boom")
+        assert job.state is JobState.FAILED
+        assert job.to_dict()["error"] == "boom"
+
+    def test_retention_evicts_only_finished(self):
+        store = JobStore(retain=2)
+        done1 = store.create("sha256:" + "0" * 64, {})
+        done1.finish(plan={})
+        pending = store.create("sha256:" + "1" * 64, {})
+        done2 = store.create("sha256:" + "2" * 64, {})
+        done2.finish(plan={})
+        done3 = store.create("sha256:" + "3" * 64, {})
+        done3.finish(plan={})
+        # oldest finished jobs age out; the pending job survives
+        assert store.get(done1.id) is None
+        assert store.get(pending.id) is pending
+        assert len(store) == 2
+
+    def test_counts_by_state(self):
+        store = JobStore()
+        store.create("sha256:" + "0" * 64, {})
+        done = store.create("sha256:" + "1" * 64, {})
+        done.finish(plan={})
+        counts = store.counts()
+        assert counts["queued"] == 1 and counts["done"] == 1

@@ -1,0 +1,72 @@
+"""Load-generator benchmark tests, including the acceptance workload."""
+
+import json
+
+import pytest
+
+from repro.service.loadgen import (
+    LoadgenConfig,
+    build_workload,
+    run_loadgen,
+    summary_line,
+)
+
+
+class TestWorkload:
+    def test_deterministic_given_seed(self):
+        a, na = build_workload(LoadgenConfig(requests=50, seed=7, out=None))
+        b, nb = build_workload(LoadgenConfig(requests=50, seed=7, out=None))
+        assert a == b and na == nb
+
+    def test_duplicate_share_respected(self):
+        payloads, n_unique = build_workload(
+            LoadgenConfig(requests=100, duplicate_share=0.3, out=None)
+        )
+        assert len(payloads) == 100
+        assert n_unique == 70
+        # duplicates are literal repeats of earlier unique payloads
+        seen = []
+        dups = 0
+        for p in payloads:
+            if p in seen:
+                dups += 1
+            else:
+                seen.append(p)
+        assert dups == 30
+
+    def test_mixed_kinds(self):
+        payloads, _ = build_workload(LoadgenConfig(requests=60, out=None))
+        kinds = {p["kind"] for p in payloads}
+        assert kinds == {"drrp", "srrp"}
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LoadgenConfig(requests=0)
+        with pytest.raises(ValueError):
+            LoadgenConfig(duplicate_share=1.0)
+
+
+class TestAcceptanceRun:
+    def test_200_mixed_requests(self, tmp_path, monkeypatch):
+        """The PR's acceptance workload: 200 requests, >=30% duplicates."""
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        record = run_loadgen(LoadgenConfig(requests=200, duplicate_share=0.3))
+
+        assert record["dropped"] == 0, "no submission may be dropped"
+        assert record["duplicate_share"] >= 0.3
+        assert record["cache"]["hit_rate"] >= record["duplicate_share"], (
+            "every duplicate must be answered by the cache or coalescing"
+        )
+        assert record["cached_latency"]["n"] > 0
+        assert record["cached_latency"]["p50_ms"] < 50.0, (
+            f"cached p50 {record['cached_latency']['p50_ms']:.1f}ms over budget"
+        )
+        # saturation answers with 429, never a hang
+        assert record["saturation"]["rejected"] > 0
+        assert record["saturation"]["retry_after_s"] > 0
+
+        # the bench record landed where REPRO_BENCH_DIR pointed
+        on_disk = json.loads((tmp_path / "BENCH_service.json").read_text())
+        assert on_disk["requests"] == 200
+        assert on_disk["jobs"]["failed"] == 0
+        assert "service bench:" in summary_line(record)

@@ -91,10 +91,71 @@ class TestFuzzCommand:
         assert "fuzz_case" in out and "fuzz_summary" in out
 
     def test_zero_time_limit_stops_on_deadline(self, capsys):
+        # Deadline-truncated campaigns are clean-but-partial: exit 3, not 0.
         code = main(["fuzz", "--seed", "0", "--time-limit", "0"])
         out = capsys.readouterr().out
-        assert code == 0
+        assert code == 3
         assert "cases=0" in out and "deadline" in out
+
+
+class TestExitCodeContract:
+    """0 optimal / 1 failure / 2 usage / 3 usable-but-not-optimal."""
+
+    def test_plan_optimal_is_0(self, capsys):
+        assert main(["plan", "--vm", "c1.medium", "--horizon", "5", "--seed", "1"]) == 0
+        capsys.readouterr()
+
+    def test_plan_time_limited_incumbent_is_3(self, capsys):
+        # a zero budget still yields the warm-start incumbent -> exit 3
+        code = main(["plan", "--vm", "c1.medium", "--horizon", "6", "--seed", "1",
+                     "--time-limit", "0"])
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "best incumbent" in out
+
+    def test_plan_usage_error_is_2(self, capsys):
+        assert main(["plan", "--vm", "t2.bogus"]) == 2
+        capsys.readouterr()
+
+    def test_fuzz_clean_run_is_0(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--cases", "3", "--no-shrink"]) == 0
+        capsys.readouterr()
+
+
+class TestServiceCommands:
+    def test_submit_unreachable_server_is_1(self, capsys):
+        code = main(["submit", "--url", "http://127.0.0.1:1", "--horizon", "4"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_submit_roundtrip_and_cache_exit_codes(self, capsys):
+        from repro.service import ServiceConfig, serve
+
+        service, httpd = serve(port=0, config=ServiceConfig(workers=1), block=False)
+        try:
+            argv = ["submit", "--url", httpd.url, "--vm", "c1.medium",
+                    "--horizon", "5", "--seed", "3"]
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            assert "optimal" in out and "cost $" in out
+            assert main(argv) == 0  # cache hit is still an optimal answer
+            assert "[cache hit]" in capsys.readouterr().out
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.close()
+
+    def test_bench_service_small_run(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        code = main(["bench-service", "--requests", "20", "--duplicate-share", "0.3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "service bench: 20 reqs" in out
+        assert (tmp_path / "BENCH_service.json").exists()
+
+    def test_bench_service_bad_args_is_2(self, capsys):
+        assert main(["bench-service", "--requests", "0"]) == 2
+        capsys.readouterr()
 
 
 class TestExportCommand:

@@ -1,0 +1,123 @@
+"""repro.serialize: canonical JSON, digests, instance identity, re-exports."""
+
+import subprocess
+import sys
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core import DRRPInstance, SRRPInstance, build_tree, on_demand_schedule
+from repro.market import ec2_catalog
+from repro.serialize import (
+    canonical_json,
+    instance_digest,
+    instance_payload,
+    jsonable,
+    result_digest,
+)
+
+
+def drrp(vm="m1.large", T=5, demand=0.4):
+    catalog = ec2_catalog()
+    return DRRPInstance(
+        demand=np.full(T, demand),
+        costs=on_demand_schedule(catalog[vm], T),
+        vm_name=vm,
+    )
+
+
+def srrp(T=3):
+    catalog = ec2_catalog()
+    tree = build_tree(0.1, [(np.array([0.1, 0.4]), np.array([0.5, 0.5]))] * (T - 1))
+    return SRRPInstance(
+        demand=np.full(T, 0.3),
+        costs=on_demand_schedule(catalog["m1.large"], T),
+        tree=tree,
+        vm_name="m1.large",
+    )
+
+
+class TestJsonable:
+    def test_fraction_and_nonfinite(self):
+        assert jsonable(Fraction(1, 3)) == "1/3"
+        assert jsonable(float("inf")) == "Infinity"
+        assert jsonable(float("-inf")) == "-Infinity"
+        assert jsonable(float("nan")) == "NaN"
+
+    def test_numpy_values(self):
+        assert jsonable(np.float64(1.5)) == 1.5
+        assert jsonable(np.arange(3)) == [0, 1, 2]
+
+    def test_telemetry_reexport_is_same_object(self):
+        from repro.solver.telemetry import jsonable as via_telemetry
+
+        assert via_telemetry is jsonable
+
+
+class TestCompatReexports:
+    def test_manifest_still_exports_canonical_names(self):
+        from repro.obs.manifest import canonical_json as via_manifest_json
+        from repro.obs.manifest import result_digest as via_manifest_digest
+
+        assert via_manifest_json is canonical_json
+        assert via_manifest_digest is result_digest
+
+    def test_obs_package_reexport(self):
+        import repro.obs as obs
+
+        assert obs.result_digest is result_digest
+
+
+class TestInstanceIdentity:
+    def test_drrp_payload_shape(self):
+        payload = instance_payload(drrp())
+        assert payload["kind"] == "drrp"
+        assert len(payload["demand"]) == 5
+        assert set(payload["costs"]) == {
+            "compute", "storage", "io", "transfer_in", "transfer_out"
+        }
+
+    def test_srrp_payload_includes_tree(self):
+        payload = instance_payload(srrp())
+        assert payload["kind"] == "srrp"
+        assert payload["tree"]["nodes"][0]["depth"] == 0
+
+    def test_digest_stable_across_reconstruction(self):
+        assert instance_digest(drrp()) == instance_digest(drrp())
+
+    def test_digest_ignores_label_but_not_content(self):
+        a = drrp(vm="m1.large")
+        b = DRRPInstance(demand=a.demand, costs=a.costs, vm_name="renamed")
+        assert instance_digest(a) == instance_digest(b)
+        assert instance_digest(a) != instance_digest(drrp(demand=0.5))
+
+    def test_sub_ulp_noise_shares_digest(self):
+        a = drrp()
+        noisy = DRRPInstance(
+            demand=a.demand * (1.0 + 1e-14), costs=a.costs, vm_name=a.vm_name
+        )
+        assert instance_digest(a) == instance_digest(noisy)
+
+    def test_canonical_json_rejects_nan_payloads(self):
+        # nonfinite floats become strings, so strict dumping never fails
+        text = canonical_json({"bound": float("inf")})
+        assert "Infinity" in text
+
+
+class TestStdlibOnlyImport:
+    @pytest.mark.parametrize("module", ["repro.serialize", "repro.service", "repro.obs"])
+    def test_import_does_not_load_numpy(self, module):
+        import os
+        from pathlib import Path
+
+        import repro
+
+        src = str(Path(repro.__file__).parent.parent)
+        code = (
+            f"import sys, {module}; "
+            "banned = [m for m in ('numpy', 'scipy') if m in sys.modules]; "
+            "assert not banned, banned"
+        )
+        env = {**os.environ, "PYTHONPATH": src}
+        subprocess.run([sys.executable, "-c", code], check=True, env=env)
