@@ -1,0 +1,23 @@
+"""Performance benchmarks with committed JSON baselines.
+
+``repro bench-solver`` (:mod:`repro.bench.solver`) is the repo's first
+perf baseline: seeded DRRP / random-MILP branch-and-bound runs and an
+SRRP-style two-stage Benders solve, reporting node throughput,
+pivots/solve, warm-hit rate, and wall time to ``BENCH_solver.json``.
+``docs/performance.md`` explains the methodology and how CI gates on the
+committed record.
+"""
+
+from .solver import (
+    SolverBenchConfig,
+    check_solver_regression,
+    run_solver_bench,
+    summary_lines,
+)
+
+__all__ = [
+    "SolverBenchConfig",
+    "check_solver_regression",
+    "run_solver_bench",
+    "summary_lines",
+]

@@ -1,0 +1,352 @@
+"""Solver hot-path benchmark: warm starts, parallel Benders, node throughput.
+
+Three seeded workloads, all deterministic given the config:
+
+* **bb** — random bounded integer programs (dense knapsack-style rows,
+  chosen because their LP relaxations branch deep) solved twice through
+  the simplex-backed branch and bound: once with LP warm starts (children
+  restart phase 2 from the parent basis) and once forced cold.  Both runs
+  explore the *same* tree, so the node-throughput ratio isolates the
+  warm-start win from search luck.
+* **drrp** — a paper DRRP instance (eq. (1)-(7) lot-sizing MILP) solved
+  through the same two paths; realistic structure, mostly-integral LP
+  relaxations.
+* **benders** — an SRRP-style two-stage program with complete recourse,
+  solved serially and with the scenario fan-out; per-scenario subproblem
+  bases warm the next iteration in both modes.
+
+The record is written as ``BENCH_solver.json`` (``REPRO_BENCH_DIR``
+honored, like the service bench).  CI compares the **cold-normalized**
+node-throughput ratio against the committed baseline — a ratio of
+warm-to-cold throughput on the *same* machine cancels hardware speed, so
+the gate transfers between laptops and runners (see
+:func:`check_solver_regression` and ``docs/performance.md``).
+
+On a single-CPU host the parallel Benders leg cannot beat serial (there
+is nothing to fan out onto); the record keeps the measured speedup and
+``cpu_count`` so readers and the regression gate can tell "no cores"
+from "regression".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.parallel.pool import default_workers
+from repro.solver import BranchAndBoundOptions, SolverStatus, solve_compiled
+from repro.solver.benders import BendersOptions, Scenario, TwoStageProblem, solve_benders
+from repro.solver.model import CompiledProblem
+
+__all__ = [
+    "SolverBenchConfig",
+    "run_solver_bench",
+    "check_solver_regression",
+    "summary_lines",
+    "write_bench_record",
+]
+
+#: Gate: fail CI when the current warm/cold throughput ratio drops below
+#: this fraction of the committed baseline's ratio.
+REGRESSION_TOLERANCE = 0.75
+
+
+@dataclass(frozen=True)
+class SolverBenchConfig:
+    """One benchmark run (defaults match the committed baseline)."""
+
+    seed: int = 0
+    bb_instances: int = 3
+    bb_vars: int = 24
+    bb_rows: int = 20
+    node_limit: int = 2000
+    drrp_horizon: int = 24
+    scenarios: int = 12
+    recourse_rows: int = 30
+    recourse_vars: int = 60
+    benders_workers: int | None = None  # None -> repro.parallel.default_workers()
+    out: str | None = "BENCH_solver.json"
+
+    def __post_init__(self) -> None:
+        if self.scenarios < 8:
+            raise ValueError(
+                f"benders leg needs >= 8 scenarios to be meaningful, got {self.scenarios}"
+            )
+        if self.bb_instances < 1 or self.bb_vars < 2 or self.bb_rows < 1:
+            raise ValueError("bb workload must have >= 1 instance and a nonempty LP")
+
+
+def _random_milp(rng: np.random.Generator, n: int, m: int) -> CompiledProblem:
+    """Dense bounded integer program whose relaxation branches deep."""
+    c = -rng.uniform(1.0, 5.0, n)  # maximize profit, compiled as min -c'x
+    A = rng.uniform(0.0, 3.0, (m, n))
+    b = rng.uniform(0.75 * n, 1.8 * n, m)
+    return CompiledProblem(
+        c=c, c0=0.0, A_ub=A, b_ub=b,
+        A_eq=np.zeros((0, n)), b_eq=np.zeros(0),
+        lb=np.zeros(n), ub=np.full(n, 6.0),
+        integrality=np.ones(n, dtype=int), maximize=False, variables=[],
+    )
+
+
+def _drrp_problem(cfg: SolverBenchConfig) -> tuple[CompiledProblem, np.ndarray]:
+    """Paper DRRP instance plus its Wagner-Whitin incumbent.
+
+    Mirrors ``solve_drrp(warm_start=True)``: without the polynomial-time
+    incumbent, best-first B&B on the balance equalities prunes almost
+    nothing and the leg would just burn its node limit.
+    """
+    from repro.core import DRRPInstance, NormalDemand, on_demand_schedule
+    from repro.core.drrp import build_drrp_model
+    from repro.core.lotsizing import solve_wagner_whitin
+    from repro.market import ec2_catalog
+
+    vm = ec2_catalog()["m1.large"]
+    demand = NormalDemand(mean=0.4, std=0.2).sample(cfg.drrp_horizon, cfg.seed)
+    inst = DRRPInstance(
+        demand=demand, costs=on_demand_schedule(vm, cfg.drrp_horizon), vm_name=vm.name
+    )
+    model, _ = build_drrp_model(inst)
+    ww = solve_wagner_whitin(inst)
+    x0 = np.concatenate([ww.alpha, ww.beta, ww.chi])
+    return model.compile(), x0
+
+
+def _two_stage(cfg: SolverBenchConfig) -> TwoStageProblem:
+    """SRRP-shaped two-stage program with complete recourse (elastic W)."""
+    rng = np.random.default_rng(cfg.seed + 17)
+    n, m, ny0, S = 8, cfg.recourse_rows, cfg.recourse_vars, cfg.scenarios
+    c = rng.uniform(1.0, 4.0, n)
+    A_ub = rng.uniform(0.0, 1.0, (3, n))
+    b_ub = rng.uniform(6.0, 10.0, 3)
+    scenarios = []
+    for _ in range(S):
+        W0 = rng.uniform(0.1, 1.0, (m, ny0))
+        W = np.hstack([W0, np.eye(m), -np.eye(m)])
+        T = rng.uniform(0.0, 0.5, (m, n))
+        h = rng.uniform(2.0, 8.0, m)
+        q = np.concatenate([rng.uniform(0.5, 2.0, ny0), np.full(2 * m, 6.0)])
+        y_ub = np.concatenate([rng.uniform(0.5, 3.0, ny0), np.full(2 * m, np.inf)])
+        scenarios.append(Scenario(prob=1.0 / S, q=q, W=W, T=T, h=h, y_ub=y_ub))
+    return TwoStageProblem(
+        c=c, lb=np.zeros(n), ub=np.full(n, 5.0),
+        integrality=np.zeros(n, dtype=int), scenarios=scenarios,
+        A_ub=A_ub, b_ub=b_ub,
+    )
+
+
+def _bb_leg(
+    problems: list[CompiledProblem],
+    warm: bool,
+    node_limit: int,
+    incumbent: np.ndarray | None = None,
+) -> dict:
+    wall = 0.0
+    nodes = pivots = lp_warm = lp_cold = 0
+    objectives = []
+    for p in problems:
+        opts = BranchAndBoundOptions(
+            warm_start_lps=warm, node_limit=node_limit, initial_incumbent=incumbent
+        )
+        t0 = time.perf_counter()
+        res = solve_compiled(p, backend="simplex", bb_options=opts)
+        wall += time.perf_counter() - t0
+        if res.status not in (SolverStatus.OPTIMAL, SolverStatus.NODE_LIMIT, SolverStatus.FEASIBLE):
+            raise RuntimeError(f"bench MILP terminated {res.status.value}")
+        nodes += res.nodes
+        pivots += res.iterations
+        lp_warm += int(res.extra.get("lp_warm", 0))
+        lp_cold += int(res.extra.get("lp_cold", 0))
+        objectives.append(float(res.objective))
+    solves = lp_warm + lp_cold
+    return {
+        "wall_s": wall,
+        "nodes": nodes,
+        "nodes_per_sec": nodes / wall if wall > 0 else 0.0,
+        "pivots": pivots,
+        "pivots_per_solve": pivots / solves if solves else 0.0,
+        "lp_warm": lp_warm,
+        "lp_cold": lp_cold,
+        "warm_hit_rate": lp_warm / solves if solves else 0.0,
+        "objectives": objectives,
+    }
+
+
+def _benders_leg(tsp: TwoStageProblem, workers: int) -> dict:
+    opts = BendersOptions(n_workers=workers)
+    t0 = time.perf_counter()
+    res = solve_benders(tsp, options=opts)
+    wall = time.perf_counter() - t0
+    if res.status is not SolverStatus.OPTIMAL:
+        raise RuntimeError(f"bench Benders terminated {res.status.value}")
+    return {
+        "wall_s": wall,
+        "iterations": res.nodes,
+        "workers": int(res.extra.get("workers", workers)),
+        "subproblem_warm_hits": int(res.extra.get("subproblem_warm_hits", 0)),
+        "objective": float(res.objective),
+    }
+
+
+def run_solver_bench(cfg: SolverBenchConfig | None = None) -> dict:
+    """Run all three workloads and return (and optionally write) the record."""
+    cfg = cfg or SolverBenchConfig()
+    rng = np.random.default_rng(cfg.seed)
+    problems = [
+        _random_milp(rng, cfg.bb_vars, cfg.bb_rows) for _ in range(cfg.bb_instances)
+    ]
+
+    bb_warm = _bb_leg(problems, warm=True, node_limit=cfg.node_limit)
+    bb_cold = _bb_leg(problems, warm=False, node_limit=cfg.node_limit)
+    if not np.allclose(bb_warm["objectives"], bb_cold["objectives"], rtol=1e-7, atol=1e-7):
+        raise RuntimeError(
+            "warm and cold B&B disagree on bench optima: "
+            f"{bb_warm['objectives']} vs {bb_cold['objectives']}"
+        )
+
+    drrp_prob, drrp_x0 = _drrp_problem(cfg)
+    drrp_warm = _bb_leg([drrp_prob], warm=True, node_limit=cfg.node_limit, incumbent=drrp_x0)
+    drrp_cold = _bb_leg([drrp_prob], warm=False, node_limit=cfg.node_limit, incumbent=drrp_x0)
+    if not np.allclose(drrp_warm["objectives"], drrp_cold["objectives"], rtol=1e-7, atol=1e-7):
+        raise RuntimeError(
+            "warm and cold B&B disagree on the DRRP leg: "
+            f"{drrp_warm['objectives']} vs {drrp_cold['objectives']}"
+        )
+
+    tsp = _two_stage(cfg)
+    workers = cfg.benders_workers if cfg.benders_workers is not None else default_workers()
+    benders_serial = _benders_leg(tsp, workers=1)
+    benders_parallel = _benders_leg(tsp, workers=max(2, workers))
+    if abs(benders_serial["objective"] - benders_parallel["objective"]) > 1e-6 * max(
+        1.0, abs(benders_serial["objective"])
+    ):
+        raise RuntimeError(
+            "serial and parallel Benders disagree: "
+            f"{benders_serial['objective']} vs {benders_parallel['objective']}"
+        )
+
+    record = {
+        "benchmark": "solver",
+        "seed": cfg.seed,
+        "config": {
+            "bb_instances": cfg.bb_instances,
+            "bb_vars": cfg.bb_vars,
+            "bb_rows": cfg.bb_rows,
+            "node_limit": cfg.node_limit,
+            "drrp_horizon": cfg.drrp_horizon,
+            "scenarios": cfg.scenarios,
+            "recourse_rows": cfg.recourse_rows,
+            "recourse_vars": cfg.recourse_vars,
+        },
+        "cpu_count": os.cpu_count() or 1,
+        "bb": {
+            "warm": bb_warm,
+            "cold": bb_cold,
+            # Cold-normalized: warm and cold ran the same tree on the same
+            # machine, so this ratio is hardware-independent — it is what
+            # the CI regression gate compares.
+            "node_throughput_ratio": (
+                bb_warm["nodes_per_sec"] / bb_cold["nodes_per_sec"]
+                if bb_cold["nodes_per_sec"] > 0 else 0.0
+            ),
+        },
+        "drrp": {"warm": drrp_warm, "cold": drrp_cold},
+        "benders": {
+            "scenarios": cfg.scenarios,
+            "serial": benders_serial,
+            "parallel": benders_parallel,
+            "speedup": (
+                benders_serial["wall_s"] / benders_parallel["wall_s"]
+                if benders_parallel["wall_s"] > 0 else 0.0
+            ),
+        },
+        "created": time.time(),
+    }
+    if cfg.out:
+        record["path"] = str(write_bench_record(record, cfg.out))
+    return record
+
+
+def write_bench_record(record: dict, out: str = "BENCH_solver.json") -> Path:
+    from repro.serialize import jsonable
+
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / out
+    # jsonable maps non-finite floats to strings so the record always parses.
+    path.write_text(
+        json.dumps(jsonable(record), indent=2, allow_nan=False, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def check_solver_regression(
+    record: dict, baseline: dict, tolerance: float = REGRESSION_TOLERANCE
+) -> list[str]:
+    """Compare a fresh record against the committed baseline.
+
+    Returns human-readable failure strings (empty = pass).  Only
+    machine-independent ratios are gated; absolute wall times are recorded
+    for humans but never compared across hosts.  The Benders speedup is
+    gated only when the current host actually has >= 2 CPUs.
+    """
+    failures: list[str] = []
+    cur = float(record["bb"]["node_throughput_ratio"])
+    base = float(baseline["bb"]["node_throughput_ratio"])
+    if cur < tolerance * base:
+        failures.append(
+            f"bb node-throughput ratio regressed: {cur:.2f}x vs baseline "
+            f"{base:.2f}x (floor {tolerance * base:.2f}x)"
+        )
+    # Absolute floor, but only when the baseline itself cleared it: tiny
+    # smoke configurations are timing-noisy enough that warm can measure
+    # below cold, and a record must always pass against itself.
+    if cur < 1.0 <= base:
+        failures.append(f"warm starts slower than cold ({cur:.2f}x)")
+    warm_rate = float(record["bb"]["warm"]["warm_hit_rate"])
+    base_rate = float(baseline["bb"]["warm"]["warm_hit_rate"])
+    if warm_rate < tolerance * base_rate:
+        failures.append(
+            f"warm-hit rate regressed: {warm_rate:.0%} vs baseline {base_rate:.0%}"
+        )
+    if int(record.get("cpu_count", 1)) >= 2 and float(record["benders"]["speedup"]) <= 1.0:
+        failures.append(
+            f"parallel Benders no faster than serial on a "
+            f"{record['cpu_count']}-CPU host (speedup "
+            f"{record['benders']['speedup']:.2f}x)"
+        )
+    return failures
+
+
+def summary_lines(record: dict) -> list[str]:
+    bb = record["bb"]
+    bd = record["benders"]
+    return [
+        (
+            f"bb: warm {bb['warm']['nodes_per_sec']:.0f} nodes/s "
+            f"vs cold {bb['cold']['nodes_per_sec']:.0f} nodes/s "
+            f"({bb['node_throughput_ratio']:.2f}x), "
+            f"warm-hit {bb['warm']['warm_hit_rate']:.0%}, "
+            f"pivots/solve {bb['warm']['pivots_per_solve']:.1f} warm "
+            f"vs {bb['cold']['pivots_per_solve']:.1f} cold"
+        ),
+        (
+            f"drrp: warm {record['drrp']['warm']['wall_s'] * 1e3:.0f} ms "
+            f"vs cold {record['drrp']['cold']['wall_s'] * 1e3:.0f} ms "
+            f"({record['drrp']['warm']['nodes']} nodes)"
+        ),
+        (
+            f"benders: {bd['scenarios']} scenarios, serial "
+            f"{bd['serial']['wall_s'] * 1e3:.0f} ms vs parallel "
+            f"{bd['parallel']['wall_s'] * 1e3:.0f} ms on "
+            f"{bd['parallel']['workers']} workers ({bd['speedup']:.2f}x, "
+            f"{record['cpu_count']} CPUs), warm hits "
+            f"{bd['parallel']['subproblem_warm_hits']}/"
+            f"{bd['scenarios'] * bd['parallel']['iterations']}"
+        ),
+    ]

@@ -36,6 +36,13 @@ Commands mirror the library's main workflows:
     Deterministic load-generator benchmark against an in-process server;
     writes ``BENCH_service.json`` and exits nonzero if any request was
     dropped or the cache hit rate fell below the duplicate share.
+``bench-solver``
+    Solver hot-path benchmark (:mod:`repro.bench.solver`): warm vs cold
+    branch-and-bound node throughput, DRRP solve times, serial vs
+    parallel Benders; writes ``BENCH_solver.json``.  With
+    ``--check-against BASELINE`` it exits nonzero when the
+    cold-normalized throughput ratio regresses more than 25% against the
+    committed baseline (the CI gate).
 
 Exit codes, uniformly: ``0`` success (``plan``/``submit``: the plan is
 OPTIMAL; ``fuzz``: campaign completed clean), ``1`` failure (no plan,
@@ -233,6 +240,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="concurrent client threads (default 8)")
     p_bench.add_argument("--out", default="BENCH_service.json", metavar="FILE",
                          help="benchmark record filename (REPRO_BENCH_DIR honored)")
+
+    p_bsol = sub.add_parser(
+        "bench-solver", help="solver hot-path benchmark (warm starts, parallel Benders)"
+    )
+    p_bsol.add_argument("--seed", type=int, default=0, help="instance seed (default 0)")
+    p_bsol.add_argument("--bb-instances", type=int, default=None,
+                        help="random MILPs in the branch-and-bound leg (default 3)")
+    p_bsol.add_argument("--bb-vars", type=int, default=None,
+                        help="variables per random MILP (default 24)")
+    p_bsol.add_argument("--bb-rows", type=int, default=None,
+                        help="inequality rows per random MILP (default 20)")
+    p_bsol.add_argument("--node-limit", type=int, default=None,
+                        help="B&B node cap per instance (default 2000)")
+    p_bsol.add_argument("--drrp-horizon", type=int, default=None,
+                        help="DRRP leg horizon in slots (default 24)")
+    p_bsol.add_argument("--scenarios", type=int, default=None,
+                        help="Benders scenarios, minimum 8 (default 12)")
+    p_bsol.add_argument("--workers", type=int, default=None,
+                        help="Benders fan-out width (default: auto)")
+    p_bsol.add_argument("--out", default="BENCH_solver.json", metavar="FILE",
+                        help="benchmark record filename (REPRO_BENCH_DIR honored)")
+    p_bsol.add_argument("--check-against", default=None, metavar="BASELINE",
+                        help="compare against a committed BENCH_solver.json; "
+                             "exit 1 on >25%% throughput-ratio regression")
 
     return parser
 
@@ -796,6 +827,63 @@ def _cmd_bench_service(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_bench_solver(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.bench import (
+        SolverBenchConfig,
+        check_solver_regression,
+        run_solver_bench,
+        summary_lines,
+    )
+
+    overrides = {
+        name: value
+        for name, value in (
+            ("bb_instances", args.bb_instances),
+            ("bb_vars", args.bb_vars),
+            ("bb_rows", args.bb_rows),
+            ("node_limit", args.node_limit),
+            ("drrp_horizon", args.drrp_horizon),
+            ("scenarios", args.scenarios),
+        )
+        if value is not None
+    }
+    try:
+        cfg = SolverBenchConfig(
+            seed=args.seed,
+            benders_workers=args.workers,
+            out=args.out,
+            **overrides,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        record = run_solver_bench(cfg)
+    except RuntimeError as exc:  # a leg failed or warm/cold disagreed
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for line in summary_lines(record):
+        print(line)
+    if "path" in record:
+        print(f"record: {record['path']}")
+    if args.check_against:
+        baseline_path = Path(args.check_against)
+        if not baseline_path.is_file():
+            print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+        baseline = json.loads(baseline_path.read_text())
+        failures = check_solver_regression(record, baseline)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"regression gate passed against {baseline_path}")
+    return 0
+
+
 _COMMANDS = {
     "plan": _cmd_plan,
     "run": _cmd_run,
@@ -807,6 +895,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "bench-service": _cmd_bench_service,
+    "bench-solver": _cmd_bench_solver,
 }
 
 

@@ -42,6 +42,10 @@ DEFAULT_DURATION_BUCKETS = (
     0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, math.inf
 )
 
+#: Upper bounds (pivot counts) for the per-LP work histogram: warm restarts
+#: land in the single-digit buckets, cold two-phase solves in the hundreds.
+_PIVOT_BUCKETS = (0.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, math.inf)
+
 
 @dataclass
 class Counter:
@@ -318,6 +322,22 @@ class MetricsAggregator:
             reg.counter("nodes_explored").inc()
         elif kind == "node_prune":
             reg.counter("nodes_pruned").inc()
+        elif kind == "lp_warm" or kind == "lp_cold":
+            reg.counter("lp_warm_solves" if kind == "lp_warm" else "lp_cold_solves").inc()
+            pivots = data.get("pivots")
+            if pivots is not None:
+                reg.histogram(
+                    "lp_pivots_per_solve", buckets=_PIVOT_BUCKETS
+                ).observe(float(pivots))
+            warm = reg.counter("lp_warm_solves").value
+            cold = reg.counter("lp_cold_solves").value
+            reg.gauge("lp_warm_hit_rate").set(warm / (warm + cold))
+        elif kind == "benders_parallel":
+            reg.counter("benders_parallel_rounds").inc()
+            reg.counter("benders_warm_hits").inc(float(data.get("warm_hits", 0)))
+            workers = data.get("workers")
+            if workers is not None:
+                reg.gauge("benders_workers").set(float(workers))
         elif kind == "incumbent":
             obj = data.get("objective")
             if obj is not None:

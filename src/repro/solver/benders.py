@@ -20,6 +20,16 @@ master trial point yields a bounded dual and a valid optimality cut; a
 genuinely infeasible second stage surfaces as a huge recourse cost, which the
 master then prices out.  This keeps the implementation free of Farkas-ray
 extraction (which HiGHS does not expose through scipy).
+
+Scenario subproblems are independent given the master trial point, so they
+fan out through :func:`repro.parallel.parallel_map`
+(``BendersOptions.n_workers``; the pool's nested-fork guard keeps service
+workers serial) and, on the default ``subproblem_backend="simplex"``, each
+scenario re-solves from its previous iteration's optimal basis — across
+L-shaped iterations only the right-hand side ``h - T x`` moves, so the old
+basis is typically dual feasible and a handful of dual-simplex pivots
+replace a full two-phase solve.  ``subproblem_backend="scipy"`` keeps the
+legacy HiGHS path (no warm starts; duals read off marginals).
 """
 
 from __future__ import annotations
@@ -32,7 +42,9 @@ import numpy as np
 from .model import CompiledProblem
 from .result import SolverResult, SolverStatus
 from .interface import solve_compiled
+from .simplex import solve_lp_simplex
 from .telemetry import Deadline, Telemetry
+from repro.parallel.pool import current_telemetry, default_workers, in_parallel_worker, parallel_map
 
 __all__ = ["Scenario", "TwoStageProblem", "BendersOptions", "solve_benders", "extensive_form"]
 
@@ -98,11 +110,23 @@ class TwoStageProblem:
 
 @dataclass
 class BendersOptions:
+    """Knobs for :func:`solve_benders`.
+
+    ``n_workers`` controls the scenario fan-out: ``1`` (default) solves
+    subproblems in-process, ``None`` asks :func:`repro.parallel.default_workers`,
+    any other value is used as given (clamped to the scenario count by the
+    pool).  ``subproblem_backend`` is ``"simplex"`` (bounded-variable
+    simplex with per-scenario basis warm starts) or ``"scipy"`` (legacy
+    HiGHS, cold every iteration).
+    """
+
     max_iterations: int = 200
     tolerance: float = 1e-6
     infeasibility_penalty: float = 1e6
     verbose: bool = False
     time_limit: float = math.inf
+    n_workers: int | None = 1
+    subproblem_backend: str = "simplex"
 
 
 @dataclass
@@ -149,6 +173,90 @@ def _solve_subproblem(s: Scenario, x: np.ndarray, penalty: float) -> _SubSolve:
     bound_term = float(mu[finite] @ np.asarray(s.y_ub, dtype=float)[finite]) if s.y_ub is not None else 0.0
     return _SubSolve(value=float(res.fun), dual=dual, y=np.asarray(res.x[:ny]),
                      mu=mu, bound_term=bound_term)
+
+
+def _subproblem_lp(s: Scenario, x: np.ndarray, penalty: float) -> CompiledProblem:
+    """The elastic recourse LP as a compiled problem (columns: y, u, v)."""
+    m, ny = s.W.shape
+    nt = ny + 2 * m
+    ub = np.concatenate([
+        np.full(ny, np.inf) if s.y_ub is None else np.asarray(s.y_ub, dtype=float),
+        np.full(2 * m, np.inf),
+    ])
+    return CompiledProblem(
+        c=np.concatenate([s.q, np.full(2 * m, penalty)]), c0=0.0,
+        A_ub=np.zeros((0, nt)), b_ub=np.zeros(0),
+        A_eq=np.hstack([s.W, np.eye(m), -np.eye(m)]), b_eq=s.h - s.T @ x,
+        lb=np.zeros(nt), ub=ub, integrality=np.zeros(nt, dtype=int),
+        maximize=False, variables=[],
+    )
+
+
+def _solve_subproblem_simplex(
+    s: Scenario,
+    x: np.ndarray,
+    penalty: float,
+    deadline: Deadline | None = None,
+    warm=None,
+    telemetry: Telemetry | None = None,
+):
+    """Elastic recourse via the bounded-variable simplex.
+
+    Returns ``(_SubSolve, basis, warm_used)`` — the optimal basis seeds the
+    same scenario's solve in the next L-shaped iteration — or ``None`` when
+    the shared deadline expired mid-solve.
+    """
+    prob = _subproblem_lp(s, x, penalty)
+    res = solve_lp_simplex(prob, deadline=deadline, warm_start=warm, telemetry=telemetry)
+    if res.status is not SolverStatus.OPTIMAL and warm is not None:
+        res = solve_lp_simplex(prob, deadline=deadline, telemetry=telemetry)
+    if res.status is SolverStatus.TIME_LIMIT:
+        return None
+    cert = res.extra.get("dual_certificate") if res.status is SolverStatus.OPTIMAL else None
+    if cert is None:
+        raise RuntimeError(
+            f"elastic subproblem unsolved by simplex (status {res.status.value}); "
+            "try BendersOptions(subproblem_backend='scipy')"
+        )
+    m, ny = s.W.shape
+    # The certificate convention is r = c + A_eq' y_eq (see repro.verify),
+    # so the classic recourse dual with value = dual'(h - Tx) - mu'y_ub is
+    # the negated multiplier, and mu = max(0, -r) on the y columns.
+    y_eq = np.asarray(cert["y_eq"], dtype=float)
+    dual = -y_eq
+    reduced = prob.c[:ny] + s.W.T @ y_eq
+    mu = np.maximum(-reduced, 0.0)
+    if s.y_ub is None:
+        mu = np.zeros(ny)
+        bound_term = 0.0
+    else:
+        u = np.asarray(s.y_ub, dtype=float)
+        finite = np.isfinite(u)
+        mu = np.where(finite, mu, 0.0)
+        bound_term = float(mu[finite] @ u[finite])
+    winfo = res.extra.get("warm") or {}
+    sub = _SubSolve(
+        value=float(res.objective), dual=dual, y=np.asarray(res.x[:ny]),
+        mu=mu, bound_term=bound_term,
+    )
+    return sub, res.extra.get("basis"), bool(winfo.get("used"))
+
+
+def _sub_task(item):
+    """Picklable per-scenario task for :func:`repro.parallel.parallel_map`.
+
+    ``item`` is ``(scenario, x, penalty, remaining_seconds, warm_basis,
+    backend)``; the deadline is re-materialized from the remaining budget so
+    the tuple survives the process boundary.  Returns what the backend
+    solver returns (``None`` means the deadline expired inside the solve).
+    """
+    s, x, penalty, remaining, warm, backend = item
+    if backend == "scipy":
+        return _solve_subproblem(s, x, penalty), None, False
+    dl = Deadline(max(0.0, remaining)) if math.isfinite(remaining) else None
+    return _solve_subproblem_simplex(
+        s, x, penalty, deadline=dl, warm=warm, telemetry=current_telemetry()
+    )
 
 
 def _master_problem(p: TwoStageProblem, theta_lb: float) -> CompiledProblem:
@@ -202,6 +310,13 @@ def solve_benders(
     best_upper = math.inf
     best_x: np.ndarray | None = None
     best_recourse: list[float] = []
+    sub_bases: list = [None] * S  # per-scenario warm-start basis, across iterations
+    warm_hits_total = 0
+
+    requested_workers = opts.n_workers if opts.n_workers is not None else default_workers()
+    eff_workers = min(max(1, requested_workers), S)
+    if eff_workers > 1 and in_parallel_worker():
+        eff_workers = 1  # the pool would refuse to fork again anyway
 
     from dataclasses import replace as dc_replace
 
@@ -213,7 +328,8 @@ def solve_benders(
                 status=SolverStatus.FEASIBLE, x=best_x, objective=best_upper,
                 nodes=it,
                 extra={"recourse_values": best_recourse, "cuts": len(cuts_rows), "cut_records": cut_records,
-                       "penalty": opts.infeasibility_penalty, "trace": trace},
+                       "penalty": opts.infeasibility_penalty, "trace": trace,
+                       "subproblem_warm_hits": warm_hits_total, "workers": eff_workers},
             )
         return SolverResult(status=SolverStatus.TIME_LIMIT, nodes=it, extra={"trace": trace})
 
@@ -241,11 +357,29 @@ def solve_benders(
         thetas = res.x[n:]
         lower = float(problem.c @ x + thetas.sum())
 
+        items = [
+            (s, x, opts.infeasibility_penalty, dl.remaining(), sub_bases[si],
+             opts.subproblem_backend)
+            for si, s in enumerate(problem.scenarios)
+        ]
         if telemetry:
-            with telemetry.phase("benders_subproblems", scenarios=S, iteration=it):
-                subs = [_solve_subproblem(s, x, opts.infeasibility_penalty) for s in problem.scenarios]
+            with telemetry.phase(
+                "benders_subproblems", scenarios=S, iteration=it, workers=eff_workers
+            ):
+                outs = parallel_map(_sub_task, items, n_workers=eff_workers, telemetry=telemetry)
         else:
-            subs = [_solve_subproblem(s, x, opts.infeasibility_penalty) for s in problem.scenarios]
+            outs = parallel_map(_sub_task, items, n_workers=eff_workers)
+        if any(o is None for o in outs):
+            return out_of_time(it)
+        subs = [o[0] for o in outs]
+        sub_bases = [new if new is not None else old for (_, new, _), old in zip(outs, sub_bases)]
+        warm_count = sum(1 for o in outs if o[2])
+        warm_hits_total += warm_count
+        if telemetry and eff_workers > 1:
+            telemetry.emit(
+                "benders_parallel", iteration=it, scenarios=S,
+                workers=eff_workers, warm_hits=warm_count,
+            )
         true_recourse = np.array([s.prob for s in problem.scenarios]) * np.array([sb.value for sb in subs])
         upper = float(problem.c @ x + true_recourse.sum())
         if upper < best_upper - 1e-12:
@@ -270,7 +404,8 @@ def solve_benders(
                 status=SolverStatus.OPTIMAL, x=best_x, objective=best_upper, bound=lower,
                 nodes=it + 1,
                 extra={"recourse_values": best_recourse, "cuts": len(cuts_rows), "cut_records": cut_records,
-                       "penalty": opts.infeasibility_penalty, "trace": trace},
+                       "penalty": opts.infeasibility_penalty, "trace": trace,
+                       "subproblem_warm_hits": warm_hits_total, "workers": eff_workers},
             )
 
         # add violated optimality cuts: theta_s >= p_s (dual'(h_s - T_s x) - mu'u)
@@ -296,7 +431,8 @@ def solve_benders(
                 status=SolverStatus.OPTIMAL, x=best_x, objective=best_upper, bound=lower,
                 nodes=it + 1,
                 extra={"recourse_values": best_recourse, "cuts": len(cuts_rows), "cut_records": cut_records,
-                       "penalty": opts.infeasibility_penalty, "trace": trace},
+                       "penalty": opts.infeasibility_penalty, "trace": trace,
+                       "subproblem_warm_hits": warm_hits_total, "workers": eff_workers},
             )
 
     return SolverResult(
@@ -304,7 +440,8 @@ def solve_benders(
         objective=best_upper if best_x is not None else math.nan,
         nodes=opts.max_iterations,
         extra={"cuts": len(cuts_rows), "cut_records": cut_records,
-                       "penalty": opts.infeasibility_penalty, "trace": trace},
+                       "penalty": opts.infeasibility_penalty, "trace": trace,
+                       "subproblem_warm_hits": warm_hits_total, "workers": eff_workers},
     )
 
 

@@ -10,15 +10,23 @@ built from scratch:
   quickly because the setup binaries carry the fixed rental cost);
 * a rounding heuristic at every node to find incumbents early;
 * optional Gomory fractional cuts at the root (see :mod:`repro.solver.cuts`);
-* relative-gap, node-count and wall-clock termination criteria.
+* relative-gap, node-count and wall-clock termination criteria;
+* LP warm starts: each open node carries its parent's optimal basis (a
+  :class:`~repro.solver.simplex.SimplexBasis` — three small index arrays,
+  not a tableau), and child relaxations restart simplex phase 2 from it,
+  repairing primal feasibility with the bounded dual simplex when the
+  branching bound cut the parent vertex off.  Every LP solve emits an
+  ``lp_warm`` or ``lp_cold`` telemetry event so the obs layer can report
+  the warm-hit rate.
 
-Nodes store only bound vectors (two small arrays), not tableaus, so memory
-stays linear in the number of open nodes.
+Nodes store bound vectors plus the parent basis (small index arrays), so
+memory stays linear in the number of open nodes.
 """
 
 from __future__ import annotations
 
 import heapq
+import inspect
 import itertools
 import math
 import warnings
@@ -54,6 +62,12 @@ class BranchAndBoundOptions:
         Number of cut-generation rounds at the root.
     rounding_heuristic:
         Try rounding each LP-fractional point to a feasible incumbent.
+    warm_start_lps:
+        Re-solve child LP relaxations from the parent node's optimal basis
+        when the LP backend supports it (``lp_solver`` accepts a
+        ``warm_start`` keyword, as :func:`repro.solver.simplex.solve_lp_simplex`
+        does).  Disable to force every node through a cold two-phase solve
+        — the benchmark baseline uses this to measure the warm-start win.
     initial_incumbent:
         A known-feasible solution vector used to prune from the first node
         (warm start) — e.g. the Wagner-Whitin plan for a DRRP instance.
@@ -68,6 +82,7 @@ class BranchAndBoundOptions:
     use_root_cuts: bool = False
     max_root_cut_rounds: int = 5
     rounding_heuristic: bool = True
+    warm_start_lps: bool = True
     initial_incumbent: np.ndarray | None = None
 
 
@@ -144,12 +159,44 @@ def branch_and_bound(
     total_lp_iters = 0
     nodes_explored = 0
     nodes_pruned = 0
+    lp_warm_hits = 0
+    lp_cold_solves = 0
 
-    def lp_at(lb: np.ndarray, ub: np.ndarray) -> SolverResult:
-        nonlocal total_lp_iters
+    try:
+        supports_warm = "warm_start" in inspect.signature(lp_solver).parameters
+    except (TypeError, ValueError):  # builtins / C callables
+        supports_warm = False
+    use_warm = opts.warm_start_lps and supports_warm
+
+    def lp_at(lb: np.ndarray, ub: np.ndarray, warm=None) -> SolverResult:
+        nonlocal total_lp_iters, lp_warm_hits, lp_cold_solves
         node_problem = dc_replace(work, lb=lb, ub=ub, integrality=np.zeros_like(work.integrality))
-        res = lp_solver(node_problem)
+        if use_warm:
+            res = lp_solver(node_problem, warm_start=warm)
+        else:
+            res = lp_solver(node_problem)
         total_lp_iters += res.iterations
+        winfo = res.extra.get("warm") if isinstance(res.extra, dict) else None
+        warm_used = bool(winfo and winfo.get("used"))
+        if warm_used:
+            lp_warm_hits += 1
+        else:
+            lp_cold_solves += 1
+        if telemetry:
+            if warm_used:
+                telemetry.emit(
+                    "lp_warm", node=nodes_explored, pivots=res.iterations,
+                    mode=winfo.get("mode"),
+                )
+            else:
+                reason = (
+                    winfo.get("reason", "?") if winfo
+                    else ("no_warm_start" if warm is None else "backend")
+                )
+                telemetry.emit(
+                    "lp_cold", node=nodes_explored, pivots=res.iterations,
+                    reason=reason,
+                )
         return res
 
     def set_incumbent(obj: float, x: np.ndarray, source: str) -> None:
@@ -218,12 +265,22 @@ def branch_and_bound(
     def internal_obj(x: np.ndarray) -> float:
         return float(work.c @ x) + work.c0
 
-    heap: list[tuple[float, int, np.ndarray, np.ndarray, np.ndarray]] = []
-    heapq.heappush(heap, (internal_obj(root.x), next(counter), work.lb.copy(), work.ub.copy(), root.x))
+    # Heap entries: (bound, tie-break id, lb, ub, x_lp, parent_basis).  The
+    # basis rides along so each child LP can restart phase 2 from the vertex
+    # its parent ended on instead of re-running phase 1 from scratch.
+    root_basis = root.extra.get("basis") if isinstance(root.extra, dict) else None
+    heap: list[tuple] = []
+    heapq.heappush(
+        heap,
+        (internal_obj(root.x), next(counter), work.lb.copy(), work.ub.copy(), root.x, root_basis),
+    )
     if telemetry:
         telemetry.emit("node_open", node=0, bound=internal_obj(root.x), depth=0)
 
     best_bound = internal_obj(root.x)
+
+    def lp_stats() -> dict:
+        return {"lp_warm": lp_warm_hits, "lp_cold": lp_cold_solves}
 
     def finish(status: SolverStatus) -> SolverResult:
         if incumbent_x is not None:
@@ -233,9 +290,11 @@ def branch_and_bound(
             bound = -bound_internal if problem.maximize else bound_internal
             return SolverResult(
                 status=status, x=x_out, objective=obj, bound=bound,
-                nodes=nodes_explored, iterations=total_lp_iters,
+                nodes=nodes_explored, iterations=total_lp_iters, extra=lp_stats(),
             )
-        return SolverResult(status=status, nodes=nodes_explored, iterations=total_lp_iters)
+        return SolverResult(
+            status=status, nodes=nodes_explored, iterations=total_lp_iters, extra=lp_stats()
+        )
 
     def out_of_time() -> SolverResult:
         if telemetry:
@@ -251,7 +310,7 @@ def branch_and_bound(
         if nodes_explored >= opts.node_limit:
             return finish(SolverStatus.FEASIBLE if incumbent_x is not None else SolverStatus.NODE_LIMIT)
 
-        bound, node_id, lb, ub, x_lp = heapq.heappop(heap)
+        bound, node_id, lb, ub, x_lp, node_basis = heapq.heappop(heap)
         best_bound = bound
         if bound >= incumbent_obj - opts.rel_gap * max(1.0, abs(incumbent_obj)):
             # Heap is bound-ordered: everything left is dominated.
@@ -295,7 +354,7 @@ def branch_and_bound(
                 continue
             lb2, ub2 = lb.copy(), ub.copy()
             lb2[j], ub2[j] = lo, hi
-            res = lp_at(lb2, ub2)
+            res = lp_at(lb2, ub2, warm=node_basis)
             if not res.status.has_solution:
                 if res.status is SolverStatus.TIME_LIMIT:
                     return out_of_time()
@@ -303,7 +362,8 @@ def branch_and_bound(
             child_bound = internal_obj(res.x)
             if child_bound < incumbent_obj - 1e-12:
                 child_id = next(counter)
-                heapq.heappush(heap, (child_bound, child_id, lb2, ub2, res.x))
+                child_basis = res.extra.get("basis") if isinstance(res.extra, dict) else None
+                heapq.heappush(heap, (child_bound, child_id, lb2, ub2, res.x, child_basis))
                 if telemetry:
                     telemetry.emit("node_open", node=child_id, bound=child_bound, branch_var=j)
             else:
@@ -313,4 +373,7 @@ def branch_and_bound(
 
     if incumbent_x is not None:
         return finish(SolverStatus.OPTIMAL)
-    return SolverResult(status=SolverStatus.INFEASIBLE, nodes=nodes_explored, iterations=total_lp_iters)
+    return SolverResult(
+        status=SolverStatus.INFEASIBLE, nodes=nodes_explored, iterations=total_lp_iters,
+        extra=lp_stats(),
+    )

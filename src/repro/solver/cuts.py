@@ -56,7 +56,6 @@ def _column_affine_maps(problem: CompiledProblem, sf: StandardForm) -> tuple[np.
         return None
 
     m_ub = problem.A_ub.shape[0]
-    bounded = [j for j in range(n) if math.isfinite(problem.ub[j])]
     n_total = sf.A.shape[1]
     W = np.zeros((n_total, n))
     d = np.zeros(n_total)
@@ -66,12 +65,13 @@ def _column_affine_maps(problem: CompiledProblem, sf: StandardForm) -> tuple[np.
     def is_integer_scalar(v: float) -> bool:
         return math.isfinite(v) and abs(v - round(v)) < 1e-9
 
-    # structural columns: x_std = x_j - lb_j
+    # structural columns: x_std = sign_j * (x_j - shift_j), where shift is
+    # lb (sign +1) or ub (mirrored, sign -1)
     for j in range(n):
         q = sf.pos[j]
-        W[q, j] = 1.0
-        d[q] = -problem.lb[j]
-        is_int[q] = bool(int_mask[j]) and is_integer_scalar(problem.lb[j])
+        W[q, j] = sf.sign[j]
+        d[q] = -sf.sign[j] * sf.shift[j]
+        is_int[q] = bool(int_mask[j]) and is_integer_scalar(sf.shift[j])
 
     # inequality slacks: s_i = b_ub[i] - A_ub[i] @ x
     for i in range(m_ub):
@@ -84,13 +84,6 @@ def _column_affine_maps(problem: CompiledProblem, sf: StandardForm) -> tuple[np.
             is_integer_scalar(problem.b_ub[i])
             and all(is_integer_scalar(row[j]) and int_mask[j] for j in nz)
         )
-
-    # bound-row slacks: s = ub_j - x_j
-    for k, j in enumerate(bounded):
-        q = sf.n_structural + m_ub + k
-        W[q, j] = -1.0
-        d[q] = problem.ub[j]
-        is_int[q] = bool(int_mask[j]) and is_integer_scalar(problem.ub[j])
 
     return W, d, is_int
 
@@ -115,6 +108,25 @@ def generate_gmi_cuts(
     m = T.shape[0] - 1
     int_mask = problem.integrality.astype(bool)
 
+    # Nonbasic columns at their upper bound are complemented (z = u - x_std)
+    # so every nonbasic variable in the GMI derivation is zero at the vertex:
+    # the tableau coefficient negates, the affine map reflects through u, and
+    # integrality additionally requires an integral bound.
+    at_upper = (
+        tableau.at_upper[: tableau.n]
+        if tableau.at_upper is not None
+        else np.zeros(tableau.n, dtype=bool)
+    )
+    if at_upper.any():
+        W = W.copy()
+        d = d.copy()
+        col_is_int = col_is_int.copy()
+        u_std = sf.u[: tableau.n]
+        up = np.nonzero(at_upper)[0]
+        W[up] = -W[up]
+        d[up] = u_std[up] - d[up]
+        col_is_int[up] &= np.abs(u_std[up] - np.round(u_std[up])) < 1e-9
+
     # Which basic rows correspond to integral standard columns at fractional value?
     rows = []
     for i in range(m):
@@ -133,7 +145,7 @@ def generate_gmi_cuts(
     nonbasic[basis] = False
     for _, i, f0 in rows[:max_cuts]:
         coeffs = np.zeros(tableau.n)
-        arow = T[i, :-1]
+        arow = np.where(at_upper, -T[i, :-1], T[i, :-1])
         for q in np.nonzero(nonbasic & (np.abs(arow) > 1e-12))[0]:
             a = arow[q]
             if col_is_int[q]:

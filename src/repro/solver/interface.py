@@ -101,7 +101,7 @@ def _dispatch(
         opts = BranchAndBoundOptions(**{**opts.__dict__, "use_root_cuts": True})
     return branch_and_bound(
         problem,
-        lambda p: solve_lp_simplex(p, deadline=deadline),
+        lambda p, warm_start=None: solve_lp_simplex(p, deadline=deadline, warm_start=warm_start),
         options=opts,
         deadline=deadline,
         telemetry=telemetry,

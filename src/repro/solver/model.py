@@ -11,6 +11,8 @@ to this module.
 from __future__ import annotations
 
 import math
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -18,6 +20,14 @@ import numpy as np
 from .expr import Constraint, ConstraintSense, LinExpr, Variable, VarType
 
 __all__ = ["ObjectiveSense", "Model", "CompiledProblem"]
+
+#: Module-level LRU of compiled matrices keyed by structural digest, shared
+#: across Model instances so the planning service recompiles a resubmitted
+#: model zero times.  Small (structures are arrays, not tableaux) and
+#: lock-guarded because the service solves on worker threads.
+_COMPILE_CACHE: "OrderedDict[str, CompiledProblem]" = OrderedDict()
+_COMPILE_CACHE_MAX = 32
+_COMPILE_CACHE_LOCK = threading.Lock()
 
 
 class ObjectiveSense:
@@ -61,6 +71,22 @@ class CompiledProblem:
         raw = float(self.c @ x) + self.c0
         return -raw if self.maximize else raw
 
+    def copy(self, variables: list[Variable] | None = None) -> "CompiledProblem":
+        """Deep copy of the matrix data (cache hits must not alias arrays).
+
+        ``variables`` optionally replaces the variable list, so a cached
+        structure can be handed out under a different model's (identically
+        shaped) variables.
+        """
+        return CompiledProblem(
+            c=self.c.copy(), c0=self.c0,
+            A_ub=self.A_ub.copy(), b_ub=self.b_ub.copy(),
+            A_eq=self.A_eq.copy(), b_eq=self.b_eq.copy(),
+            lb=self.lb.copy(), ub=self.ub.copy(),
+            integrality=self.integrality.copy(), maximize=self.maximize,
+            variables=list(self.variables) if variables is None else list(variables),
+        )
+
     def is_feasible(self, x: np.ndarray, tol: float = 1e-6) -> bool:
         """Check constraint and bound satisfaction of a candidate point."""
         if np.any(x < self.lb - tol) or np.any(x > self.ub + tol):
@@ -94,6 +120,11 @@ class Model:
         self.objective: LinExpr = LinExpr()
         self.sense: str = ObjectiveSense.MINIMIZE
         self._names: set[str] = set()
+        # Mutation counter driving compile() caching: every structural edit
+        # bumps it, so a stale cached compilation can never be returned.
+        self._version = 0
+        self._compiled_version = -1
+        self._compiled: CompiledProblem | None = None
 
     # -- construction --------------------------------------------------------
     def add_var(
@@ -117,6 +148,7 @@ class Model:
         var = Variable(name, index=len(self.variables), lb=lb, ub=ub, vtype=vtype)
         self.variables.append(var)
         self._names.add(name)
+        self._version += 1
         return var
 
     def add_vars(self, count: int, prefix: str, **kwargs) -> list[Variable]:
@@ -133,6 +165,7 @@ class Model:
         if name:
             constraint.name = name
         self.constraints.append(constraint)
+        self._version += 1
         return constraint
 
     def set_objective(self, expr, sense: str = ObjectiveSense.MINIMIZE) -> None:
@@ -141,6 +174,7 @@ class Model:
         if sense not in (ObjectiveSense.MINIMIZE, ObjectiveSense.MAXIMIZE):
             raise ValueError(f"unknown objective sense {sense!r}")
         self.sense = sense
+        self._version += 1
 
     # -- introspection --------------------------------------------------------
     @property
@@ -162,42 +196,124 @@ class Model:
         )
 
     # -- compilation -----------------------------------------------------------
+    def _structure_digest(self) -> str:
+        """Content digest of everything :meth:`compile` reads (names excluded).
+
+        Two models with identical structure — same bounds, vtypes,
+        coefficients, senses, objective — digest identically regardless of
+        variable/constraint naming, mirroring the label-invariance of the
+        service plan cache.
+        """
+        from repro.serialize import result_digest
+
+        payload = {
+            "vars": [(v.lb, v.ub, v.vtype.value) for v in self.variables],
+            "constrs": [
+                (
+                    c.sense.value,
+                    c.rhs,
+                    sorted((v.index, coef) for v, coef in c.expr.terms.items()),
+                )
+                for c in self.constraints
+            ],
+            "objective": {
+                "sense": self.sense,
+                "constant": self.objective.constant,
+                "terms": sorted((v.index, coef) for v, coef in self.objective.terms.items()),
+            },
+        }
+        return result_digest(payload)
+
     def compile(self) -> CompiledProblem:
-        """Compile to matrix form; maximize models get ``c`` negated."""
+        """Compile to matrix form; maximize models get ``c`` negated.
+
+        Results are cached two ways and always returned as defensive copies
+        (callers mutate bounds in place during branching/presolve):
+
+        * per instance, keyed on the mutation counter, so back-to-back
+          solves of an unmodified model skip matrix assembly entirely;
+        * in a small module-level LRU keyed on the structural digest
+          (:mod:`repro.serialize`), so rebuilding the *same* model — e.g. a
+          replan of an identical planning request — also hits.
+        """
+        if self._compiled is not None and self._compiled_version == self._version:
+            return self._compiled.copy(variables=self.variables)
+
+        digest = self._structure_digest()
+        with _COMPILE_CACHE_LOCK:
+            cached = _COMPILE_CACHE.get(digest)
+            if cached is not None:
+                _COMPILE_CACHE.move_to_end(digest)
+        if cached is not None:
+            self._compiled = cached.copy(variables=self.variables)
+            self._compiled_version = self._version
+            return self._compiled.copy(variables=self.variables)
+
+        compiled = self._compile_uncached()
+        self._compiled = compiled
+        self._compiled_version = self._version
+        with _COMPILE_CACHE_LOCK:
+            _COMPILE_CACHE[digest] = compiled.copy()
+            _COMPILE_CACHE.move_to_end(digest)
+            while len(_COMPILE_CACHE) > _COMPILE_CACHE_MAX:
+                _COMPILE_CACHE.popitem(last=False)
+        return compiled.copy(variables=self.variables)
+
+    def _compile_uncached(self) -> CompiledProblem:
         n = len(self.variables)
         c = np.zeros(n)
-        for var, coef in self.objective.terms.items():
-            c[var.index] = coef
+        obj_terms = self.objective.terms
+        if obj_terms:
+            c[np.fromiter((v.index for v in obj_terms), dtype=np.intp, count=len(obj_terms))] = (
+                np.fromiter(obj_terms.values(), dtype=float, count=len(obj_terms))
+            )
         maximize = self.sense == ObjectiveSense.MAXIMIZE
         if maximize:
             c = -c
         c0 = -self.objective.constant if maximize else self.objective.constant
 
-        ub_rows: list[tuple[dict[Variable, float], float]] = []
-        eq_rows: list[tuple[dict[Variable, float], float]] = []
+        # GE rows fold into the <= block with a -1 row sign applied to the
+        # coefficient values — no negated dict copies.
+        ub_rows: list[tuple[dict[Variable, float], float, float]] = []
+        eq_rows: list[tuple[dict[Variable, float], float, float]] = []
         for constr in self.constraints:
             terms, rhs = constr.expr.terms, constr.rhs
             if constr.sense is ConstraintSense.LE:
-                ub_rows.append((terms, rhs))
+                ub_rows.append((terms, rhs, 1.0))
             elif constr.sense is ConstraintSense.GE:
-                ub_rows.append(({v: -coef for v, coef in terms.items()}, -rhs))
+                ub_rows.append((terms, -rhs, -1.0))
             else:
-                eq_rows.append((terms, rhs))
+                eq_rows.append((terms, rhs, 1.0))
 
         def build(rows):
             A = np.zeros((len(rows), n))
-            b = np.zeros(len(rows))
-            for i, (terms, rhs) in enumerate(rows):
-                for var, coef in terms.items():
-                    A[i, var.index] = coef
+            b = np.empty(len(rows))
+            nnz = sum(len(terms) for terms, _, _ in rows)
+            ri = np.empty(nnz, dtype=np.intp)
+            ci = np.empty(nnz, dtype=np.intp)
+            vals = np.empty(nnz)
+            k = 0
+            for i, (terms, rhs, sign) in enumerate(rows):
                 b[i] = rhs
+                t = len(terms)
+                ri[k : k + t] = i
+                ci[k : k + t] = np.fromiter((v.index for v in terms), dtype=np.intp, count=t)
+                vals[k : k + t] = np.fromiter(terms.values(), dtype=float, count=t)
+                if sign != 1.0:
+                    vals[k : k + t] *= sign
+                k += t
+            # LinExpr terms are keyed by variable, so (row, col) pairs are
+            # unique and one fancy assignment scatters the whole COO batch.
+            A[ri, ci] = vals
             return A, b
 
         A_ub, b_ub = build(ub_rows)
         A_eq, b_eq = build(eq_rows)
-        lb = np.array([v.lb for v in self.variables])
-        ub = np.array([v.ub for v in self.variables])
-        integrality = np.array([1 if v.is_integral else 0 for v in self.variables])
+        lb = np.fromiter((v.lb for v in self.variables), dtype=float, count=n)
+        ub = np.fromiter((v.ub for v in self.variables), dtype=float, count=n)
+        integrality = np.fromiter(
+            (1 if v.is_integral else 0 for v in self.variables), dtype=int, count=n
+        )
         return CompiledProblem(
             c=c, c0=c0, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq,
             lb=lb, ub=ub, integrality=integrality, maximize=maximize,

@@ -31,12 +31,19 @@ Event kinds (``SolveEvent.kind``) emitted by the stack:
 ``node_open`` / ``node_close`` / ``node_prune``
     Branch-and-bound lifecycle: a node is pushed on the heap, explored,
     or discarded by bound domination.
+``lp_warm`` / ``lp_cold``
+    One per B&B node LP solve: the relaxation restarted from the parent
+    basis (payload: pivots, repair ``mode``) or ran a cold two-phase
+    solve (payload: pivots, ``reason``).  The ratio is the warm-hit rate.
 ``incumbent``
     A new best integer-feasible solution (payload: objective, source).
 ``cut_round``
     One Gomory cut-generation round at the root (payload: cuts added).
 ``benders_iteration``
     One L-shaped master/subproblem round (payload: lower, upper, cuts).
+``benders_parallel``
+    Scenario subproblems fanned out across processes for one iteration
+    (payload: scenarios, workers, warm-started count).
 ``backend_degraded``
     The ``"auto"`` backend fell back along its chain (HiGHS -> pure
     simplex), e.g. because SciPy is not importable.
@@ -80,9 +87,12 @@ EVENT_KINDS = frozenset(
         "node_open",
         "node_close",
         "node_prune",
+        "lp_warm",
+        "lp_cold",
         "incumbent",
         "cut_round",
         "benders_iteration",
+        "benders_parallel",
         "backend_degraded",
         "warm_start_rejected",
         "deadline_exceeded",

@@ -1,0 +1,99 @@
+"""Smoke tests for the solver benchmark and its regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    SolverBenchConfig,
+    check_solver_regression,
+    run_solver_bench,
+    summary_lines,
+)
+
+
+@pytest.fixture(scope="module")
+def record(tmp_path_factory, request):
+    # One tiny-but-real run shared by the module: every leg executes, the
+    # record is written through the REPRO_BENCH_DIR path, and tests below
+    # only inspect the result.
+    out_dir = tmp_path_factory.mktemp("bench")
+    mp = pytest.MonkeyPatch()
+    mp.setenv("REPRO_BENCH_DIR", str(out_dir))
+    request.addfinalizer(mp.undo)
+    cfg = SolverBenchConfig(
+        seed=1, bb_instances=1, bb_vars=8, bb_rows=6, node_limit=300,
+        drrp_horizon=6, scenarios=8, recourse_rows=8, recourse_vars=12,
+        benders_workers=2, out="BENCH_test.json",
+    )
+    return run_solver_bench(cfg), out_dir
+
+
+class TestRunSolverBench:
+    def test_record_shape(self, record):
+        rec, _ = record
+        assert rec["benchmark"] == "solver"
+        assert rec["cpu_count"] >= 1
+        for leg in ("bb", "drrp", "benders"):
+            assert leg in rec
+        for mode in ("warm", "cold"):
+            assert rec["bb"][mode]["nodes"] >= 1
+            assert rec["bb"][mode]["wall_s"] > 0
+        assert rec["bb"]["node_throughput_ratio"] > 0
+        assert 0.0 <= rec["bb"]["warm"]["warm_hit_rate"] <= 1.0
+        assert rec["benders"]["serial"]["objective"] == pytest.approx(
+            rec["benders"]["parallel"]["objective"], rel=1e-6
+        )
+
+    def test_record_written_and_parses(self, record):
+        rec, out_dir = record
+        path = out_dir / "BENCH_test.json"
+        assert str(path) == rec["path"]
+        on_disk = json.loads(path.read_text())
+        assert on_disk["benchmark"] == "solver"
+        assert on_disk["seed"] == 1
+
+    def test_summary_lines(self, record):
+        rec, _ = record
+        lines = summary_lines(rec)
+        assert len(lines) == 3
+        assert lines[0].startswith("bb:")
+        assert lines[2].startswith("benders:")
+
+    def test_scenarios_floor_enforced(self):
+        with pytest.raises(ValueError, match=">= 8 scenarios"):
+            SolverBenchConfig(scenarios=4)
+
+
+class TestRegressionGate:
+    def test_self_comparison_passes(self, record):
+        rec, _ = record
+        assert check_solver_regression(rec, rec) == []
+
+    def test_throughput_regression_fails(self, record):
+        rec, _ = record
+        bad = copy.deepcopy(rec)
+        bad["bb"]["node_throughput_ratio"] = 0.5 * rec["bb"]["node_throughput_ratio"]
+        failures = check_solver_regression(bad, rec)
+        assert any("node-throughput ratio regressed" in f for f in failures)
+
+    def test_warm_slower_than_cold_fails(self, record):
+        rec, _ = record
+        bad = copy.deepcopy(rec)
+        bad["bb"]["node_throughput_ratio"] = 0.9
+        base = copy.deepcopy(rec)
+        base["bb"]["node_throughput_ratio"] = 1.0  # permissive baseline
+        failures = check_solver_regression(bad, base)
+        assert any("slower than cold" in f for f in failures)
+
+    def test_benders_speedup_gated_only_with_cores(self, record):
+        rec, _ = record
+        slow = copy.deepcopy(rec)
+        slow["benders"]["speedup"] = 0.5
+        slow["cpu_count"] = 1
+        assert not any(
+            "Benders" in f for f in check_solver_regression(slow, rec)
+        )
+        slow["cpu_count"] = 8
+        assert any("Benders" in f for f in check_solver_regression(slow, rec))

@@ -151,3 +151,27 @@ class TestAggregator:
         assert reg.counter("fuzz_cases").value == 2
         assert reg.counter("fuzz_certified").value == 1
         assert reg.counter("fuzz_disagreements").value == 1
+
+    def test_warm_cold_lp_solves(self):
+        reg = MetricsRegistry()
+        agg = MetricsAggregator(reg)
+        agg.on_event(ev("lp_cold", 0.1, node=0, pivots=40, reason="no_warm_start"))
+        agg.on_event(ev("lp_warm", 0.2, node=1, pivots=3, mode="dual"))
+        agg.on_event(ev("lp_warm", 0.3, node=2, pivots=6, mode="primal"))
+        assert reg.counter("lp_warm_solves").value == 2
+        assert reg.counter("lp_cold_solves").value == 1
+        assert reg.gauge("lp_warm_hit_rate").value == pytest.approx(2 / 3)
+        hist = reg.histogram("lp_pivots_per_solve")
+        assert hist.count == 3
+        assert hist.max == 40
+
+    def test_benders_parallel_rounds(self):
+        reg = MetricsRegistry()
+        agg = MetricsAggregator(reg)
+        agg.on_event(ev("benders_parallel", 0.1, iteration=1, scenarios=8,
+                        workers=4, warm_hits=0))
+        agg.on_event(ev("benders_parallel", 0.4, iteration=2, scenarios=8,
+                        workers=4, warm_hits=8))
+        assert reg.counter("benders_parallel_rounds").value == 2
+        assert reg.counter("benders_warm_hits").value == 8
+        assert reg.gauge("benders_workers").value == 4.0

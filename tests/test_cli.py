@@ -295,3 +295,43 @@ class TestFuzzObservability:
         out = capsys.readouterr().out
         assert code == 0
         assert "cases=8" in out
+
+
+class TestBenchSolverCommand:
+    def _tiny(self, extra=()):
+        return [
+            "bench-solver", "--seed", "1", "--bb-instances", "1",
+            "--bb-vars", "6", "--bb-rows", "4", "--node-limit", "200",
+            "--drrp-horizon", "6", "--scenarios", "8", *extra,
+        ]
+
+    def test_writes_record_and_summary(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        code = main(self._tiny(["--out", "BENCH_tiny.json"]))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bb: warm" in out and "benders:" in out
+        assert (tmp_path / "BENCH_tiny.json").exists()
+
+    def test_check_against_self_passes(self, capsys, tmp_path, monkeypatch):
+        # --out and --check-against point at the same file: the fresh
+        # record is written first, so the gate compares a record against
+        # itself — deterministic, exercises the full CLI path.
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        code = main(self._tiny([
+            "--out", "base.json", "--check-against", str(tmp_path / "base.json"),
+        ]))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "regression gate passed" in out
+
+    def test_missing_baseline_exits_2(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        code = main(self._tiny(["--check-against", str(tmp_path / "nope.json")]))
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_too_few_scenarios_exits_2(self, capsys):
+        code = main(["bench-solver", "--scenarios", "3"])
+        assert code == 2
+        assert "scenarios" in capsys.readouterr().err
