@@ -131,11 +131,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_an = sub.add_parser("analyze", help="spot-price predictability summary")
     p_an.add_argument("--vm", default="c1.medium")
 
-    p_sim = sub.add_parser("simulate", help="rolling-horizon policy bake-off")
+    p_sim = sub.add_parser(
+        "simulate",
+        help="rolling-horizon policy bake-off, or a closed-loop campaign (--campaign)",
+    )
     p_sim.add_argument("--vm", default="c1.medium")
     p_sim.add_argument("--hours", type=int, default=24, help="evaluation window (h)")
     p_sim.add_argument("--lookahead", type=int, default=6)
     p_sim.add_argument("--seed", type=int, default=2012)
+    p_sim.add_argument(
+        "--campaign", action="store_true",
+        help="closed-loop campaign mode (repro.sim): replan every control "
+             "interval over a multi-resolution window; other flags below "
+             "apply only in this mode",
+    )
+    p_sim.add_argument("--slots", type=int, default=720,
+                       help="campaign evaluation slots (default 720)")
+    p_sim.add_argument("--estimation-slots", type=int, default=1440,
+                       help="price history ahead of the campaign (default 1440)")
+    p_sim.add_argument("--prediction", type=int, default=48,
+                       help="replan lookahead in slots (default 48)")
+    p_sim.add_argument("--control", type=int, default=24,
+                       help="slots executed per replan (default 24)")
+    p_sim.add_argument("--fine", type=int, default=None,
+                       help="single-slot-resolution prefix (default: control)")
+    p_sim.add_argument("--coarse-block", type=int, default=4,
+                       help="slots per far-term aggregate block (default 4)")
+    p_sim.add_argument("--backend", default="auto",
+                       help="solver backend for campaign replans (default auto)")
+    p_sim.add_argument("--interruption-loss", type=float, default=0.0,
+                       help="work lost per out-of-bid event, fraction of the slot")
+    p_sim.add_argument(
+        "--policies", default="oracle,no-plan,rolling-drrp",
+        help="comma-separated campaign roster (oracle, no-plan, on-demand, "
+             "rolling-drrp, rolling-drrp-service)",
+    )
+    p_sim.add_argument("--service", default=None, metavar="URL",
+                       help="route rolling-drrp-service replans to this server")
+    p_sim.add_argument(
+        "--with-service", action="store_true",
+        help="start an in-process planning server for the campaign and add "
+             "rolling-drrp-service to the roster",
+    )
+    p_sim.add_argument("--manifest", default=None, metavar="FILE",
+                       help="write the campaign RunManifest as JSON")
+    p_sim.add_argument("--json", default=None, metavar="FILE", dest="out_json",
+                       help="write the full campaign record (costs, ratios) as JSON")
 
     p_rep = sub.add_parser(
         "report", help="regenerate paper figures, or render a recorded trace/manifest file"
@@ -264,6 +305,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_bsol.add_argument("--check-against", default=None, metavar="BASELINE",
                         help="compare against a committed BENCH_solver.json; "
                              "exit 1 on >25%% throughput-ratio regression")
+
+    p_bsim = sub.add_parser(
+        "bench-sim",
+        help="closed-loop simulation benchmark (cost-of-planning curves, "
+             "service consistency, backpressure)",
+    )
+    p_bsim.add_argument("--seed", type=int, default=2012, help="campaign seed")
+    p_bsim.add_argument("--vm", default="c1.medium")
+    p_bsim.add_argument("--slots", type=int, default=720,
+                        help="campaign evaluation slots (default 720)")
+    p_bsim.add_argument("--estimation-slots", type=int, default=1440,
+                        help="price history ahead of the campaign (default 1440)")
+    p_bsim.add_argument("--prediction", type=int, default=48,
+                        help="replan lookahead in slots (default 48)")
+    p_bsim.add_argument("--control", type=int, default=24,
+                        help="slots executed per replan (default 24)")
+    p_bsim.add_argument("--coarse-block", type=int, default=4,
+                        help="slots per far-term aggregate block (default 4)")
+    p_bsim.add_argument("--service-slots", type=int, default=96,
+                        help="window for the service/backpressure legs (default 96)")
+    p_bsim.add_argument("--out", default="BENCH_sim.json", metavar="FILE",
+                        help="benchmark record filename (REPRO_BENCH_DIR honored)")
+    p_bsim.add_argument("--check-against", default=None, metavar="BASELINE",
+                        help="compare cost/oracle ratios and service invariants "
+                             "against a committed BENCH_sim.json; exit 1 on drift")
 
     return parser
 
@@ -513,7 +579,78 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_simulate_campaign(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.sim import CampaignConfig, HorizonConfig, run_campaign
+
+    policies = tuple(p.strip() for p in args.policies.split(",") if p.strip())
+    if args.with_service and "rolling-drrp-service" not in policies:
+        policies = policies + ("rolling-drrp-service",)
+    try:
+        config = CampaignConfig(
+            vm=args.vm,
+            slots=args.slots,
+            estimation_slots=args.estimation_slots,
+            seed=args.seed,
+            horizon=HorizonConfig(
+                prediction=args.prediction,
+                control=args.control,
+                fine=args.fine,
+                coarse_block=args.coarse_block,
+            ),
+            backend=args.backend,
+            interruption_loss=args.interruption_loss,
+            lookahead=args.lookahead,
+            policies=policies,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    service = httpd = None
+    service_url = args.service
+    if args.with_service:
+        from repro.service import ServiceConfig, serve
+
+        service, httpd = serve(port=0, config=ServiceConfig(workers=2), block=False)
+        service_url = f"http://127.0.0.1:{httpd.server_address[1]}"
+    try:
+        result = run_campaign(config, service_url=service_url)
+    except ValueError as exc:  # unknown VM class or policy name
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+            service.close()
+
+    for line in result.summary_lines():
+        print(line)
+    print(result.manifest.summary_line())
+    if args.manifest:
+        print(f"manifest: {result.manifest.write(args.manifest)}")
+    if args.out_json:
+        record = {
+            "config": config.jsonable(),
+            "service_routed": service_url is not None,
+            "elapsed_s": result.elapsed,
+            **result.result_payload(),
+        }
+        Path(args.out_json).write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"record: {args.out_json}")
+    degraded = sum(o.degraded_plans for o in result.outcomes.values())
+    return 3 if degraded else 0
+
+
 def _cmd_simulate(args) -> int:
+    if args.campaign:
+        return _cmd_simulate_campaign(args)
+
     from datetime import date
 
     from repro.core import NormalDemand, Planner
@@ -884,6 +1021,48 @@ def _cmd_bench_solver(args) -> int:
     return 0
 
 
+def _cmd_bench_sim(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.sim import SimBenchConfig, check_sim_regression, run_sim_bench
+    from repro.sim.bench import summary_lines
+
+    try:
+        cfg = SimBenchConfig(
+            seed=args.seed,
+            vm=args.vm,
+            slots=args.slots,
+            estimation_slots=args.estimation_slots,
+            prediction=args.prediction,
+            control=args.control,
+            coarse_block=args.coarse_block,
+            service_slots=args.service_slots,
+            out=args.out,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    record = run_sim_bench(cfg)
+    for line in summary_lines(record):
+        print(line)
+    if "path" in record:
+        print(f"record: {record['path']}")
+    if args.check_against:
+        baseline_path = Path(args.check_against)
+        if not baseline_path.is_file():
+            print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+        baseline = json.loads(baseline_path.read_text())
+        failures = check_sim_regression(record, baseline)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"regression gate passed against {baseline_path}")
+    return 0
+
+
 _COMMANDS = {
     "plan": _cmd_plan,
     "run": _cmd_run,
@@ -896,6 +1075,7 @@ _COMMANDS = {
     "submit": _cmd_submit,
     "bench-service": _cmd_bench_service,
     "bench-solver": _cmd_bench_solver,
+    "bench-sim": _cmd_bench_sim,
 }
 
 

@@ -226,7 +226,7 @@ class ReducedScenarioPolicy:
             raise ValueError("ReducedScenarioPolicy requires a base price distribution")
         window = ctx.remaining_demand(self.lookahead)
         L = window.shape[0]
-        bids = self.bid_strategy.bids(ctx.spot_history[:-1], L, t=ctx.t)
+        bids = self.bid_strategy.bids(ctx.price_view(), L, t=ctx.t)
         root_price = effective_hourly_price(
             float(bids[0]), ctx.current_spot, ctx.vm.on_demand_price
         )
@@ -235,7 +235,7 @@ class ReducedScenarioPolicy:
         else:
             if self.sampler == "bootstrap":
                 paths = bootstrap_price_paths(
-                    ctx.spot_history[:-1], bids[1:], ctx.vm.on_demand_price,
+                    ctx.price_view(), bids[1:], ctx.vm.on_demand_price,
                     self.n_samples, self._rng,
                 )
             else:

@@ -26,6 +26,7 @@ Policies provided (the five schemes of Figure 12(a) plus the baselines):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from fractions import Fraction
 
 import numpy as np
 
@@ -85,7 +86,30 @@ class SimulationContext:
 
     @property
     def current_spot(self) -> float:
+        if self.spot_history.size == 0:
+            raise ValueError(
+                "no spot price observed yet: spot_history is empty (the "
+                "simulator populates it before the first decide(); inside "
+                "reset() no price has been published)"
+            )
         return float(self.spot_history[-1])
+
+    def price_view(self) -> np.ndarray:
+        """The price history a policy (or bid strategy) may condition on.
+
+        Per the class contract this is everything observed *through* the
+        current slot ``t`` — the market publishes the current price — and
+        never a slot beyond it.  Every ``BidStrategy.bids`` call site must
+        pass this view, not a hand-rolled slice: ``spot_history[:-1]``
+        hides the published current price, and anything longer would leak
+        the future.
+        """
+        if self.spot_history.size == 0:
+            raise ValueError(
+                "no spot price observed yet: spot_history is empty (the "
+                "simulator populates it before the first decide())"
+            )
+        return self.spot_history
 
     def remaining_demand(self, lookahead: int) -> np.ndarray:
         """Demand for slots t .. min(t+lookahead, H) (known, per the paper)."""
@@ -118,7 +142,7 @@ class NoPlanPolicy(Policy):
             return SlotDecision(generate=0.0, rent=False, bid=0.0)
         if self.bid_strategy is None:
             return SlotDecision(generate=shortfall, rent=True, bid=0.0, use_on_demand=True)
-        bid = float(self.bid_strategy.bids(ctx.spot_history[:-1], 1, t=ctx.t)[0])
+        bid = float(self.bid_strategy.bids(ctx.price_view(), 1, t=ctx.t)[0])
         return SlotDecision(generate=shortfall, rent=True, bid=bid)
 
 
@@ -148,7 +172,19 @@ class OnDemandPolicy(Policy):
 
 
 class OraclePolicy(Policy):
-    """Perfect information: DRRP over the realized price path (ideal cost)."""
+    """Perfect information: DRRP over the realized price path (ideal cost).
+
+    The plan is precomputed once in :meth:`reset`, but :meth:`decide` does
+    *not* replay ``alpha[t]`` blindly: the simulated inventory can diverge
+    from the plan's (an out-of-bid interruption losing work, a forced
+    top-up, the simulator's nonnegativity clamp), and a blind replay would
+    then undershoot demand.  Each slot reconciles against *realized*
+    inventory: with ``deficit = planned_entry_inventory[t] - actual``, the
+    issued generation is ``max(alpha[t] + deficit, 0)``, which restores the
+    planned end-of-slot inventory exactly — by plan feasibility
+    ``actual + alpha[t] + deficit = beta[t-1] + alpha[t] >= demand[t]``, so
+    demand stays covered whatever the divergence was.
+    """
 
     name = "oracle"
 
@@ -156,6 +192,7 @@ class OraclePolicy(Policy):
         self.realized_spot = np.asarray(realized_spot, dtype=float)
         self.backend = backend
         self._plan = None
+        self._entry_inventory: np.ndarray | None = None
 
     def reset(self, ctx: SimulationContext) -> None:
         if self.realized_spot.shape[0] < ctx.horizon:
@@ -168,15 +205,19 @@ class OraclePolicy(Policy):
             vm_name=ctx.vm.name,
         )
         self._plan = solve_drrp(inst, backend=self.backend)
+        # Inventory the plan expects entering each slot: beta[t-1], with the
+        # initial storage in front — the reconciliation reference.
+        self._entry_inventory = np.concatenate(
+            [[float(ctx.inventory)], self._plan.beta[:-1]]
+        )
 
     def decide(self, ctx: SimulationContext) -> SlotDecision:
         t = ctx.t
+        deficit = float(self._entry_inventory[t]) - ctx.inventory
+        gen = max(float(self._plan.alpha[t]) + deficit, 0.0)
+        rent = gen > 1e-12 or bool(self._plan.chi[t] > 0.5)
         # Bidding the realized price always wins the auction.
-        return SlotDecision(
-            generate=float(self._plan.alpha[t]),
-            rent=bool(self._plan.chi[t] > 0.5),
-            bid=float(self.realized_spot[t]),
-        )
+        return SlotDecision(generate=gen, rent=rent, bid=float(self.realized_spot[t]))
 
 
 class DeterministicPolicy(Policy):
@@ -202,7 +243,7 @@ class DeterministicPolicy(Policy):
     def decide(self, ctx: SimulationContext) -> SlotDecision:
         window = ctx.remaining_demand(self.lookahead)
         L = window.shape[0]
-        bids = self.bid_strategy.bids(ctx.spot_history[:-1], L, t=ctx.t)
+        bids = self.bid_strategy.bids(ctx.price_view(), L, t=ctx.t)
         # What deterministic planning believes it will pay: the bid caps the
         # spot payment on a win; it cannot see out-of-bid risk.
         inst = DRRPInstance(
@@ -245,7 +286,7 @@ class StochasticPolicy(Policy):
             raise ValueError("StochasticPolicy requires a base price distribution")
         window = ctx.remaining_demand(self.lookahead)
         L = window.shape[0]
-        bids = self.bid_strategy.bids(ctx.spot_history[:-1], L, t=ctx.t)
+        bids = self.bid_strategy.bids(ctx.price_view(), L, t=ctx.t)
         root_price = effective_hourly_price(float(bids[0]), ctx.current_spot, ctx.vm.on_demand_price)
         stage_dists = bid_adjusted_stage_distributions(
             ctx.base_distribution, bids[1:], ctx.vm.on_demand_price, self.max_branching
@@ -267,7 +308,15 @@ class StochasticPolicy(Policy):
 
 @dataclass
 class SimulationResult:
-    """Realized-cost accounting for one policy run."""
+    """Realized-cost accounting for one policy run.
+
+    The reported totals are *exact* rational sums of the per-slot cost
+    records (``paid_prices``, ``holding_costs``, ``transfer_in_costs``),
+    accumulated in :class:`fractions.Fraction` arithmetic and rounded once
+    at the end — so an independent checker (``repro.verify.frac_sum``) can
+    re-derive every total from the arrays with zero tolerance, whatever
+    order it sums in.
+    """
 
     policy: str
     total_cost: float
@@ -282,6 +331,8 @@ class SimulationResult:
     paid_prices: np.ndarray
     forced_topups: int = 0
     lost_gb: float = 0.0
+    holding_costs: np.ndarray | None = None       # per-slot (Cs+Cio)·β_t
+    transfer_in_costs: np.ndarray | None = None   # per-slot C+f·Φ·(α_t + lost_t)
 
     def cost_shares(self) -> dict[str, float]:
         total = self.total_cost or 1.0
@@ -337,12 +388,13 @@ def simulate_policy(
     policy.reset(ctx)
 
     holding = rates.storage_per_gb_hour + rates.io_per_gb
-    compute = inv_cost = tin = 0.0
     lost = 0.0
     oob = rentals = topups = 0
     generated = np.zeros(H)
     inv_traj = np.zeros(H)
     paid = np.zeros(H)
+    holding_costs = np.zeros(H)
+    tin_costs = np.zeros(H)
 
     prefix = np.zeros(0) if price_history is None else np.asarray(price_history, dtype=float)
 
@@ -370,26 +422,37 @@ def simulate_policy(
                 if is_out_of_bid(d.bid, float(realized_spot[t])):
                     oob += 1
                     lost_here = interruption_loss * gen
-            compute += price
             paid[t] = price
         lost += lost_here
         # regenerating lost work re-fetches its input data
-        tin += rates.transfer_in_per_gb * rates.input_output_ratio * (gen + lost_here)
+        tin_costs[t] = rates.transfer_in_per_gb * rates.input_output_ratio * (gen + lost_here)
         ctx.inventory = ctx.inventory + gen - float(demand[t])
         ctx.inventory = max(ctx.inventory, 0.0)
-        inv_cost += holding * ctx.inventory
+        holding_costs[t] = holding * ctx.inventory
         generated[t] = gen
         inv_traj[t] = ctx.inventory
 
-    tout = float(rates.transfer_out_per_gb * demand.sum())
+    # Exact totals: Fractions sum the per-slot float costs losslessly, so
+    # the reported numbers are order-independent and re-derivable by an
+    # independent checker with zero tolerance (see SimulationResult).
+    compute = Fraction(0)
+    inv_cost = Fraction(0)
+    tin = Fraction(0)
+    for t in range(H):
+        compute += Fraction(float(paid[t]))
+        inv_cost += Fraction(float(holding_costs[t]))
+        tin += Fraction(float(tin_costs[t]))
+    tout = Fraction(float(rates.transfer_out_per_gb)) * sum(
+        (Fraction(float(x)) for x in demand), Fraction(0)
+    )
     total = compute + inv_cost + tin + tout
     return SimulationResult(
         policy=policy.name,
-        total_cost=total,
-        compute_cost=compute,
-        inventory_cost=inv_cost,
-        transfer_in_cost=tin,
-        transfer_out_cost=tout,
+        total_cost=float(total),
+        compute_cost=float(compute),
+        inventory_cost=float(inv_cost),
+        transfer_in_cost=float(tin),
+        transfer_out_cost=float(tout),
         out_of_bid_events=oob,
         rentals=rentals,
         generated=generated,
@@ -397,4 +460,6 @@ def simulate_policy(
         paid_prices=paid,
         forced_topups=topups,
         lost_gb=lost,
+        holding_costs=holding_costs,
+        transfer_in_costs=tin_costs,
     )

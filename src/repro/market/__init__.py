@@ -9,7 +9,7 @@ from .catalog import (
     VMClass,
     ec2_catalog,
 )
-from .traces import SpotPriceTrace, TraceParams, generate_spot_trace
+from .traces import SpotPriceTrace, TraceParams, campaign_series, generate_spot_trace
 from .resample import daily_update_counts, hourly_series, update_interval_stats
 from .auction import (
     BidStrategy,
@@ -46,6 +46,7 @@ __all__ = [
     "ec2_catalog",
     "SpotPriceTrace",
     "TraceParams",
+    "campaign_series",
     "generate_spot_trace",
     "daily_update_counts",
     "hourly_series",

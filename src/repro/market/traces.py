@@ -36,7 +36,7 @@ except ImportError:  # pure-numpy fallback below
 from repro.stats.rng import ensure_rng
 from .catalog import VMClass
 
-__all__ = ["SpotPriceTrace", "generate_spot_trace", "TraceParams"]
+__all__ = ["SpotPriceTrace", "generate_spot_trace", "TraceParams", "campaign_series"]
 
 HOURS_PER_DAY = 24.0
 
@@ -176,3 +176,36 @@ def generate_spot_trace(
     prices = np.round(prices / params.quantum) * params.quantum
 
     return SpotPriceTrace(vm_class=vm.name, times=times, prices=prices)
+
+
+def campaign_series(
+    vm: VMClass,
+    estimation_slots: int,
+    evaluation_slots: int,
+    seed_or_rng: int | np.random.Generator | None = 0,
+    params: TraceParams | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Hourly ``(history, realized)`` price split for a closed-loop campaign.
+
+    One synthetic trace covers both windows, so the estimation history a
+    forecaster conditions on and the realized path the simulator replays
+    share one market process — the setup of the paper's §V evaluation
+    (two months of history, then the evaluation window).  Deterministic
+    for a fixed seed.  ``params`` defaults to a trace just long enough
+    for both windows; an explicit one must cover them.
+    """
+    if estimation_slots < 1 or evaluation_slots < 1:
+        raise ValueError("both windows must be at least one slot long")
+    total_hours = estimation_slots + evaluation_slots
+    if params is None:
+        params = TraceParams(duration_days=total_hours / HOURS_PER_DAY + 2.0)
+    elif params.duration_days * HOURS_PER_DAY < total_hours:
+        raise ValueError(
+            f"trace of {params.duration_days} days cannot cover "
+            f"{total_hours} campaign hours"
+        )
+    from .resample import hourly_series  # local: resample imports this module
+
+    trace = generate_spot_trace(vm, seed_or_rng, params)
+    series = hourly_series(trace, 0.0, float(total_hours))
+    return series[:estimation_slots], series[estimation_slots:]

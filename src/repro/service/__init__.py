@@ -19,6 +19,7 @@ from .client import (
     ServiceClient,
     ServiceError,
     SubmitResult,
+    drrp_payload,
 )
 from .encoding import (
     BadRequest,
@@ -47,6 +48,7 @@ __all__ = [
     "ServiceError",
     "SubmitResult",
     "build_instance",
+    "drrp_payload",
     "normalize_request",
     "plan_payload",
     "request_digest",

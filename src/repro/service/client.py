@@ -23,7 +23,14 @@ import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
 
-__all__ = ["ServiceClient", "ServiceError", "Saturated", "SubmitResult", "ReplanPolicy"]
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "Saturated",
+    "SubmitResult",
+    "ReplanPolicy",
+    "drrp_payload",
+]
 
 
 class ServiceError(Exception):
@@ -182,6 +189,63 @@ DEFAULT_RATES = {
 }
 
 
+def drrp_payload(
+    demand,
+    compute_prices,
+    *,
+    phi: float = 0.5,
+    initial_storage: float = 0.0,
+    vm_name: str = "vm",
+    backend: str = "auto",
+    rates: dict | None = None,
+    costs: dict | None = None,
+    time_limit: float | None = None,
+    on_overload: str | None = None,
+) -> dict:
+    """Build one explicit DRRP submission payload.
+
+    The canonical spelling of the wire format every client-side planner
+    shares: ``demand`` and ``compute_prices`` are per-slot floats; the
+    four non-compute cost series come either from flat ``rates``
+    (:data:`DEFAULT_RATES` when omitted) broadcast over the window, or —
+    for aggregated multi-resolution windows whose holding rates vary per
+    block — as explicit per-slot lists via ``costs``
+    (``{"storage": [...], "io": [...], "transfer_in": [...],
+    "transfer_out": [...]}``, each entry optional).
+    """
+    demand = [float(x) for x in demand]
+    compute = [float(x) for x in compute_prices]
+    if len(compute) != len(demand):
+        raise ValueError("need a compute price for every demand slot")
+    flat = dict(DEFAULT_RATES if rates is None else rates)
+    explicit = costs or {}
+    series: dict = {"compute": compute}
+    for key in ("storage", "io", "transfer_in", "transfer_out"):
+        if key in explicit:
+            column = [float(x) for x in explicit[key]]
+            if len(column) != len(demand):
+                raise ValueError(f"costs[{key!r}] must have one entry per slot")
+        else:
+            column = [float(flat[key])] * len(demand)
+        series[key] = column
+    payload = {
+        "kind": "drrp",
+        "backend": backend,
+        "instance": {
+            "demand": demand,
+            "costs": series,
+            "phi": float(phi),
+            "initial_storage": float(initial_storage),
+            "vm_name": vm_name,
+        },
+    }
+    if time_limit is not None:
+        payload["time_limit"] = float(time_limit)
+    if on_overload is not None:
+        payload["on_overload"] = on_overload
+    return payload
+
+
 @dataclass
 class ReplanPolicy:
     """Rolling-horizon replanning session over the service (see module doc).
@@ -226,26 +290,16 @@ class ReplanPolicy:
         """The suffix instance submission for the current slot."""
         stop = min(self.t + self.lookahead, self.horizon)
         window = range(self.t, stop)
-        payload = {
-            "kind": "drrp",
-            "backend": self.backend,
-            "instance": {
-                "demand": [float(self.demand[i]) for i in window],
-                "costs": {
-                    "compute": [float(self.compute_prices[i]) for i in window],
-                    **{
-                        key: [float(self.rates[key])] * len(window)
-                        for key in ("storage", "io", "transfer_in", "transfer_out")
-                    },
-                },
-                "phi": self.phi,
-                "initial_storage": self.inventory,
-                "vm_name": self.vm_name,
-            },
-        }
-        if self.time_limit is not None:
-            payload["time_limit"] = self.time_limit
-        return payload
+        return drrp_payload(
+            [self.demand[i] for i in window],
+            [self.compute_prices[i] for i in window],
+            phi=self.phi,
+            initial_storage=self.inventory,
+            vm_name=self.vm_name,
+            backend=self.backend,
+            rates=self.rates,
+            time_limit=self.time_limit,
+        )
 
     def plan_slot(self, wait_s: float | None = None) -> SubmitResult:
         """Submit the current suffix instance and return the solved plan.

@@ -1,0 +1,178 @@
+"""Rolling-horizon window geometry: prediction/control/overlap + resolution.
+
+The closed-loop engine replans on a fixed cadence, the classic MPC split
+the PHOENAIX exemplar uses:
+
+* **prediction horizon** — how far ahead each replan optimizes;
+* **control horizon** — how many of the planned slots are *executed*
+  before the next replan (the rest is discarded);
+* **overlap** — ``prediction - control``, the lookahead beyond the
+  executed region that keeps end-of-window decisions from going myopic
+  (without it the planner drains all inventory at every window edge).
+
+On top of the cadence sits **multi-resolution blocking**: the near-term
+``fine`` region keeps single-slot resolution (those decisions may be
+executed), while the far-term remainder is aggregated into coarse blocks
+of ``coarse_block`` slots each.  A 168-slot prediction window with a
+24-slot fine region and 6-slot coarse blocks becomes a 48-variable DRRP
+instance instead of a 168-variable one — the far-term detail only steers
+the carry-over inventory, so coarsening it trades negligible plan quality
+for a large solve speedup.
+
+Aggregation semantics (exact time-aggregation of the lot-sizing model):
+for a block of ``k`` slots, demand is the block sum, the compute price is
+the sum over the block's slots (a rented "block instance" runs for all
+``k`` hours), and the per-GB holding rates scale by ``k`` (inventory held
+across the block is held for ``k`` hours); per-GB transfer rates are
+unchanged.  With ``coarse_block=1`` the aggregated instance *is* the
+fine instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.market.catalog import CostRates
+from repro.core.costs import CostSchedule
+
+__all__ = ["HorizonConfig", "build_blocks", "aggregate_window", "AggregatedWindow"]
+
+
+@dataclass(frozen=True)
+class HorizonConfig:
+    """Replanning cadence and window resolution (see module docstring)."""
+
+    prediction: int = 48     # slots each replan looks ahead
+    control: int = 24        # slots executed before the next replan
+    fine: int | None = None  # single-slot-resolution prefix; default = control
+    coarse_block: int = 4    # slots per far-term aggregate block
+
+    def __post_init__(self) -> None:
+        if self.control < 1:
+            raise ValueError("control horizon must be >= 1")
+        if self.prediction < self.control:
+            raise ValueError(
+                f"prediction horizon ({self.prediction}) must cover the "
+                f"control horizon ({self.control})"
+            )
+        if self.coarse_block < 1:
+            raise ValueError("coarse_block must be >= 1")
+        if self.fine is not None and not self.control <= self.fine <= self.prediction:
+            raise ValueError(
+                "fine region must span at least the control horizon and at "
+                f"most the prediction horizon, got {self.fine}"
+            )
+
+    @property
+    def fine_slots(self) -> int:
+        """Resolved fine-region length (defaults to the control horizon)."""
+        return self.control if self.fine is None else self.fine
+
+    @property
+    def overlap(self) -> int:
+        """Planned-but-discarded lookahead beyond the executed region."""
+        return self.prediction - self.control
+
+
+def build_blocks(window: int, cfg: HorizonConfig) -> list[tuple[int, int]]:
+    """Partition ``[0, window)`` into ``(start, length)`` resolution blocks.
+
+    The first ``min(fine_slots, window)`` slots become single-slot blocks;
+    the remainder is tiled with ``coarse_block``-slot aggregates (the last
+    one possibly shorter).  Blocks are contiguous, ordered, and cover the
+    window exactly.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    fine = min(cfg.fine_slots, window)
+    blocks = [(i, 1) for i in range(fine)]
+    start = fine
+    while start < window:
+        length = min(cfg.coarse_block, window - start)
+        blocks.append((start, length))
+        start += length
+    return blocks
+
+
+@dataclass(frozen=True)
+class AggregatedWindow:
+    """One replan window coarsened onto its resolution blocks.
+
+    All arrays have one entry per block.  ``blocks`` maps each aggregate
+    back to its ``(start, length)`` slot range in the window, so callers
+    can tell the executable fine prefix (length-1 blocks) from the
+    far-term aggregates.
+    """
+
+    blocks: tuple[tuple[int, int], ...]
+    demand: np.ndarray        # block demand sums (GB)
+    compute: np.ndarray       # block rental prices (sum of slot prices)
+    storage: np.ndarray       # per-GB holding across the block
+    io: np.ndarray
+    transfer_in: np.ndarray   # per-GB, resolution-independent
+    transfer_out: np.ndarray
+
+    @property
+    def n_fine(self) -> int:
+        """Length of the single-slot prefix (decisions that may execute)."""
+        n = 0
+        for _, length in self.blocks:
+            if length != 1:
+                break
+            n += 1
+        return n
+
+    def cost_schedule(self) -> CostSchedule:
+        """The aggregated instance's costs for the in-process planners."""
+        return CostSchedule(
+            compute=self.compute, storage=self.storage, io=self.io,
+            transfer_in=self.transfer_in, transfer_out=self.transfer_out,
+        )
+
+    def payload_costs(self) -> dict[str, list[float]]:
+        """The same costs as explicit JSON lists for service submissions."""
+        return {
+            "compute": [float(x) for x in self.compute],
+            "storage": [float(x) for x in self.storage],
+            "io": [float(x) for x in self.io],
+            "transfer_in": [float(x) for x in self.transfer_in],
+            "transfer_out": [float(x) for x in self.transfer_out],
+        }
+
+
+def aggregate_window(
+    demand: np.ndarray,
+    compute_prices: np.ndarray,
+    blocks: list[tuple[int, int]],
+    rates: CostRates | None = None,
+) -> AggregatedWindow:
+    """Coarsen one replan window onto ``blocks`` (see module docstring)."""
+    demand = np.asarray(demand, dtype=float)
+    compute_prices = np.asarray(compute_prices, dtype=float)
+    if compute_prices.shape != demand.shape:
+        raise ValueError("need one compute price per window slot")
+    covered = sum(length for _, length in blocks)
+    if covered != demand.shape[0]:
+        raise ValueError(
+            f"blocks cover {covered} slots but the window has {demand.shape[0]}"
+        )
+    rates = rates or CostRates()
+    n = len(blocks)
+    agg_demand = np.empty(n)
+    agg_compute = np.empty(n)
+    lengths = np.empty(n)
+    for b, (start, length) in enumerate(blocks):
+        agg_demand[b] = demand[start : start + length].sum()
+        agg_compute[b] = compute_prices[start : start + length].sum()
+        lengths[b] = length
+    return AggregatedWindow(
+        blocks=tuple(blocks),
+        demand=agg_demand,
+        compute=agg_compute,
+        storage=rates.storage_per_gb_hour * lengths,
+        io=rates.io_per_gb * lengths,
+        transfer_in=np.full(n, rates.transfer_in_per_gb),
+        transfer_out=np.full(n, rates.transfer_out_per_gb),
+    )

@@ -1,0 +1,254 @@
+"""Rolling-window policies for the closed-loop engine.
+
+:class:`RollingHorizonPolicy` grows the per-slot policies of
+:mod:`repro.core.rolling` into real MPC: it replans only at control
+boundaries (every :attr:`HorizonConfig.control` slots), holds the solved
+window plan in between, and reconciles the plan against *realized*
+inventory each slot exactly the way :class:`~repro.core.rolling.OraclePolicy`
+does — so an out-of-bid interruption or a forced top-up perturbs one slot,
+not the rest of the window.
+
+Two concrete planners share that skeleton:
+
+* :class:`RollingDRRPPolicy` — solves the aggregated window DRRP
+  in process (:func:`repro.core.solve_drrp`);
+* :class:`ServiceDRRPPolicy` — routes every replan through a live
+  planning server (:mod:`repro.service`), with explicit handling for
+  backpressure: bounded retries on 429/503 ``Saturated`` responses, a
+  local Wagner-Whitin-grade fallback when the server stays saturated, and
+  accounting for degraded plans returned under ``on_overload: "degrade"``.
+  Because submissions are content-addressed, replaying the same campaign
+  against the same server is a pure plan-cache workout.
+
+Both planners see the exact same aggregated instances, and the JSON round
+trip through the service is float-exact — a service-routed campaign's
+realized cost must equal the in-process one bit for bit, which the bench
+asserts as its cache-correctness check.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.drrp import DRRPInstance, solve_drrp
+from repro.core.rolling import Policy, SimulationContext, SlotDecision
+from repro.market.auction import BidStrategy
+from repro.obs.spans import span
+
+from .horizon import HorizonConfig, aggregate_window, build_blocks
+
+__all__ = ["RollingHorizonPolicy", "RollingDRRPPolicy", "ServiceDRRPPolicy"]
+
+
+class RollingHorizonPolicy(Policy):
+    """Replan-at-control-boundary base class (see module docstring).
+
+    Subclasses implement :meth:`_solve_window`, returning the aggregated
+    plan's ``(alpha, beta, chi)`` arrays (one entry per block).  Only the
+    fine single-slot prefix of the plan is ever executed; the coarse tail
+    exists to keep the window-edge inventory decisions non-myopic.
+    """
+
+    def __init__(
+        self,
+        bid_strategy: BidStrategy,
+        horizon: HorizonConfig | None = None,
+        backend: str = "auto",
+        name: str | None = None,
+        telemetry=None,
+    ) -> None:
+        self.bid_strategy = bid_strategy
+        self.horizon = horizon or HorizonConfig()
+        self.backend = backend
+        self.name = name or f"rolling-{bid_strategy.name}"
+        self.telemetry = telemetry
+        self._clear()
+
+    def _clear(self) -> None:
+        self._alpha: np.ndarray | None = None
+        self._chi: np.ndarray | None = None
+        self._bids: np.ndarray | None = None
+        self._entry_inventory: np.ndarray | None = None
+        self._offset = 0
+        self.replans = 0
+        self.replan_latencies: list[float] = []
+
+    # -- Policy interface ---------------------------------------------------
+
+    def reset(self, ctx: SimulationContext) -> None:
+        self._clear()
+
+    def decide(self, ctx: SimulationContext) -> SlotDecision:
+        if self._alpha is None or self._offset >= self._alpha.shape[0]:
+            self._replan(ctx)
+        k = self._offset
+        # Reconcile planned vs realized inventory (the OraclePolicy rule):
+        # restoring the planned end-of-slot inventory keeps the rest of the
+        # window plan feasible whatever diverged since the last replan.
+        deficit = float(self._entry_inventory[k]) - ctx.inventory
+        gen = max(float(self._alpha[k]) + deficit, 0.0)
+        rent = gen > 1e-12 or bool(self._chi[k])
+        self._offset += 1
+        return SlotDecision(generate=gen, rent=rent, bid=float(self._bids[k]))
+
+    # -- replanning ---------------------------------------------------------
+
+    def _replan(self, ctx: SimulationContext) -> None:
+        cfg = self.horizon
+        window_demand = ctx.remaining_demand(cfg.prediction)
+        L = window_demand.shape[0]
+        bids = np.asarray(
+            self.bid_strategy.bids(ctx.price_view(), L, t=ctx.t), dtype=float
+        )
+        blocks = build_blocks(L, cfg)
+        agg = aggregate_window(window_demand, bids, blocks, ctx.rates)
+        t0 = time.perf_counter()
+        with span(
+            self.telemetry, f"replan[{self.name}]",
+            slot=ctx.t, window=L, blocks=len(blocks),
+        ):
+            alpha, beta, chi = self._solve_window(ctx, agg)
+        self.replan_latencies.append(time.perf_counter() - t0)
+        self.replans += 1
+        # Executable region: the first `control` fine blocks (fewer at the
+        # tail of the campaign, when the window is shorter than the cadence).
+        n_exec = max(min(cfg.control, agg.n_fine), 1)
+        self._alpha = np.asarray(alpha, dtype=float)[:n_exec]
+        self._chi = np.asarray(chi, dtype=float)[:n_exec] > 0.5
+        self._bids = bids[:n_exec]
+        self._entry_inventory = np.concatenate(
+            [[ctx.inventory], np.asarray(beta, dtype=float)[: n_exec - 1]]
+        )
+        self._offset = 0
+
+    def _solve_window(self, ctx: SimulationContext, agg) -> tuple:
+        raise NotImplementedError
+
+
+class RollingDRRPPolicy(RollingHorizonPolicy):
+    """Rolling-horizon DRRP solved in process over the aggregated window."""
+
+    def __init__(
+        self,
+        bid_strategy: BidStrategy,
+        horizon: HorizonConfig | None = None,
+        backend: str = "auto",
+        name: str | None = None,
+        telemetry=None,
+    ) -> None:
+        super().__init__(
+            bid_strategy, horizon, backend,
+            name or "rolling-drrp", telemetry,
+        )
+
+    def _solve_window(self, ctx: SimulationContext, agg) -> tuple:
+        inst = DRRPInstance(
+            demand=agg.demand,
+            costs=agg.cost_schedule(),
+            phi=ctx.rates.input_output_ratio,
+            initial_storage=ctx.inventory,
+            vm_name=ctx.vm.name,
+        )
+        # Mirror the service executor's solve call exactly (no warm start,
+        # no budget) so the two routes return identical plans.
+        plan = solve_drrp(inst, backend=self.backend, listener=self.telemetry)
+        return plan.alpha, plan.beta, plan.chi
+
+
+class ServiceDRRPPolicy(RollingHorizonPolicy):
+    """Rolling-horizon DRRP with every replan routed over a live server.
+
+    Backpressure handling: ``Saturated`` (429/503) submissions are retried
+    up to ``max_retries`` times, sleeping ``min(Retry-After, retry_cap_s)``
+    between attempts; if the server stays saturated the window is solved
+    locally instead (counted in :attr:`local_fallbacks`) so the campaign
+    never stalls.  With ``on_overload="degrade"`` the server answers
+    saturation with an inline polynomial-time plan instead of a 429; those
+    land in :attr:`degraded_plans`.
+    """
+
+    def __init__(
+        self,
+        bid_strategy: BidStrategy,
+        client,
+        horizon: HorizonConfig | None = None,
+        backend: str = "auto",
+        name: str | None = None,
+        telemetry=None,
+        wait_s: float | None = 60.0,
+        time_limit: float | None = None,
+        on_overload: str | None = None,
+        max_retries: int = 3,
+        retry_cap_s: float = 0.05,
+    ) -> None:
+        super().__init__(
+            bid_strategy, horizon, backend,
+            name or "rolling-drrp-service", telemetry,
+        )
+        self.client = client
+        self.wait_s = wait_s
+        self.time_limit = time_limit
+        self.on_overload = on_overload
+        self.max_retries = max_retries
+        self.retry_cap_s = retry_cap_s
+        self._clear_service_stats()
+
+    def _clear_service_stats(self) -> None:
+        self.requests = 0
+        self.cache_hits = 0
+        self.degraded_plans = 0
+        self.saturated_retries = 0
+        self.local_fallbacks = 0
+
+    def reset(self, ctx: SimulationContext) -> None:
+        super().reset(ctx)
+        self._clear_service_stats()
+
+    def _solve_window(self, ctx: SimulationContext, agg) -> tuple:
+        from repro.service.client import Saturated, drrp_payload
+
+        payload = drrp_payload(
+            agg.demand,
+            agg.compute,
+            phi=ctx.rates.input_output_ratio,
+            initial_storage=ctx.inventory,
+            vm_name=ctx.vm.name,
+            backend=self.backend,
+            costs=agg.payload_costs(),
+            time_limit=self.time_limit,
+            on_overload=self.on_overload,
+        )
+        for attempt in range(self.max_retries + 1):
+            try:
+                self.requests += 1
+                result = self.client.solve(payload, wait_s=self.wait_s)
+            except Saturated as exc:
+                if attempt >= self.max_retries:
+                    break
+                self.saturated_retries += 1
+                time.sleep(min(max(exc.retry_after, 0.0), self.retry_cap_s))
+                continue
+            if result.hit:
+                self.cache_hits += 1
+            if result.degraded:
+                self.degraded_plans += 1
+            plan = result.plan
+            return (
+                np.asarray(plan["alpha"], dtype=float),
+                np.asarray(plan["beta"], dtype=float),
+                np.asarray(plan["chi"], dtype=float),
+            )
+        # Server saturated beyond the retry budget: degrade to a local
+        # solve of the same aggregated window so the loop keeps control.
+        self.local_fallbacks += 1
+        inst = DRRPInstance(
+            demand=agg.demand,
+            costs=agg.cost_schedule(),
+            phi=ctx.rates.input_output_ratio,
+            initial_storage=ctx.inventory,
+            vm_name=ctx.vm.name,
+        )
+        plan = solve_drrp(inst, backend=self.backend)
+        return plan.alpha, plan.beta, plan.chi

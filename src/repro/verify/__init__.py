@@ -25,6 +25,8 @@ from .certify import (
     certify_result,
     certify_srrp_plan,
     exact_dual_bound,
+    frac,
+    frac_sum,
 )
 from .fuzz import SMOKE_CASES, FuzzConfig, FuzzReport, run_fuzz, run_fuzz_parallel
 from .generators import FAMILIES, GeneratedCase
@@ -39,6 +41,8 @@ __all__ = [
     "certify_drrp_plan",
     "certify_srrp_plan",
     "exact_dual_bound",
+    "frac",
+    "frac_sum",
     "audit_bb_events",
     "audit_benders_cuts",
     "all_passed",

@@ -51,6 +51,8 @@ __all__ = [
     "exact_dual_bound",
     "certify_drrp_plan",
     "certify_srrp_plan",
+    "frac",
+    "frac_sum",
 ]
 
 
@@ -61,6 +63,29 @@ def _F(x) -> Fraction:
 
 def _fvec(a) -> list[Fraction]:
     return [_F(v) for v in np.asarray(a, dtype=float)]
+
+
+def frac(x) -> Fraction:
+    """Exact rational from one float — the public spelling of :func:`_F`.
+
+    Floats are binary rationals, so the conversion is lossless; summing
+    ``frac`` values is exact where float accumulation drifts with order.
+    """
+    return _F(x)
+
+
+def frac_sum(values) -> Fraction:
+    """Exact rational sum of a float iterable (order-independent).
+
+    Used by the rolling-horizon simulator's cost accounting: totals
+    reported as ``float(frac_sum(per_slot))`` can be re-derived exactly by
+    any checker from the per-slot records, with no accumulation-order
+    tolerance.
+    """
+    total = Fraction(0)
+    for v in values:
+        total += _F(v)
+    return total
 
 
 @dataclass

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import (
     DeterministicPolicy,
@@ -12,7 +14,8 @@ from repro.core import (
     StochasticPolicy,
     simulate_policy,
 )
-from repro.market import FixedBids, MeanBids, ec2_catalog
+from repro.core.rolling import SimulationContext
+from repro.market import BidStrategy, CostRates, FixedBids, MeanBids, ec2_catalog
 from repro.stats import EmpiricalDistribution
 
 
@@ -139,6 +142,97 @@ class TestPolicies:
         assert DeterministicPolicy(MeanBids()).name == "det-exp-mean"
         assert StochasticPolicy(MeanBids()).name == "sto-exp-mean"
         assert OraclePolicy(np.zeros(1)).name == "oracle"
+
+
+class _RecordingBids(BidStrategy):
+    """Constant bids that record every price history they were shown."""
+
+    name = "recording"
+
+    def __init__(self):
+        self.seen = []
+
+    def bids(self, history, length, t=0):
+        self.seen.append((t, np.array(history, copy=True)))
+        return np.full(length, 10.0)
+
+
+class TestContextVisibility:
+    def _ctx(self):
+        return SimulationContext(
+            vm=VM, rates=CostRates(), demand=np.ones(3), base_distribution=None
+        )
+
+    def test_current_spot_on_empty_history_raises(self):
+        # Regression: used to IndexError on spot_history[-1] inside reset().
+        ctx = self._ctx()
+        with pytest.raises(ValueError, match="no spot price"):
+            ctx.current_spot
+
+    def test_price_view_on_empty_history_raises(self):
+        with pytest.raises(ValueError, match="no spot price"):
+            self._ctx().price_view()
+
+    def test_price_view_is_full_history(self):
+        ctx = self._ctx()
+        ctx.spot_history = np.array([0.05, 0.06, 0.07])
+        np.testing.assert_array_equal(ctx.price_view(), ctx.spot_history)
+        assert ctx.current_spot == 0.07
+
+    @given(
+        h=st.integers(1, 8),
+        prefix_len=st.integers(0, 16),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_policies_see_exactly_published_prices(self, h, prefix_len, seed):
+        """Property: every bids() call sees prefix + realized[: t+1], never
+        a slot beyond the current one and never a truncated view."""
+        rng = np.random.default_rng(seed)
+        prefix = rng.uniform(0.04, 0.09, prefix_len)
+        realized = rng.uniform(0.04, 0.09, h)
+        demand = rng.uniform(0.1, 0.5, h)
+        strat = _RecordingBids()
+        simulate_policy(
+            NoPlanPolicy(strat), realized, demand, VM, price_history=prefix
+        )
+        assert [t for t, _ in strat.seen] == list(range(h))
+        for t, seen in strat.seen:
+            assert seen.shape[0] == prefix_len + t + 1
+            np.testing.assert_array_equal(seen[:prefix_len], prefix)
+            np.testing.assert_array_equal(seen[prefix_len:], realized[: t + 1])
+
+
+class TestOracleReconciliation:
+    def test_decide_restores_planned_inventory(self, setting):
+        history, realized, demand = setting
+        ctx = SimulationContext(
+            vm=VM, rates=CostRates(), demand=demand, base_distribution=None
+        )
+        pol = OraclePolicy(realized)
+        pol.reset(ctx)
+        plan = pol._plan
+        ctx.t = 1
+        ctx.spot_history = np.concatenate([history, realized[:2]])
+        planned_entry = float(pol._entry_inventory[1])
+        # Simulate divergence: the realized inventory fell below the plan's.
+        ctx.inventory = max(planned_entry - 0.05, 0.0)
+        d = pol.decide(ctx)
+        deficit = planned_entry - ctx.inventory
+        assert d.generate == pytest.approx(max(float(plan.alpha[1]) + deficit, 0.0))
+        # End-of-slot inventory lands back on the planned beta[1].
+        assert ctx.inventory + d.generate - float(demand[1]) == pytest.approx(
+            float(plan.beta[1]), abs=1e-9
+        )
+
+    def test_oracle_survives_interruption_losses(self, setting):
+        history, realized, demand = setting
+        res = simulate_policy(
+            OraclePolicy(realized), realized, demand, VM,
+            price_history=history, interruption_loss=0.5,
+        )
+        assert res.forced_topups == 0
+        assert np.all(res.inventory >= -1e-9)
 
 
 class TestPlannerFacade:

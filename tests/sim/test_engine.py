@@ -1,0 +1,129 @@
+"""Campaign engine tests: scoring, reproducibility, exact accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import simulate_policy
+from repro.market import MeanBids
+from repro.sim import (
+    CampaignConfig,
+    HorizonConfig,
+    RollingDRRPPolicy,
+    build_inputs,
+    make_policy,
+    run_campaign,
+)
+from repro.verify import frac, frac_sum
+
+CONFIG = CampaignConfig(
+    slots=48,
+    estimation_slots=240,
+    horizon=HorizonConfig(prediction=24, control=12, coarse_block=4),
+)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(CONFIG)
+
+
+class TestRunCampaign:
+    def test_roster_and_ratios(self, campaign):
+        assert set(campaign.outcomes) == set(CONFIG.policies)
+        assert campaign.ratios["oracle"] == pytest.approx(1.0)
+        # nothing beats the clairvoyant, and planning beats not planning
+        for name, ratio in campaign.ratios.items():
+            assert ratio >= 1.0 - 1e-9, name
+        assert campaign.ratios["no-plan"] > campaign.ratios["rolling-drrp"]
+
+    def test_replan_telemetry_recorded(self, campaign):
+        rolling = campaign.outcomes["rolling-drrp"]
+        assert rolling.replans == 4  # 48 slots / control 12
+        assert len(rolling.replan_latencies) == 4
+        assert rolling.latency_quantile(0.5) > 0
+        snap = campaign.registry.snapshot()
+        assert snap["sim_replans_total"]["value"] == 4
+        assert snap["sim_replan_s"]["count"] == 4
+
+    def test_manifest_replays_bit_for_bit(self, campaign):
+        again = run_campaign(CONFIG)
+        assert campaign.manifest.result_digest == again.manifest.result_digest
+        assert campaign.manifest.replays(again.manifest)
+
+    def test_summary_lines_render(self, campaign):
+        lines = campaign.summary_lines()
+        assert len(lines) == 1 + len(CONFIG.policies)
+        assert "oracle" in lines[0]
+
+    def test_interruption_loss_charges_more(self):
+        lossy = run_campaign(
+            CampaignConfig(
+                slots=24, estimation_slots=240, interruption_loss=0.5,
+                horizon=HorizonConfig(prediction=12, control=6, coarse_block=3),
+                policies=("oracle", "rolling-drrp"),
+            )
+        )
+        assert lossy.outcomes["rolling-drrp"].result.lost_gb >= 0.0
+
+
+class TestValidation:
+    def test_unknown_vm_rejected(self):
+        with pytest.raises(ValueError):
+            build_inputs(CampaignConfig(vm="t2.micro"))
+
+    def test_unknown_policy_rejected(self):
+        inputs = build_inputs(CONFIG)
+        with pytest.raises(ValueError):
+            make_policy("does-not-exist", inputs, CONFIG)
+
+    def test_service_policy_needs_url(self):
+        inputs = build_inputs(CONFIG)
+        with pytest.raises(ValueError):
+            make_policy("rolling-drrp-service", inputs, CONFIG, service_url=None)
+
+    def test_empty_roster_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(policies=())
+
+
+class TestExactAccounting:
+    def test_cost_identity_holds_exactly(self, campaign):
+        """Totals re-derive from the per-slot arrays with ZERO tolerance."""
+        inputs = build_inputs(CONFIG)
+        # transfer-out, recomputed the way the simulator defines it
+        tout = frac(inputs.rates.transfer_out_per_gb) * frac_sum(inputs.demand)
+        for name, out in campaign.outcomes.items():
+            res = out.result
+            total = (
+                frac_sum(res.paid_prices)
+                + frac_sum(res.holding_costs)
+                + frac_sum(res.transfer_in_costs)
+                + tout
+            )
+            assert float(total) == res.total_cost, name
+            assert float(tout) == res.transfer_out_cost, name
+            assert float(frac_sum(res.paid_prices)) == res.compute_cost, name
+            assert float(frac_sum(res.holding_costs)) == res.inventory_cost, name
+            assert float(frac_sum(res.transfer_in_costs)) == res.transfer_in_cost, name
+
+
+class TestNonanticipativity:
+    def test_future_prices_cannot_change_past_decisions(self):
+        """Perturbing realized prices from slot k on leaves decisions < k
+        untouched — the closed loop never conditions on the future."""
+        inputs = build_inputs(CONFIG)
+        k = 13  # strictly after the second replan boundary (slot 12)
+        perturbed = inputs.realized.copy()
+        perturbed[k:] *= 1.7
+
+        def run(realized):
+            policy = RollingDRRPPolicy(MeanBids(), horizon=CONFIG.horizon)
+            return simulate_policy(
+                policy, realized, inputs.demand, inputs.vm,
+                rates=inputs.rates, price_history=inputs.history,
+            )
+
+        base, shifted = run(inputs.realized), run(perturbed)
+        np.testing.assert_array_equal(base.generated[:k], shifted.generated[:k])
+        np.testing.assert_array_equal(base.inventory[:k], shifted.inventory[:k])
+        np.testing.assert_array_equal(base.paid_prices[:k], shifted.paid_prices[:k])

@@ -1,0 +1,135 @@
+"""Window geometry and multi-resolution aggregation tests."""
+
+import numpy as np
+import pytest
+
+from repro.market import CostRates
+from repro.sim import AggregatedWindow, HorizonConfig, aggregate_window, build_blocks
+
+
+class TestHorizonConfig:
+    def test_defaults(self):
+        cfg = HorizonConfig()
+        assert cfg.prediction == 48 and cfg.control == 24
+        assert cfg.fine_slots == cfg.control  # fine defaults to control
+        assert cfg.overlap == 24
+
+    def test_explicit_fine_region(self):
+        cfg = HorizonConfig(prediction=48, control=12, fine=24)
+        assert cfg.fine_slots == 24
+        assert cfg.overlap == 36
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"control": 0},
+            {"prediction": 10, "control": 12},
+            {"coarse_block": 0},
+            {"prediction": 48, "control": 24, "fine": 12},   # fine < control
+            {"prediction": 48, "control": 24, "fine": 60},   # fine > prediction
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            HorizonConfig(**kwargs)
+
+
+class TestBuildBlocks:
+    def test_blocks_cover_window_exactly(self):
+        cfg = HorizonConfig(prediction=48, control=24, coarse_block=5)
+        for window in (1, 7, 24, 25, 29, 48):
+            blocks = build_blocks(window, cfg)
+            # contiguous, ordered, exact coverage
+            pos = 0
+            for start, length in blocks:
+                assert start == pos and length >= 1
+                pos += length
+            assert pos == window
+
+    def test_fine_prefix_then_coarse_tiles(self):
+        cfg = HorizonConfig(prediction=48, control=24, coarse_block=4)
+        blocks = build_blocks(48, cfg)
+        assert blocks[:24] == [(i, 1) for i in range(24)]
+        assert all(length == 4 for _, length in blocks[24:])
+
+    def test_short_window_is_all_fine(self):
+        cfg = HorizonConfig(prediction=48, control=24, coarse_block=4)
+        blocks = build_blocks(10, cfg)
+        assert blocks == [(i, 1) for i in range(10)]
+
+    def test_ragged_tail_block(self):
+        cfg = HorizonConfig(prediction=48, control=4, coarse_block=4)
+        blocks = build_blocks(11, cfg)
+        assert blocks == [(0, 1), (1, 1), (2, 1), (3, 1), (4, 4), (8, 3)]
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            build_blocks(0, HorizonConfig())
+
+
+class TestAggregateWindow:
+    def setup_method(self):
+        rng = np.random.default_rng(7)
+        self.demand = rng.uniform(0.1, 0.8, 20)
+        self.prices = rng.uniform(0.04, 0.09, 20)
+        self.rates = CostRates()
+
+    def test_totals_preserved(self):
+        cfg = HorizonConfig(prediction=20, control=6, coarse_block=4)
+        agg = aggregate_window(
+            self.demand, self.prices, build_blocks(20, cfg), self.rates
+        )
+        assert agg.demand.sum() == pytest.approx(self.demand.sum())
+        assert agg.compute.sum() == pytest.approx(self.prices.sum())
+
+    def test_holding_rates_scale_with_block_length(self):
+        cfg = HorizonConfig(prediction=20, control=6, coarse_block=4)
+        blocks = build_blocks(20, cfg)
+        agg = aggregate_window(self.demand, self.prices, blocks, self.rates)
+        for b, (_, length) in enumerate(blocks):
+            assert agg.storage[b] == pytest.approx(
+                self.rates.storage_per_gb_hour * length
+            )
+            assert agg.io[b] == pytest.approx(self.rates.io_per_gb * length)
+            # per-GB transfer rates are resolution-independent
+            assert agg.transfer_in[b] == self.rates.transfer_in_per_gb
+            assert agg.transfer_out[b] == self.rates.transfer_out_per_gb
+
+    def test_unit_blocks_are_identity(self):
+        cfg = HorizonConfig(prediction=20, control=20, coarse_block=1)
+        agg = aggregate_window(
+            self.demand, self.prices, build_blocks(20, cfg), self.rates
+        )
+        assert agg.n_fine == 20
+        np.testing.assert_allclose(agg.demand, self.demand)
+        np.testing.assert_allclose(agg.compute, self.prices)
+        np.testing.assert_allclose(
+            agg.storage, np.full(20, self.rates.storage_per_gb_hour)
+        )
+
+    def test_n_fine_counts_unit_prefix(self):
+        cfg = HorizonConfig(prediction=20, control=6, coarse_block=4)
+        agg = aggregate_window(
+            self.demand, self.prices, build_blocks(20, cfg), self.rates
+        )
+        assert agg.n_fine == 6
+
+    def test_shape_mismatches_rejected(self):
+        cfg = HorizonConfig(prediction=20, control=6, coarse_block=4)
+        blocks = build_blocks(20, cfg)
+        with pytest.raises(ValueError):
+            aggregate_window(self.demand, self.prices[:-1], blocks, self.rates)
+        with pytest.raises(ValueError):
+            aggregate_window(self.demand[:15], self.prices[:15], blocks, self.rates)
+
+    def test_cost_schedule_and_payload_agree(self):
+        cfg = HorizonConfig(prediction=20, control=6, coarse_block=4)
+        agg = aggregate_window(
+            self.demand, self.prices, build_blocks(20, cfg), self.rates
+        )
+        assert isinstance(agg, AggregatedWindow)
+        sched = agg.cost_schedule()
+        payload = agg.payload_costs()
+        np.testing.assert_allclose(sched.compute, payload["compute"])
+        np.testing.assert_allclose(sched.storage, payload["storage"])
+        np.testing.assert_allclose(sched.transfer_in, payload["transfer_in"])

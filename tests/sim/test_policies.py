@@ -1,0 +1,118 @@
+"""Rolling MPC policy tests: cadence, reconciliation, price visibility."""
+
+import numpy as np
+import pytest
+
+from repro.core import simulate_policy
+from repro.market import BidStrategy, FixedBids, MeanBids, ec2_catalog
+from repro.sim import HorizonConfig, RollingDRRPPolicy
+
+VM = ec2_catalog()["c1.medium"]
+HORIZON = HorizonConfig(prediction=12, control=6, coarse_block=3)
+
+
+class RecordingBids(BidStrategy):
+    """MeanBids that also records every price history it was shown."""
+
+    name = "recording"
+
+    def __init__(self):
+        self.inner = MeanBids()
+        self.seen = []
+
+    def bids(self, history, length, t=0):
+        self.seen.append((t, np.array(history, copy=True)))
+        return self.inner.bids(history, length, t=t)
+
+
+@pytest.fixture(scope="module")
+def setting():
+    rng = np.random.default_rng(3)
+    history = rng.normal(0.06, 0.004, 300).clip(0.04, 0.09)
+    realized = rng.normal(0.06, 0.006, 24).clip(0.04, 0.09)
+    demand = rng.uniform(0.2, 0.6, 24)
+    return history, realized, demand
+
+
+class TestReplanCadence:
+    def test_replans_every_control_interval(self, setting):
+        history, realized, demand = setting
+        policy = RollingDRRPPolicy(MeanBids(), horizon=HORIZON)
+        simulate_policy(policy, realized, demand, VM, price_history=history)
+        assert policy.replans == 4  # 24 slots / control 6
+        assert len(policy.replan_latencies) == 4
+
+    def test_ragged_tail_window(self, setting):
+        history, realized, demand = setting
+        policy = RollingDRRPPolicy(MeanBids(), horizon=HORIZON)
+        simulate_policy(policy, realized[:20], demand[:20], VM, price_history=history)
+        assert policy.replans == 4  # 6 + 6 + 6 + 2
+
+    def test_reset_clears_state(self, setting):
+        history, realized, demand = setting
+        policy = RollingDRRPPolicy(MeanBids(), horizon=HORIZON)
+        first = simulate_policy(policy, realized, demand, VM, price_history=history)
+        second = simulate_policy(policy, realized, demand, VM, price_history=history)
+        assert policy.replans == 4  # not 8: reset() wiped the first run
+        assert first.total_cost == second.total_cost
+        np.testing.assert_array_equal(first.generated, second.generated)
+
+
+class TestFeasibilityInvariants:
+    def test_demand_met_without_forced_topups(self, setting):
+        history, realized, demand = setting
+        policy = RollingDRRPPolicy(MeanBids(), horizon=HORIZON)
+        res = simulate_policy(policy, realized, demand, VM, price_history=history)
+        assert res.forced_topups == 0
+        assert np.all(res.inventory >= -1e-9)
+        # cumulative generation always covers cumulative demand
+        assert np.all(np.cumsum(res.generated) >= np.cumsum(demand) - 1e-9)
+
+    def test_reconciliation_absorbs_interruptions(self, setting):
+        history, realized, demand = setting
+        # A deliberately losing bid: frequent out-of-bid events with real
+        # work lost — the plan/realized inventories diverge every window.
+        policy = RollingDRRPPolicy(FixedBids(value=0.055), horizon=HORIZON)
+        res = simulate_policy(
+            policy, realized, demand, VM,
+            price_history=history, interruption_loss=0.5,
+        )
+        assert res.out_of_bid_events > 0
+        assert res.forced_topups == 0  # reconciliation kept the plan feasible
+        assert np.all(res.inventory >= -1e-9)
+
+    def test_fine_resolution_matches_coarse_totals(self, setting):
+        """coarse_block=1 must behave like a fully fine-grained replan."""
+        history, realized, demand = setting
+        fine = RollingDRRPPolicy(
+            MeanBids(), horizon=HorizonConfig(prediction=12, control=6, coarse_block=1)
+        )
+        res = simulate_policy(fine, realized, demand, VM, price_history=history)
+        assert res.forced_topups == 0
+        assert res.generated.sum() == pytest.approx(demand.sum(), rel=1e-6)
+
+
+class TestPriceVisibility:
+    def test_replans_see_exactly_published_prices(self, setting):
+        """Every replan's history ends at the current slot's price.
+
+        The regression behind ``SimulationContext.price_view``: a stale
+        ``spot_history[:-1]`` slice hid the published current price, and a
+        longer slice would leak the future.
+        """
+        history, realized, demand = setting
+        strat = RecordingBids()
+        policy = RollingDRRPPolicy(strat, horizon=HORIZON)
+        simulate_policy(policy, realized, demand, VM, price_history=history)
+        assert [t for t, _ in strat.seen] == [0, 6, 12, 18]
+        for t, seen in strat.seen:
+            assert seen.shape[0] == history.shape[0] + t + 1
+            np.testing.assert_array_equal(seen[: history.shape[0]], history)
+            np.testing.assert_array_equal(seen[history.shape[0]:], realized[: t + 1])
+
+    def test_policy_name_defaults(self):
+        assert RollingDRRPPolicy(MeanBids()).name == "rolling-drrp"
+        assert RollingDRRPPolicy(MeanBids(), name="x").name == "x"
+        from repro.sim import RollingHorizonPolicy
+
+        assert RollingHorizonPolicy(MeanBids()).name == "rolling-exp-mean"
