@@ -164,7 +164,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument(
         "--policies", default="oracle,no-plan,rolling-drrp",
         help="comma-separated campaign roster (oracle, no-plan, on-demand, "
-             "rolling-drrp, rolling-drrp-service)",
+             "rolling-drrp, rolling-drrp-service, bid-fixed, bid-od-index, "
+             "bid-percentile, bid-rebid)",
+    )
+    p_sim.add_argument(
+        "--bid-policy", default=None, metavar="KIND",
+        choices=("fixed", "od-index", "percentile", "rebid"),
+        help="add a bid-reactive planner (repro.market.policy) to the roster: "
+             "fixed, od-index, percentile, or rebid",
+    )
+    p_sim.add_argument(
+        "--bid", type=float, default=None, metavar="VALUE",
+        help="parameter for the bid policies: the bid in $/h (fixed), the "
+             "on-demand fraction (od-index), or the availability target "
+             "(percentile, rebid)",
     )
     p_sim.add_argument("--service", default=None, metavar="URL",
                        help="route rolling-drrp-service replans to this server")
@@ -588,6 +601,8 @@ def _cmd_simulate_campaign(args) -> int:
     policies = tuple(p.strip() for p in args.policies.split(",") if p.strip())
     if args.with_service and "rolling-drrp-service" not in policies:
         policies = policies + ("rolling-drrp-service",)
+    if args.bid_policy and f"bid-{args.bid_policy}" not in policies:
+        policies = policies + (f"bid-{args.bid_policy}",)
     try:
         config = CampaignConfig(
             vm=args.vm,
@@ -604,6 +619,7 @@ def _cmd_simulate_campaign(args) -> int:
             interruption_loss=args.interruption_loss,
             lookahead=args.lookahead,
             policies=policies,
+            bid_value=args.bid,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

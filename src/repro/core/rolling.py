@@ -333,6 +333,7 @@ class SimulationResult:
     lost_gb: float = 0.0
     holding_costs: np.ndarray | None = None       # per-slot (Cs+Cio)·β_t
     transfer_in_costs: np.ndarray | None = None   # per-slot C+f·Φ·(α_t + lost_t)
+    out_of_bid: np.ndarray | None = None          # per-slot eviction marker (bool)
 
     def cost_shares(self) -> dict[str, float]:
         total = self.total_cost or 1.0
@@ -395,6 +396,7 @@ def simulate_policy(
     paid = np.zeros(H)
     holding_costs = np.zeros(H)
     tin_costs = np.zeros(H)
+    oob_mask = np.zeros(H, dtype=bool)
 
     prefix = np.zeros(0) if price_history is None else np.asarray(price_history, dtype=float)
 
@@ -421,6 +423,7 @@ def simulate_policy(
                 price = effective_hourly_price(d.bid, float(realized_spot[t]), vm.on_demand_price)
                 if is_out_of_bid(d.bid, float(realized_spot[t])):
                     oob += 1
+                    oob_mask[t] = True
                     lost_here = interruption_loss * gen
             paid[t] = price
         lost += lost_here
@@ -462,4 +465,5 @@ def simulate_policy(
         lost_gb=lost,
         holding_costs=holding_costs,
         transfer_in_costs=tin_costs,
+        out_of_bid=oob_mask,
     )

@@ -1,0 +1,301 @@
+"""Out-of-bid interruptions: typed events, exact accounting, DRRP knock-outs.
+
+The paper assumes instant failover: an out-of-bid slot silently pays the
+on-demand price λ and no work is lost.  Real spot markets evict the
+instance mid-slot (Voorsluys et al., PAPERS.md), which costs three things
+the planning layer must see:
+
+* the **eviction** itself — the slot's rental falls back to λ;
+* **lost work** — the un-checkpointed fraction of the slot's generated
+  data, regenerated on the fallback instance (re-fetching its input);
+* a **restart lag** — slots during which the replacement instance is
+  still provisioning and no spot capacity is usable.
+
+This module turns a price trace plus a bid series into typed
+:class:`InterruptionEvent` records (:func:`scan_trace`), converts them
+into modified DRRP instances whose capacity is knocked out on the evicted
+slots (:func:`apply_interruptions` — the "clairvoyant repair plan" input),
+and provides the exact-Fraction realized-cost accounting
+(:func:`fixed_bid_outcome`) that the verification layer cross-checks
+against the simulator.
+
+Single-charge invariant
+-----------------------
+Eviction detection uses the *same* predicate as the availability layer:
+:func:`repro.market.auction.is_out_of_bid` (``bid < spot``), whose
+complement is exactly the availability win condition ``spot <= bid``
+(:func:`repro.market.availability.availability_of_bid`).  Every slot is
+therefore either a win (charged the spot price once) or an eviction
+(charged λ once, plus the regeneration transfer-in) — never both, never
+neither, including the ``bid == spot`` tie, which is a win.
+:func:`eviction_mask` is that shared predicate vectorized; the regression
+tests pin ``wins + evictions == slots`` exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from fractions import Fraction
+
+import numpy as np
+
+from repro.market.auction import effective_hourly_price, is_out_of_bid
+from repro.market.catalog import CostRates
+
+__all__ = [
+    "InterruptionEvent",
+    "InterruptionModel",
+    "eviction_mask",
+    "scan_trace",
+    "knocked_out_slots",
+    "apply_interruptions",
+    "BidDominanceCase",
+    "FixedBidOutcome",
+    "fixed_bid_outcome",
+]
+
+
+@dataclass(frozen=True)
+class InterruptionEvent:
+    """One eviction: where it hit, what it cost, how long the restart took.
+
+    ``lost_gb`` / ``salvaged_gb`` split the slot's generated data by the
+    checkpoint: the salvaged fraction survives as inventory, the lost
+    fraction is regenerated on the on-demand fallback (paying transfer-in
+    again).  ``restart_lag`` counts *additional* slots after ``slot``
+    during which no spot capacity is usable.
+    """
+
+    slot: int
+    spot_price: float
+    bid: float
+    lost_gb: float = 0.0
+    salvaged_gb: float = 0.0
+    restart_lag: int = 0
+
+
+@dataclass(frozen=True)
+class InterruptionModel:
+    """How an eviction translates into lost work and downtime.
+
+    ``checkpoint_fraction`` is the share of a slot's in-progress work a
+    checkpoint preserves (1.0 = the paper's lossless instant failover);
+    its complement :attr:`work_loss` is the ``interruption_loss`` the
+    simulator charges.  ``restart_lag`` is the number of follow-on slots
+    the replacement instance needs to come up.
+    """
+
+    checkpoint_fraction: float = 1.0
+    restart_lag: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.checkpoint_fraction <= 1.0:
+            raise ValueError("checkpoint_fraction must be in (0, 1]")
+        if self.restart_lag < 0:
+            raise ValueError("restart_lag must be nonnegative")
+
+    @property
+    def work_loss(self) -> float:
+        """Fraction of a slot's generated work an eviction destroys."""
+        return 1.0 - self.checkpoint_fraction
+
+
+def eviction_mask(prices: np.ndarray, bids: np.ndarray | float) -> np.ndarray:
+    """Boolean mask of slots where the bid loses the auction.
+
+    Vectorized :func:`~repro.market.auction.is_out_of_bid`: exactly the
+    complement of the availability layer's win condition ``prices <= bid``,
+    so for any slot ``eviction_mask ^ win == True`` — each slot is charged
+    exactly once (see the module docstring).
+    """
+    prices = np.asarray(prices, dtype=float)
+    bids = np.broadcast_to(np.asarray(bids, dtype=float), prices.shape)
+    return bids < prices
+
+
+def scan_trace(
+    prices: np.ndarray,
+    bids: np.ndarray | float,
+    model: InterruptionModel | None = None,
+    generation: np.ndarray | None = None,
+) -> list[InterruptionEvent]:
+    """Walk a realized price trace against a bid series; emit evictions.
+
+    Assumes an instance is (re)requested every slot outside restart
+    blackouts — pass ``generation`` to restrict to slots that actually
+    generate work (``generation[t] > 0``); its value then sizes the
+    lost/salvaged split of each event.  Slots inside a previous event's
+    ``restart_lag`` window cannot be evicted again (nothing is running)
+    and emit no event.
+    """
+    model = model or InterruptionModel()
+    prices = np.asarray(prices, dtype=float)
+    bid_arr = np.broadcast_to(np.asarray(bids, dtype=float), prices.shape)
+    events: list[InterruptionEvent] = []
+    blackout_until = -1
+    for t in range(prices.shape[0]):
+        if t <= blackout_until:
+            continue
+        if generation is not None and not generation[t] > 0:
+            continue
+        if is_out_of_bid(float(bid_arr[t]), float(prices[t])):
+            gen = float(generation[t]) if generation is not None else 0.0
+            events.append(InterruptionEvent(
+                slot=t,
+                spot_price=float(prices[t]),
+                bid=float(bid_arr[t]),
+                lost_gb=model.work_loss * gen,
+                salvaged_gb=model.checkpoint_fraction * gen,
+                restart_lag=model.restart_lag,
+            ))
+            blackout_until = t + model.restart_lag
+    return events
+
+
+def knocked_out_slots(events, horizon: int) -> np.ndarray:
+    """Boolean mask of slots with no usable spot capacity.
+
+    An event knocks out its own slot plus the ``restart_lag`` slots after
+    it (clipped to the horizon).
+    """
+    mask = np.zeros(horizon, dtype=bool)
+    for ev in events:
+        lo = ev.slot
+        hi = min(ev.slot + ev.restart_lag + 1, horizon)
+        if 0 <= lo < horizon:
+            mask[lo:hi] = True
+    return mask
+
+
+def apply_interruptions(instance, events):
+    """A DRRP instance with the evicted slots' capacity knocked out.
+
+    Uses the model's own bottleneck constraint (eq. 3): ``P·α_t <= Q(t)``
+    with ``Q = 0`` on every knocked-out slot forces ``α = 0`` there, so the
+    re-solved plan is the clairvoyant *repair plan* — produce around the
+    evictions.  Checkpoint salvage is credited to the initial inventory.
+    On an instance that already carries a bottleneck, the knocked-out
+    slots' capacity is zeroed and the rest kept.
+
+    The result can be infeasible when an eviction pattern starves early
+    demand (e.g. slot 0 evicted with no inventory); callers constructing
+    repair instances are responsible for a coverable pattern.
+    """
+    mask = knocked_out_slots(events, instance.horizon)
+    salvage = float(sum(ev.salvaged_gb for ev in events))
+    if instance.bottleneck_rate is not None:
+        rate = instance.bottleneck_rate
+        cap = np.where(mask, 0.0, np.asarray(instance.bottleneck_capacity, dtype=float))
+    else:
+        rate = 1.0
+        # loose everywhere else: no slot ever generates more than this
+        big = float(instance.demand.sum() + instance.initial_storage + salvage) or 1.0
+        cap = np.where(mask, 0.0, big)
+    return replace(
+        instance,
+        bottleneck_rate=rate,
+        bottleneck_capacity=cap,
+        initial_storage=instance.initial_storage + salvage,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Exact realized-cost accounting for fixed-bid runs (the verification side)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BidDominanceCase:
+    """One bid-dominance scenario: a trace, a demand schedule, two bids.
+
+    The physical schedule (generate each slot's demand in that slot, the
+    reactive no-plan policy) is independent of the bid, so the only effect
+    of raising it is auction outcomes.  With every price capped at λ —
+    the market-rational regime; bidding above a spot price below λ can
+    only swap a λ charge for a cheaper spot charge — the realized cost is
+    provably non-increasing and the interruption count non-increasing in
+    the bid.  ``bid_hi > bid_lo`` by construction.
+    """
+
+    prices: np.ndarray
+    demand: np.ndarray
+    on_demand_price: float
+    bid_lo: float
+    bid_hi: float
+    work_loss: float = 0.0
+
+    def __post_init__(self) -> None:
+        prices = np.asarray(self.prices, dtype=float)
+        demand = np.asarray(self.demand, dtype=float)
+        object.__setattr__(self, "prices", prices)
+        object.__setattr__(self, "demand", demand)
+        if prices.shape != demand.shape:
+            raise ValueError("prices and demand must share a horizon")
+        if float(prices.max(initial=0.0)) > self.on_demand_price:
+            raise ValueError(
+                "bid dominance requires spot prices capped at the on-demand "
+                "price λ (above it, winning can cost more than losing)"
+            )
+        if not self.bid_hi > self.bid_lo:
+            raise ValueError("bid_hi must be strictly above bid_lo")
+        if not 0.0 <= self.work_loss < 1.0:
+            raise ValueError("work_loss must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class FixedBidOutcome:
+    """Exact cost split of one fixed-bid no-plan run (Fractions throughout)."""
+
+    cost: Fraction
+    compute: Fraction
+    transfer_in: Fraction
+    transfer_out: Fraction
+    interruptions: int
+    lost_gb: float
+
+
+def fixed_bid_outcome(
+    case: BidDominanceCase, bid: float, rates: CostRates | None = None
+) -> FixedBidOutcome:
+    """Realized cost of serving ``case.demand`` reactively at a fixed bid.
+
+    This is an *independent* exact re-derivation of what
+    :func:`repro.core.rolling.simulate_policy` charges a
+    ``NoPlanPolicy(FixedBids(bid))`` run: rent exactly the slots with
+    positive demand, pay the effective price (spot on a win, λ on an
+    eviction — once, never both), regenerate the lost fraction of an
+    evicted slot's work at transfer-in cost.  Per-slot charges are formed
+    in float exactly as the simulator forms them, then summed as
+    Fractions, so the two totals must agree bit for bit — the
+    single-charge regression the fuzz oracle runs on every case.
+    """
+    rates = rates or CostRates()
+    compute = Fraction(0)
+    tin = Fraction(0)
+    interruptions = 0
+    lost_total = 0.0
+    for t in range(case.demand.shape[0]):
+        gen = float(case.demand[t])
+        if gen <= 1e-12:  # the no-plan policy skips the slot entirely
+            continue
+        spot = float(case.prices[t])
+        lost = 0.0
+        if is_out_of_bid(bid, spot):
+            interruptions += 1
+            lost = case.work_loss * gen
+        compute += Fraction(effective_hourly_price(bid, spot, case.on_demand_price))
+        tin += Fraction(
+            float(rates.transfer_in_per_gb * rates.input_output_ratio * (gen + lost))
+        )
+        lost_total += lost
+    tout = Fraction(float(rates.transfer_out_per_gb)) * sum(
+        (Fraction(float(x)) for x in case.demand), Fraction(0)
+    )
+    return FixedBidOutcome(
+        cost=compute + tin + tout,
+        compute=compute,
+        transfer_in=tin,
+        transfer_out=tout,
+        interruptions=interruptions,
+        lost_gb=lost_total,
+    )

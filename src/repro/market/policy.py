@@ -1,0 +1,195 @@
+"""Bidding policies: stateful bid selection with eviction feedback.
+
+Where :mod:`repro.market.auction` provides stateless *bid strategies*
+(price history → a bid vector), this module provides *bid policies* —
+objects that own a bid level across a campaign, observe only the
+published price history, and may react when the market evicts them:
+
+* :class:`FixedBidPolicy` — one constant bid (defaulting to the
+  historical mean, the paper's "common bid strategy");
+* :class:`IndexedBidPolicy` — index tracking (Shastri & Irwin,
+  PAPERS.md): bid a fixed fraction of the on-demand price λ, trading
+  interruption risk for cost predictability;
+* :class:`PercentileBidPolicy` — bid the observed-price quantile that
+  historically bought a target availability (Andrzejak et al. style);
+* :class:`RebidPolicy` — checkpoint-aware rebid-after-eviction
+  (Voorsluys et al.): start from a percentile bid and escalate after
+  each eviction, harder when the eviction destroyed un-checkpointed
+  work, capped at λ (bidding above λ is never rational).
+
+:class:`PolicyBids` adapts any policy to the
+:class:`~repro.market.auction.BidStrategy` call signature so the rolling
+planners (:mod:`repro.sim.policies`) can submit its bids; the policy's
+state advances only through :meth:`BidPolicy.notify_eviction`, driven by
+realized — never future — prices, preserving nonanticipativity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.market.availability import bid_for_availability
+from repro.market.interruptions import InterruptionEvent
+
+__all__ = [
+    "BidPolicy",
+    "FixedBidPolicy",
+    "IndexedBidPolicy",
+    "PercentileBidPolicy",
+    "RebidPolicy",
+    "PolicyBids",
+    "BID_POLICY_KINDS",
+    "make_bid_policy",
+]
+
+
+class BidPolicy:
+    """Interface: a stateful bid level over a campaign.
+
+    ``reset(on_demand_price)`` is called once before the first slot;
+    ``bid(observed, t)`` maps the price history published through slot
+    ``t`` to the bid submitted for upcoming rentals;
+    ``notify_eviction(event)`` reports a realized eviction so adaptive
+    policies can rebid.  Policies must never look past ``observed``.
+    """
+
+    name = "abstract"
+
+    def reset(self, on_demand_price: float) -> None:
+        self.on_demand_price = float(on_demand_price)
+
+    def bid(self, observed: np.ndarray, t: int = 0) -> float:
+        raise NotImplementedError
+
+    def notify_eviction(self, event: InterruptionEvent) -> None:
+        """Default: ignore evictions (static policies)."""
+
+
+class FixedBidPolicy(BidPolicy):
+    """Bid one constant value; ``value=None`` bids the historical mean.
+
+    The mean is the paper's "common bid strategy" — cheap when it wins
+    and evicted roughly half the time, which makes this the natural naive
+    baseline of the bench's bid sweep.
+    """
+
+    name = "fixed"
+
+    def __init__(self, value: float | None = None) -> None:
+        if value is not None and value <= 0:
+            raise ValueError("a fixed bid must be positive")
+        self.value = value
+
+    def bid(self, observed: np.ndarray, t: int = 0) -> float:
+        if self.value is not None:
+            return float(self.value)
+        return float(np.asarray(observed, dtype=float).mean())
+
+
+class IndexedBidPolicy(BidPolicy):
+    """Index tracking: bid ``fraction`` of the on-demand price λ."""
+
+    name = "od-index"
+
+    def __init__(self, fraction: float = 0.9) -> None:
+        if not 0.0 < fraction:
+            raise ValueError("index fraction must be positive")
+        self.fraction = fraction
+
+    def bid(self, observed: np.ndarray, t: int = 0) -> float:
+        return self.fraction * self.on_demand_price
+
+
+class PercentileBidPolicy(BidPolicy):
+    """Bid the smallest level that historically bought a target availability.
+
+    Recomputed on every call over the *observed* history (the estimation
+    window plus realized prices through the current slot), so the bid
+    adapts as the market drifts — using only published prices.
+    """
+
+    name = "percentile"
+
+    def __init__(self, availability: float = 0.95) -> None:
+        if not 0.0 < availability <= 1.0:
+            raise ValueError("target availability must be in (0, 1]")
+        self.availability = availability
+
+    def bid(self, observed: np.ndarray, t: int = 0) -> float:
+        return bid_for_availability(np.asarray(observed, dtype=float), self.availability)
+
+
+class RebidPolicy(PercentileBidPolicy):
+    """Checkpoint-aware rebid-after-eviction.
+
+    Starts from a (deliberately aggressive) percentile bid and multiplies
+    it by ``escalation`` after each eviction; an eviction that destroyed
+    un-checkpointed work escalates proportionally harder (up to double
+    the step when everything since the last checkpoint was lost).  The
+    bid is always capped at λ — at that level every auction is won
+    whenever spot stays at or below on-demand, so escalation terminates.
+    """
+
+    name = "rebid"
+
+    def __init__(self, availability: float = 0.75, escalation: float = 1.25) -> None:
+        super().__init__(availability)
+        if escalation <= 1.0:
+            raise ValueError("escalation must be above 1 (or evictions never rebid)")
+        self.escalation = escalation
+        self._factor = 1.0
+
+    def reset(self, on_demand_price: float) -> None:
+        super().reset(on_demand_price)
+        self._factor = 1.0
+
+    def bid(self, observed: np.ndarray, t: int = 0) -> float:
+        base = super().bid(observed, t)
+        return min(base * self._factor, self.on_demand_price)
+
+    def notify_eviction(self, event: InterruptionEvent) -> None:
+        work = event.lost_gb + event.salvaged_gb
+        loss_share = event.lost_gb / work if work > 0 else 0.0
+        self._factor *= 1.0 + (self.escalation - 1.0) * (1.0 + loss_share)
+
+
+class PolicyBids:
+    """Adapt a :class:`BidPolicy` to the ``BidStrategy.bids`` signature.
+
+    One bid level per window, held constant across the horizon — the
+    policy prices the window, eviction feedback moves the level between
+    windows.  Duck-types :class:`~repro.market.auction.BidStrategy`
+    (``name`` + ``bids``), deliberately not a frozen dataclass: the
+    wrapped policy is stateful.
+    """
+
+    def __init__(self, policy: BidPolicy) -> None:
+        self.policy = policy
+        self.name = f"bid-{policy.name}"
+
+    def bids(self, history: np.ndarray, horizon: int, t: int = 0) -> np.ndarray:
+        return np.full(horizon, self.policy.bid(np.asarray(history, dtype=float), t))
+
+
+#: Roster kinds for ``make_bid_policy`` (the CLI's ``--bid-policy`` values).
+BID_POLICY_KINDS = ("fixed", "od-index", "percentile", "rebid")
+
+
+def make_bid_policy(kind: str, value: float | None = None) -> BidPolicy:
+    """Instantiate a named bid policy.
+
+    ``value`` is the kind-specific knob: the bid in $ for ``fixed`` (None
+    = historical mean), the λ fraction for ``od-index``, and the target
+    availability for ``percentile`` / ``rebid``.
+    """
+    if kind == "fixed":
+        return FixedBidPolicy(value)
+    if kind == "od-index":
+        return IndexedBidPolicy(0.9 if value is None else value)
+    if kind == "percentile":
+        return PercentileBidPolicy(0.95 if value is None else value)
+    if kind == "rebid":
+        return RebidPolicy(0.75 if value is None else value)
+    raise ValueError(
+        f"unknown bid policy {kind!r}; choose from {BID_POLICY_KINDS}"
+    )

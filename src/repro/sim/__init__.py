@@ -28,7 +28,12 @@ from .engine import (
     run_campaign,
 )
 from .horizon import AggregatedWindow, HorizonConfig, aggregate_window, build_blocks
-from .policies import RollingDRRPPolicy, RollingHorizonPolicy, ServiceDRRPPolicy
+from .policies import (
+    InterruptedRollingDRRPPolicy,
+    RollingDRRPPolicy,
+    RollingHorizonPolicy,
+    ServiceDRRPPolicy,
+)
 
 __all__ = [
     "AggregatedWindow",
@@ -36,6 +41,7 @@ __all__ = [
     "CampaignInputs",
     "CampaignResult",
     "HorizonConfig",
+    "InterruptedRollingDRRPPolicy",
     "KNOWN_POLICIES",
     "PolicyOutcome",
     "RollingDRRPPolicy",

@@ -1,6 +1,6 @@
 """Closed-loop simulation benchmark: cost-of-planning curves + service legs.
 
-Three seeded legs, all deterministic given the config:
+Four seeded legs, all deterministic given the config:
 
 * **campaign** — the full rolling-horizon campaign (oracle, no-plan,
   rolling DRRP) over the default 720-slot evaluation window.  The gated
@@ -20,6 +20,12 @@ Three seeded legs, all deterministic given the config:
   client must absorb the 429s and complete on its local fallback.  Either
   way the campaign finishes with demand met — the loop never stalls on a
   sick server.
+* **bid-sweep** — the four bid-reactive planners (``bid-fixed``,
+  ``bid-od-index``, ``bid-percentile``, ``bid-rebid``) under nonzero
+  interruption loss.  Gated (machine-independent again): no policy beats
+  the oracle, and at least one non-trivial bidding strategy must beat the
+  naive fixed mean bid — the paper's point that bidding *policy* matters
+  once out-of-bid interruptions carry a work-loss cost.
 
 The record lands in ``BENCH_sim.json`` (``REPRO_BENCH_DIR`` honored);
 :func:`check_sim_regression` is the CI gate.
@@ -63,6 +69,8 @@ class SimBenchConfig:
     coarse_block: int = 4
     backend: str = "auto"
     service_slots: int = 96       # service + backpressure legs (shorter loop)
+    bid_slots: int = 120          # bid-sweep leg
+    bid_interruption_loss: float = 0.5
     out: str | None = "BENCH_sim.json"
 
     def __post_init__(self) -> None:
@@ -70,6 +78,8 @@ class SimBenchConfig:
             raise ValueError("campaign must cover at least one control window")
         if self.service_slots < self.control:
             raise ValueError("service leg must cover at least one control window")
+        if self.bid_slots < self.control:
+            raise ValueError("bid-sweep leg must cover at least one control window")
 
     def campaign_config(self, slots: int | None = None,
                         policies: tuple[str, ...] | None = None) -> CampaignConfig:
@@ -210,11 +220,41 @@ def _service_legs(cfg: SimBenchConfig) -> dict:
     return {"service": service_record, "backpressure": backpressure_record}
 
 
+def _bid_sweep_leg(cfg: SimBenchConfig) -> dict:
+    """Score the bid-reactive planners against each other under eviction risk."""
+    config = replace(
+        cfg.campaign_config(
+            slots=cfg.bid_slots,
+            policies=("oracle", "bid-fixed", "bid-od-index",
+                      "bid-percentile", "bid-rebid"),
+        ),
+        interruption_loss=cfg.bid_interruption_loss,
+    )
+    campaign = run_campaign(config)
+    policies = {}
+    for name, out in sorted(campaign.outcomes.items()):
+        if not name.startswith("bid-"):
+            continue
+        policies[name] = {
+            "ratio": float(campaign.ratios[name]),
+            "interruptions": int(out.interruptions),
+            "out_of_bid": int(out.result.out_of_bid_events),
+            "replans": int(out.replans),
+        }
+    return {
+        "slots": cfg.bid_slots,
+        "interruption_loss": cfg.bid_interruption_loss,
+        "oracle_cost": float(campaign.oracle_cost),
+        "policies": policies,
+    }
+
+
 def run_sim_bench(cfg: SimBenchConfig | None = None) -> dict:
     """Run all three legs and return (and optionally write) the record."""
     cfg = cfg or SimBenchConfig()
     campaign = run_campaign(cfg.campaign_config())
     legs = _service_legs(cfg)
+    legs["bid_sweep"] = _bid_sweep_leg(cfg)
 
     rolling = campaign.outcomes["rolling-drrp"]
     record = {
@@ -229,6 +269,8 @@ def run_sim_bench(cfg: SimBenchConfig | None = None) -> dict:
             "coarse_block": cfg.coarse_block,
             "backend": cfg.backend,
             "service_slots": cfg.service_slots,
+            "bid_slots": cfg.bid_slots,
+            "bid_interruption_loss": cfg.bid_interruption_loss,
         },
         "cpu_count": os.cpu_count() or 1,
         "oracle_cost": float(campaign.oracle_cost),
@@ -268,7 +310,11 @@ def check_sim_regression(
     * the service route must agree with the in-process planner bit for
       bit, the cache replay must actually hit, and the backpressure legs
       must have exercised degraded plans / local fallbacks with zero
-      forced top-ups (demand always met).
+      forced top-ups (demand always met);
+    * in the bid sweep, no bidding policy beats its oracle, at least one
+      non-trivial strategy strictly beats the naive fixed mean bid, and
+      (when configs match) each ratio stays within ``tolerance`` of the
+      baseline's.
     """
     failures: list[str] = []
     ratios = record.get("ratios", {})
@@ -319,6 +365,45 @@ def check_sim_regression(
                 f"{leg['forced_topups']} forced top-ups — demand not met by "
                 "the policy itself"
             )
+    sweep = record.get("bid_sweep", {})
+    bid_policies = sweep.get("policies", {})
+    if bid_policies:
+        for name, entry in bid_policies.items():
+            if entry["ratio"] < 1.0 - 1e-9:
+                failures.append(
+                    f"bid sweep: {name} beats the clairvoyant oracle "
+                    f"({entry['ratio']:.6f}x < 1) — accounting bug"
+                )
+        fixed = bid_policies.get("bid-fixed")
+        others = {n: e for n, e in bid_policies.items() if n != "bid-fixed"}
+        if fixed and others and not any(
+            e["ratio"] < fixed["ratio"] for e in others.values()
+        ):
+            failures.append(
+                "bid sweep: no bidding strategy beats the naive fixed mean "
+                f"bid ({fixed['ratio']:.4f}x) — the interruption layer is "
+                "not rewarding smarter bids"
+            )
+        base_sweep = baseline.get("bid_sweep", {})
+        same_sweep = (
+            base_sweep.get("slots") == sweep.get("slots")
+            and base_sweep.get("interruption_loss") == sweep.get("interruption_loss")
+        )
+        if same_sweep:
+            for name, base_entry in base_sweep.get("policies", {}).items():
+                entry = bid_policies.get(name)
+                if entry is None:
+                    failures.append(
+                        f"bid sweep: policy {name} missing from the fresh record"
+                    )
+                elif not math.isclose(
+                    entry["ratio"], base_entry["ratio"], rel_tol=tolerance
+                ):
+                    failures.append(
+                        f"bid sweep: {name} cost/oracle ratio drifted: "
+                        f"{entry['ratio']:.4f}x vs baseline "
+                        f"{base_entry['ratio']:.4f}x (tolerance {tolerance:.0%})"
+                    )
     return failures
 
 
@@ -350,5 +435,15 @@ def summary_lines(record: dict) -> list[str]:
             f"{bp['degrade']['replans']} degraded, reject "
             f"{bp['reject']['local_fallbacks']}/{bp['reject']['replans']} "
             "local fallbacks, all demand met"
+        )
+    sweep = record.get("bid_sweep", {})
+    if sweep.get("policies"):
+        bid_text = ", ".join(
+            f"{name} {entry['ratio']:.4f}x ({entry['interruptions']} evictions)"
+            for name, entry in sorted(sweep["policies"].items())
+        )
+        lines.append(
+            f"bid sweep: {sweep['slots']} slots at loss "
+            f"{sweep['interruption_loss']:.0%} — {bid_text}"
         )
     return lines

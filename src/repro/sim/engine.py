@@ -16,9 +16,12 @@ contract.
 
 Policies are named: the built-in roster covers the paper's baselines
 (``oracle``, ``no-plan``, ``on-demand``), the rolling MPC planner with
-the historical-mean forecaster (``rolling-drrp``), and the same planner
+the historical-mean forecaster (``rolling-drrp``), the same planner
 routed through a live planning server (``rolling-drrp-service`` — pass
-``service_url``).
+``service_url``), and four bid-reactive planners (``bid-fixed``,
+``bid-od-index``, ``bid-percentile``, ``bid-rebid``) that record typed
+interruption events and replan after each eviction
+(:class:`~repro.sim.policies.InterruptedRollingDRRPPolicy`).
 """
 
 from __future__ import annotations
@@ -45,7 +48,11 @@ from repro.obs.spans import span
 from repro.stats.empirical import EmpiricalDistribution
 
 from .horizon import HorizonConfig
-from .policies import RollingDRRPPolicy, ServiceDRRPPolicy
+from .policies import (
+    InterruptedRollingDRRPPolicy,
+    RollingDRRPPolicy,
+    ServiceDRRPPolicy,
+)
 
 __all__ = [
     "CampaignConfig",
@@ -69,6 +76,10 @@ KNOWN_POLICIES = (
     "on-demand",
     "rolling-drrp",
     "rolling-drrp-service",
+    "bid-fixed",
+    "bid-od-index",
+    "bid-percentile",
+    "bid-rebid",
 )
 
 
@@ -87,6 +98,7 @@ class CampaignConfig:
     interruption_loss: float = 0.0
     lookahead: int = 24              # window for the per-slot baselines
     policies: tuple[str, ...] = ("oracle", "no-plan", "rolling-drrp")
+    bid_value: float | None = None   # parameter for the bid-* policies
 
     def __post_init__(self) -> None:
         if self.slots < 1:
@@ -112,6 +124,7 @@ class CampaignConfig:
             "interruption_loss": self.interruption_loss,
             "lookahead": self.lookahead,
             "policies": list(self.policies),
+            "bid_value": self.bid_value,
         }
 
 
@@ -184,6 +197,21 @@ def make_policy(
             MeanBids(), ServiceClient(service_url),
             horizon=config.horizon, backend=config.backend, telemetry=telemetry,
         )
+    if name.startswith("bid-"):
+        from repro.market.interruptions import InterruptionModel
+        from repro.market.policy import make_bid_policy
+
+        bid_policy = make_bid_policy(name[len("bid-"):], config.bid_value)
+        # The policy's interruption model mirrors the simulator's loss
+        # fraction, so the events it records carry honest lost/salvaged
+        # splits for the work the simulator actually re-transfers.
+        model = InterruptionModel(
+            checkpoint_fraction=max(1.0 - config.interruption_loss, 1e-9)
+        )
+        return InterruptedRollingDRRPPolicy(
+            bid_policy, model=model, horizon=config.horizon,
+            backend=config.backend, telemetry=telemetry,
+        )
     raise ValueError(f"unknown policy {name!r}; choose from {KNOWN_POLICIES}")
 
 
@@ -198,6 +226,7 @@ class PolicyOutcome:
     degraded_plans: int = 0
     local_fallbacks: int = 0
     service_requests: int = 0
+    interruptions: int = 0
 
     def latency_quantile(self, q: float) -> float:
         """Exact empirical quantile of the replan latencies (NaN if none)."""
@@ -240,6 +269,8 @@ class CampaignResult:
                 f"  {name:22s} ${res.total_cost:9.3f}  x{self.ratios[name]:.4f} oracle",
                 f"out-of-bid {res.out_of_bid_events}",
             ]
+            if out.interruptions:
+                parts.append(f"interruptions {out.interruptions}")
             if out.replans:
                 parts.append(
                     f"replans {out.replans} (p50 {out.latency_quantile(0.5) * 1e3:.0f} ms)"
@@ -270,6 +301,7 @@ def _result_payload(outcomes: dict[str, PolicyOutcome], oracle_cost: float,
             "forced_topups": int(res.forced_topups),
             "lost_gb": float(res.lost_gb),
             "replans": int(out.replans),
+            "interruptions": int(out.interruptions),
             "generated": [float(x) for x in res.generated],
             "inventory": [float(x) for x in res.inventory],
             "paid_prices": [float(x) for x in res.paid_prices],
@@ -338,6 +370,7 @@ def run_campaign(
             degraded_plans=int(getattr(policy, "degraded_plans", 0)),
             local_fallbacks=int(getattr(policy, "local_fallbacks", 0)),
             service_requests=int(getattr(policy, "requests", 0)),
+            interruptions=int(getattr(policy, "interruptions", 0)),
         )
 
     elapsed = time.perf_counter() - t_start

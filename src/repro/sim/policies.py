@@ -34,12 +34,19 @@ import numpy as np
 
 from repro.core.drrp import DRRPInstance, solve_drrp
 from repro.core.rolling import Policy, SimulationContext, SlotDecision
-from repro.market.auction import BidStrategy
+from repro.market.auction import BidStrategy, is_out_of_bid
+from repro.market.interruptions import InterruptionEvent, InterruptionModel
+from repro.market.policy import BidPolicy, PolicyBids
 from repro.obs.spans import span
 
 from .horizon import HorizonConfig, aggregate_window, build_blocks
 
-__all__ = ["RollingHorizonPolicy", "RollingDRRPPolicy", "ServiceDRRPPolicy"]
+__all__ = [
+    "RollingHorizonPolicy",
+    "RollingDRRPPolicy",
+    "ServiceDRRPPolicy",
+    "InterruptedRollingDRRPPolicy",
+]
 
 
 class RollingHorizonPolicy(Policy):
@@ -155,6 +162,90 @@ class RollingDRRPPolicy(RollingHorizonPolicy):
         # no budget) so the two routes return identical plans.
         plan = solve_drrp(inst, backend=self.backend, listener=self.telemetry)
         return plan.alpha, plan.beta, plan.chi
+
+
+class InterruptedRollingDRRPPolicy(RollingDRRPPolicy):
+    """Rolling DRRP driven by a stateful :class:`~repro.market.policy.BidPolicy`,
+    reacting to out-of-bid evictions instead of merely paying for them.
+
+    Each slot first *settles* the previous decision against the realized
+    spot price: if the bid lost the auction, a typed
+    :class:`~repro.market.interruptions.InterruptionEvent` is recorded with
+    the checkpointed/lost split from the interruption model, the bid policy
+    is notified (so e.g. :class:`~repro.market.policy.RebidPolicy` can
+    escalate), and the held window plan is invalidated — the next
+    ``decide`` replans from realized inventory under the new bid.  Salvage
+    is credited implicitly: the simulator regenerates lost work in-slot,
+    so checkpointed gigabytes never leave inventory and only the
+    un-checkpointed fraction is re-transferred.
+
+    Settlement uses only prices of *past* slots (``spot_history[-2]`` is
+    the realized price of slot ``t-1``), which keeps the policy
+    nonanticipative: perturbing prices after slot ``k`` cannot change any
+    decision or event emitted at or before ``k``.
+    """
+
+    def __init__(
+        self,
+        bid_policy: BidPolicy,
+        model: InterruptionModel | None = None,
+        horizon: HorizonConfig | None = None,
+        backend: str = "auto",
+        name: str | None = None,
+        telemetry=None,
+    ) -> None:
+        self.bid_policy = bid_policy
+        self.model = model or InterruptionModel()
+        super().__init__(
+            PolicyBids(bid_policy), horizon, backend,
+            name or f"bid-{bid_policy.name}", telemetry,
+        )
+        self.events: list[InterruptionEvent] = []
+        self._last: tuple[int, float, float, bool] | None = None
+
+    @property
+    def interruptions(self) -> int:
+        return len(self.events)
+
+    def reset(self, ctx: SimulationContext) -> None:
+        super().reset(ctx)
+        self.bid_policy.reset(ctx.vm.on_demand_price)
+        self.events = []
+        self._last = None
+
+    def decide(self, ctx: SimulationContext) -> SlotDecision:
+        self._settle_previous(ctx)
+        decision = super().decide(ctx)
+        self._last = (
+            ctx.t, float(decision.bid), float(decision.generate),
+            bool(decision.rent),
+        )
+        return decision
+
+    def _settle_previous(self, ctx: SimulationContext) -> None:
+        if self._last is None:
+            return
+        slot, bid, gen, rented = self._last
+        if not rented:
+            return
+        # ctx.spot_history ends with the price of the *current* slot, so
+        # [-2] is the realized price of the slot we just acted in.
+        price = float(ctx.spot_history[-2])
+        if not is_out_of_bid(bid, price):
+            return
+        event = InterruptionEvent(
+            slot=slot,
+            spot_price=price,
+            bid=bid,
+            lost_gb=self.model.work_loss * gen,
+            salvaged_gb=self.model.checkpoint_fraction * gen,
+            restart_lag=self.model.restart_lag,
+        )
+        self.events.append(event)
+        self.bid_policy.notify_eviction(event)
+        # Invalidate the held window plan: the next decide() replans from
+        # realized (post-eviction) inventory under the escalated bid.
+        self._alpha = None
 
 
 class ServiceDRRPPolicy(RollingHorizonPolicy):

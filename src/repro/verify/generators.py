@@ -343,12 +343,127 @@ def random_two_stage(rng: np.random.Generator, n_x: int = 3, n_y: int = 3,
                          meta={"integer_first": integer_first})
 
 
+def planted_evicted_drrp(rng: np.random.Generator, T: int = 8) -> GeneratedCase:
+    """DRRP with planted evictions and a clairvoyant repair plan.
+
+    Construction: every slot demands an integer ``d_t >= 1``; an eviction
+    set ``E`` (non-adjacent slots, never slot 0) has its capacity knocked
+    out through :func:`repro.market.apply_interruptions`; the holding
+    rate ``h`` strictly exceeds the dearest setup; transfer-in is
+    constant.  The unique optimal repair plan follows by exchange:
+
+    * for each ``e in E``, demand ``d_e`` must be produced at an earlier
+      available slot, so the inventory entering ``e`` satisfies
+      ``beta[e-1] >= d_e`` — at least ``h * d_e`` of holding is forced,
+      and producing at ``e-1`` (available, since evictions are
+      non-adjacent) attains it exactly;
+    * skipping the setup at any available slot ``t`` saves at most
+      ``max setup < h`` but forces ``d_t >= 1`` extra carried units
+      costing ``>= h`` — dominated, so every available slot rents.
+
+    The optimum is therefore ``sum(setup over available slots)
+    + h * sum(d_e over E) + tin * phi * sum(D) + tout @ D``, exact in
+    floating point (integer data, phi = 0.5).
+    """
+    from repro.market.interruptions import InterruptionEvent, apply_interruptions
+
+    phi = 0.5
+    demand = rng.integers(1, 6, T).astype(float)
+    setup = rng.integers(1, 5, T).astype(float)
+    h = float(setup.max()) + 1.0
+    # eviction set: non-adjacent, slot 0 excluded so demand stays coverable
+    evicted: list[int] = []
+    t = 1
+    while t < T:
+        if rng.random() < 0.4:
+            evicted.append(t)
+            t += 2
+        else:
+            t += 1
+    if not evicted:
+        evicted = [int(rng.integers(1, T))]
+    costs = _schedule(rng, T, np.full(T, h), setup, tin_const=True)
+    base = DRRPInstance(demand=demand, costs=costs, phi=phi, vm_name="planted-evicted")
+    events = [
+        InterruptionEvent(slot=e, spot_price=1.0, bid=0.0) for e in evicted
+    ]
+    inst = apply_interruptions(base, events)
+
+    out = np.zeros(T, dtype=bool)
+    out[evicted] = True
+    alpha = np.where(out, 0.0, demand)
+    beta = np.zeros(T)
+    for e in evicted:
+        alpha[e - 1] += demand[e]
+        beta[e - 1] = demand[e]
+    chi = (~out).astype(float)
+    optimum = float(
+        setup[~out].sum()
+        + h * demand[out].sum()
+        + (costs.transfer_in * phi * alpha).sum()
+        + (costs.transfer_out * demand).sum()
+    )
+    x_star = np.concatenate([alpha, beta, chi])
+    return GeneratedCase(
+        family="drrp-evicted", instance=inst, optimum=optimum, x_star=x_star,
+        meta={"evicted": evicted, "holding": h},
+    )
+
+
+def bid_dominance(rng: np.random.Generator, T: int = 16) -> GeneratedCase:
+    """Bid-dominance scenario: a higher bid weakly reduces realized cost.
+
+    With every spot price capped at λ (the market-rational regime) and a
+    bid-independent generation schedule (the reactive no-plan policy),
+    raising the bid can only turn λ charges plus lost work into spot
+    charges at most λ — so both the realized cost and the interruption
+    count are non-increasing in the bid.  The planted "optimum" is the
+    exact realized cost of the *higher* bid; the oracle additionally
+    cross-checks both bids' exact accounting against the simulator and
+    the dominance inequality itself.
+    """
+    from repro.market.interruptions import BidDominanceCase, fixed_bid_outcome
+
+    lam = 0.2
+    # prices in (0, λ], quantized like the trace generator ($0.001)
+    prices = np.round(rng.uniform(0.1, 1.0, T) * lam, 3)
+    prices = np.clip(prices, 0.001, lam)
+    demand = np.round(rng.uniform(0.1, 2.0, T), 2)
+    demand[rng.random(T) < 0.25] = 0.0
+    # bids drawn from the price support half the time (exact tie coverage)
+    def draw_bid() -> float:
+        if rng.random() < 0.5:
+            return float(prices[rng.integers(0, T)])
+        return float(np.round(rng.uniform(0.05, 1.1) * lam, 3))
+
+    lo, hi = sorted((draw_bid(), draw_bid()))
+    if not hi > lo:
+        hi = lo + 0.001
+    work_loss = float(rng.choice([0.0, 0.25, 0.5, 0.9]))
+    case = BidDominanceCase(
+        prices=prices, demand=demand, on_demand_price=lam,
+        bid_lo=lo, bid_hi=hi, work_loss=work_loss,
+    )
+    out_lo = fixed_bid_outcome(case, lo)
+    out_hi = fixed_bid_outcome(case, hi)
+    return GeneratedCase(
+        family="bid-dominance", instance=case, optimum=float(out_hi.cost),
+        meta={
+            "cost_lo": float(out_lo.cost),
+            "interruptions_lo": out_lo.interruptions,
+            "interruptions_hi": out_hi.interruptions,
+        },
+    )
+
+
 FAMILIES = {
     "lp": planted_lp,
     "milp": planted_milp,
     "lp-infeasible": infeasible_lp,
     "drrp": planted_drrp,
     "drrp-random": random_drrp,
+    "drrp-evicted": planted_evicted_drrp,
     "srrp": planted_srrp,
     "two-stage": random_two_stage,
+    "bid-dominance": bid_dominance,
 }

@@ -165,8 +165,78 @@ def _compare_two_stage(tsp: TwoStageProblem, tol: float) -> list[Disagreement]:
     return out
 
 
+def _compare_bid_dominance(case: GeneratedCase) -> list[Disagreement]:
+    """Dominance inequality + exact analytic-vs-simulator agreement.
+
+    Two independent accountings of the same fixed-bid run — the
+    :func:`repro.market.fixed_bid_outcome` re-derivation and the
+    simulator's Fraction totals — must agree *bit for bit* for both bids
+    (this is the single-charge invariant: an evicted slot pays λ exactly
+    once, a won slot pays spot exactly once).  On top of that, the
+    higher bid must weakly dominate: cost and interruption count both
+    non-increasing in the bid.
+    """
+    from repro.core.rolling import NoPlanPolicy, simulate_policy
+    from repro.market.auction import FixedBids
+    from repro.market.catalog import CostRates, VMClass
+    from repro.market.interruptions import fixed_bid_outcome
+
+    inst = case.instance
+    out: list[Disagreement] = []
+    vm = VMClass(name="bid-dominance", on_demand_price=inst.on_demand_price)
+    outcomes = {}
+    for label, bid in (("lo", inst.bid_lo), ("hi", inst.bid_hi)):
+        analytic = fixed_bid_outcome(inst, bid)
+        outcomes[label] = analytic
+        sim = simulate_policy(
+            NoPlanPolicy(FixedBids(value=bid)),
+            inst.prices, inst.demand, vm, rates=CostRates(),
+            interruption_loss=inst.work_loss,
+        )
+        if float(analytic.cost) != sim.total_cost:
+            out.append(Disagreement(
+                family="", kind="objective",
+                detail={"bid": label, "objectives": {
+                    "analytic": float(analytic.cost), "simulator": sim.total_cost,
+                }},
+            ))
+        if analytic.interruptions != sim.out_of_bid_events:
+            out.append(Disagreement(
+                family="", kind="status",
+                detail={"bid": label, "interruptions": {
+                    "analytic": analytic.interruptions,
+                    "simulator": sim.out_of_bid_events,
+                }},
+            ))
+    lo, hi = outcomes["lo"], outcomes["hi"]
+    if hi.cost > lo.cost or hi.interruptions > lo.interruptions:
+        out.append(Disagreement(
+            family="", kind="ground-truth",
+            detail={
+                "cost_lo": float(lo.cost), "cost_hi": float(hi.cost),
+                "interruptions_lo": lo.interruptions,
+                "interruptions_hi": hi.interruptions,
+            },
+        ))
+    if case.optimum is not None and float(hi.cost) != case.optimum:
+        out.append(Disagreement(
+            family="", kind="ground-truth",
+            detail={"objective": float(hi.cost), "expected": case.optimum},
+        ))
+    return out
+
+
 def cross_check_case(case: GeneratedCase, tol: float = 1e-6) -> list[Disagreement]:
     """Run the family-appropriate differential comparison for one case."""
+    from repro.market.interruptions import BidDominanceCase
+
+    if isinstance(case.instance, BidDominanceCase):
+        found = _compare_bid_dominance(case)
+        for d in found:
+            d.family = case.family
+            if d.witness is None:
+                d.witness = case.instance
+        return found
     if isinstance(case.instance, CompiledProblem):
         expect_feasible = case.feasible
         found = _compare_problem(case.instance, tol, case.optimum)
@@ -242,6 +312,12 @@ def serialize_witness(obj) -> dict:
             "demand": _arr(obj.demand),
             "phi": float(obj.phi),
             "initial_storage": float(obj.initial_storage),
+            "bottleneck_rate": (
+                None if obj.bottleneck_rate is None else float(obj.bottleneck_rate)
+            ),
+            "bottleneck_capacity": (
+                None if obj.bottleneck_capacity is None else _arr(obj.bottleneck_capacity)
+            ),
             "costs": {
                 "compute": _arr(obj.costs.compute),
                 "storage": _arr(obj.costs.storage),
@@ -263,6 +339,18 @@ def serialize_witness(obj) -> dict:
             ],
             "A_ub": None if obj.A_ub is None or not obj.A_ub.size else _arr(obj.A_ub),
             "b_ub": None if obj.b_ub is None or not obj.b_ub.size else _arr(obj.b_ub),
+        }
+    from repro.market.interruptions import BidDominanceCase
+
+    if isinstance(obj, BidDominanceCase):
+        return {
+            "type": "BidDominanceCase",
+            "prices": _arr(obj.prices),
+            "demand": _arr(obj.demand),
+            "on_demand_price": float(obj.on_demand_price),
+            "bid_lo": float(obj.bid_lo),
+            "bid_hi": float(obj.bid_hi),
+            "work_loss": float(obj.work_loss),
         }
     # SRRPInstance and anything else: structural summary only
     summary = {"type": type(obj).__name__}

@@ -133,11 +133,17 @@ def shrink_drrp(
     current = instance
 
     def truncated(inst: DRRPInstance, T: int) -> DRRPInstance:
+        # keep the (sliced) bottleneck: dropping it would change problem class
         return DRRPInstance(
             demand=inst.demand[:T],
             costs=inst.costs.slice(0, T),
             phi=inst.phi,
             initial_storage=inst.initial_storage,
+            bottleneck_rate=inst.bottleneck_rate,
+            bottleneck_capacity=(
+                None if inst.bottleneck_capacity is None
+                else inst.bottleneck_capacity[:T]
+            ),
             vm_name=inst.vm_name,
         )
 

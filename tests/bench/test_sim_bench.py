@@ -11,16 +11,17 @@ from repro.sim.bench import summary_lines
 
 @pytest.fixture(scope="module")
 def record(tmp_path_factory, request):
-    # One tiny-but-real run shared by the module: all three legs execute
-    # (campaign, service consistency + replay, backpressure) and the record
-    # is written through the REPRO_BENCH_DIR path.
+    # One tiny-but-real run shared by the module: all four legs execute
+    # (campaign, service consistency + replay, backpressure, bid sweep)
+    # and the record is written through the REPRO_BENCH_DIR path.
     out_dir = tmp_path_factory.mktemp("bench")
     mp = pytest.MonkeyPatch()
     mp.setenv("REPRO_BENCH_DIR", str(out_dir))
     request.addfinalizer(mp.undo)
     cfg = SimBenchConfig(
         slots=48, estimation_slots=240, prediction=24, control=12,
-        coarse_block=4, service_slots=24, out="BENCH_test_sim.json",
+        coarse_block=4, service_slots=24, bid_slots=48,
+        out="BENCH_test_sim.json",
     )
     return run_sim_bench(cfg), out_dir
 
@@ -29,7 +30,8 @@ class TestRunSimBench:
     def test_record_shape(self, record):
         rec, _ = record
         assert rec["benchmark"] == "sim"
-        for key in ("ratios", "service", "backpressure", "manifest_digest"):
+        for key in ("ratios", "service", "backpressure", "bid_sweep",
+                    "manifest_digest"):
             assert key in rec
         assert rec["ratios"]["oracle"] == pytest.approx(1.0)
         assert rec["replans"] == 4  # 48 slots / control 12
@@ -58,11 +60,26 @@ class TestRunSimBench:
         assert on_disk["benchmark"] == "sim"
         assert on_disk["ratios"] == rec["ratios"]
 
+    def test_bid_sweep_leg(self, record):
+        rec, _ = record
+        sweep = rec["bid_sweep"]
+        assert set(sweep["policies"]) == {
+            "bid-fixed", "bid-od-index", "bid-percentile", "bid-rebid",
+        }
+        for entry in sweep["policies"].values():
+            assert entry["ratio"] >= 1.0 - 1e-9
+        fixed = sweep["policies"]["bid-fixed"]["ratio"]
+        assert any(
+            e["ratio"] < fixed
+            for n, e in sweep["policies"].items() if n != "bid-fixed"
+        )
+
     def test_summary_lines(self, record):
         rec, _ = record
         lines = summary_lines(rec)
-        assert len(lines) == 4
+        assert len(lines) == 5
         assert "campaign" in lines[0]
+        assert "bid sweep" in lines[-1]
 
 
 class TestRegressionGate:
@@ -111,3 +128,34 @@ class TestRegressionGate:
         del pruned["ratios"]["rolling-drrp"]
         failures = check_sim_regression(pruned, rec)
         assert any("missing" in f for f in failures)
+
+    def test_bid_sweep_fixed_bid_must_be_beaten(self, record):
+        rec, _ = record
+        broken = copy.deepcopy(rec)
+        best = min(
+            e["ratio"] for e in broken["bid_sweep"]["policies"].values()
+        )
+        broken["bid_sweep"]["policies"]["bid-fixed"]["ratio"] = best - 0.01
+        failures = check_sim_regression(broken, rec)
+        assert any("fixed mean" in f for f in failures)
+
+    def test_bid_sweep_beating_the_oracle_fails(self, record):
+        rec, _ = record
+        broken = copy.deepcopy(rec)
+        broken["bid_sweep"]["policies"]["bid-rebid"]["ratio"] = 0.9
+        failures = check_sim_regression(broken, rec)
+        assert any("bid sweep" in f and "accounting bug" in f for f in failures)
+
+    def test_bid_sweep_ratio_drift_fails(self, record):
+        rec, _ = record
+        tampered = copy.deepcopy(rec)
+        tampered["bid_sweep"]["policies"]["bid-percentile"]["ratio"] *= 2.0
+        failures = check_sim_regression(rec, tampered)
+        assert any("bid sweep" in f and "drifted" in f for f in failures)
+
+    def test_bid_sweep_different_config_skips_drift(self, record):
+        rec, _ = record
+        other = copy.deepcopy(rec)
+        other["bid_sweep"]["slots"] = 9999
+        other["bid_sweep"]["policies"]["bid-percentile"]["ratio"] *= 2.0
+        assert check_sim_regression(rec, other) == []

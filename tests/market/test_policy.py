@@ -1,0 +1,322 @@
+"""Bid policies, interruption scanning, and the single-charge invariant.
+
+Covers :mod:`repro.market.policy` and :mod:`repro.market.interruptions`:
+the stateful bid policies (fixed / od-index / percentile / rebid), the
+trace scanner and its restart-lag blackouts, the DRRP capacity knock-out,
+the regression pinning the availability↔interruption single-charge
+invariant (a slot is either a win charged spot or an eviction charged λ —
+exactly once), and a Hypothesis property asserting bid monotonicity.
+Failed property examples are persisted as shrunk JSON reproducers the way
+the fuzz oracle persists disagreement witnesses.
+"""
+
+import json
+import os
+from fractions import Fraction
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.costs import CostSchedule
+from repro.core.drrp import DRRPInstance, solve_drrp
+from repro.core.rolling import NoPlanPolicy, simulate_policy
+from repro.market.auction import FixedBids, is_out_of_bid
+from repro.market.availability import availability_of_bid, bid_for_availability
+from repro.market.catalog import CostRates, VMClass
+from repro.market.interruptions import (
+    BidDominanceCase,
+    InterruptionEvent,
+    InterruptionModel,
+    apply_interruptions,
+    eviction_mask,
+    fixed_bid_outcome,
+    knocked_out_slots,
+    scan_trace,
+)
+from repro.market.policy import (
+    BID_POLICY_KINDS,
+    FixedBidPolicy,
+    IndexedBidPolicy,
+    PercentileBidPolicy,
+    PolicyBids,
+    RebidPolicy,
+    make_bid_policy,
+)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - baked into the CI image
+    HAVE_HYPOTHESIS = False
+
+LAMBDA = 0.2  # c1.medium's on-demand price, the scale all tests use
+
+
+def event(slot=0, lost=0.0, salvaged=1.0, lag=0):
+    return InterruptionEvent(
+        slot=slot, spot_price=0.1, bid=0.05,
+        lost_gb=lost, salvaged_gb=salvaged, restart_lag=lag,
+    )
+
+
+class TestBidPolicies:
+    def test_fixed_value_and_historical_mean(self):
+        observed = np.array([0.04, 0.06, 0.08])
+        explicit = FixedBidPolicy(0.07)
+        explicit.reset(LAMBDA)
+        assert explicit.bid(observed) == 0.07
+        mean = FixedBidPolicy()
+        mean.reset(LAMBDA)
+        assert mean.bid(observed) == pytest.approx(0.06)
+
+    def test_fixed_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FixedBidPolicy(0.0)
+
+    def test_od_index_tracks_lambda(self):
+        policy = IndexedBidPolicy(fraction=0.9)
+        policy.reset(LAMBDA)
+        assert policy.bid(np.array([0.01])) == pytest.approx(0.9 * LAMBDA)
+        policy.reset(2 * LAMBDA)
+        assert policy.bid(np.array([0.01])) == pytest.approx(1.8 * LAMBDA)
+
+    def test_percentile_matches_availability_helper(self):
+        rng = np.random.default_rng(5)
+        observed = rng.uniform(0.03, 0.1, 400)
+        policy = PercentileBidPolicy(availability=0.9)
+        policy.reset(LAMBDA)
+        bid = policy.bid(observed)
+        assert bid == bid_for_availability(observed, 0.9)
+        assert availability_of_bid(observed, bid) >= 0.9
+
+    def test_rebid_escalates_and_caps_at_lambda(self):
+        rng = np.random.default_rng(5)
+        observed = rng.uniform(0.03, 0.1, 400)
+        policy = RebidPolicy(availability=0.5, escalation=1.25)
+        policy.reset(LAMBDA)
+        base = policy.bid(observed)
+        # lossless eviction (everything checkpointed): one escalation step
+        policy.notify_eviction(event(lost=0.0, salvaged=1.0))
+        assert policy.bid(observed) == pytest.approx(base * 1.25)
+        # total loss escalates twice as hard
+        policy.notify_eviction(event(lost=1.0, salvaged=0.0))
+        assert policy.bid(observed) == pytest.approx(base * 1.25 * 1.5)
+        # enough evictions hit the λ cap and never exceed it
+        for _ in range(20):
+            policy.notify_eviction(event())
+        assert policy.bid(observed) == LAMBDA
+        # reset restores the initial level
+        policy.reset(LAMBDA)
+        assert policy.bid(observed) == base
+
+    def test_rebid_rejects_non_escalating_factor(self):
+        with pytest.raises(ValueError):
+            RebidPolicy(escalation=1.0)
+
+    def test_make_bid_policy_roster(self):
+        for kind in BID_POLICY_KINDS:
+            policy = make_bid_policy(kind)
+            assert policy.name == kind
+        assert make_bid_policy("fixed", 0.08).value == 0.08
+        assert make_bid_policy("od-index", 0.5).fraction == 0.5
+        assert make_bid_policy("percentile", 0.8).availability == 0.8
+        assert make_bid_policy("rebid", 0.6).availability == 0.6
+        with pytest.raises(ValueError):
+            make_bid_policy("martingale")
+
+    def test_policy_bids_adapter(self):
+        policy = FixedBidPolicy(0.07)
+        policy.reset(LAMBDA)
+        strat = PolicyBids(policy)
+        assert strat.name == "bid-fixed"
+        bids = strat.bids(np.array([0.05, 0.06]), 5)
+        np.testing.assert_array_equal(bids, np.full(5, 0.07))
+
+
+class TestScanTrace:
+    def test_events_match_eviction_mask(self):
+        rng = np.random.default_rng(11)
+        prices = rng.uniform(0.02, 0.12, 50)
+        bid = 0.06
+        events = scan_trace(prices, bid)
+        assert [e.slot for e in events] == list(np.flatnonzero(eviction_mask(prices, bid)))
+        for e in events:
+            assert is_out_of_bid(e.bid, e.spot_price)
+
+    def test_tie_is_a_win(self):
+        events = scan_trace(np.array([0.05, 0.05]), 0.05)
+        assert events == []
+        assert not eviction_mask(np.array([0.05]), 0.05).any()
+
+    def test_restart_lag_blackout(self):
+        prices = np.full(6, 0.1)  # every slot would evict a 0.05 bid
+        events = scan_trace(prices, 0.05, model=InterruptionModel(restart_lag=2))
+        assert [e.slot for e in events] == [0, 3]
+        mask = knocked_out_slots(events, 6)
+        np.testing.assert_array_equal(mask, np.ones(6, dtype=bool))
+
+    def test_generation_filter_and_checkpoint_split(self):
+        prices = np.array([0.1, 0.1, 0.1])
+        generation = np.array([2.0, 0.0, 4.0])
+        model = InterruptionModel(checkpoint_fraction=0.75)
+        events = scan_trace(prices, 0.05, model=model, generation=generation)
+        assert [e.slot for e in events] == [0, 2]  # idle slot 1 cannot be evicted
+        assert events[0].lost_gb == pytest.approx(0.5)
+        assert events[0].salvaged_gb == pytest.approx(1.5)
+        assert events[1].lost_gb == pytest.approx(1.0)
+        assert events[1].salvaged_gb == pytest.approx(3.0)
+
+
+def _drrp(demand, initial_storage=0.0, **kwargs):
+    T = len(demand)
+    costs = CostSchedule(
+        compute=np.full(T, 3.0), storage=np.full(T, 0.1), io=np.full(T, 0.1),
+        transfer_in=np.full(T, 0.2), transfer_out=np.full(T, 0.2),
+    )
+    return DRRPInstance(
+        demand=np.asarray(demand, dtype=float), costs=costs,
+        phi=0.5, initial_storage=initial_storage, **kwargs,
+    )
+
+
+class TestApplyInterruptions:
+    def test_knockout_and_salvage(self):
+        inst = _drrp([1.0, 2.0, 1.0, 2.0])
+        events = [event(slot=2, lost=0.5, salvaged=1.5)]
+        repaired = apply_interruptions(inst, events)
+        assert repaired.bottleneck_rate == 1.0
+        assert repaired.bottleneck_capacity[2] == 0.0
+        assert (repaired.bottleneck_capacity[[0, 1, 3]] > 0).all()
+        assert repaired.initial_storage == pytest.approx(1.5)
+        plan = solve_drrp(repaired, backend="auto")
+        assert plan.alpha[2] <= 1e-9  # the evicted slot produces nothing
+
+    def test_existing_bottleneck_preserved(self):
+        inst = _drrp(
+            [1.0, 1.0, 1.0],
+            bottleneck_rate=2.0, bottleneck_capacity=np.array([5.0, 6.0, 7.0]),
+        )
+        repaired = apply_interruptions(inst, [event(slot=1, salvaged=0.0)])
+        assert repaired.bottleneck_rate == 2.0
+        np.testing.assert_array_equal(repaired.bottleneck_capacity, [5.0, 0.0, 7.0])
+
+    def test_restart_lag_widens_the_knockout(self):
+        inst = _drrp([0.0, 0.0, 1.0, 1.0], initial_storage=2.0)
+        repaired = apply_interruptions(inst, [event(slot=1, salvaged=0.0, lag=1)])
+        np.testing.assert_array_equal(
+            repaired.bottleneck_capacity == 0.0, [False, True, True, False]
+        )
+
+
+class TestSingleChargeInvariant:
+    """A slot is a win (spot, once) xor an eviction (λ, once) — never both.
+
+    Pins the fix for the availability↔interruption double-count: both
+    layers now share ``is_out_of_bid``/its complement, so the win and
+    eviction sets partition the horizon, including ``bid == price`` ties.
+    """
+
+    def test_wins_and_evictions_partition_every_slot(self):
+        rng = np.random.default_rng(23)
+        prices = rng.uniform(0.02, LAMBDA, 200)
+        prices[:10] = 0.06  # force exact ties against the bid below
+        wins = prices <= 0.06
+        evictions = eviction_mask(prices, 0.06)
+        assert (wins ^ evictions).all()
+
+    @pytest.mark.parametrize("bid", [0.03, 0.06, 0.0601, LAMBDA])
+    def test_simulator_agrees_with_exact_accounting(self, bid):
+        """simulate_policy and fixed_bid_outcome must agree bit for bit."""
+        rng = np.random.default_rng(37)
+        prices = np.round(rng.uniform(0.02, LAMBDA, 40), 3)
+        prices[5] = bid  # a tie — must be charged as a win
+        demand = np.round(rng.uniform(0.0, 2.0, 40), 2)
+        case = BidDominanceCase(
+            prices=prices, demand=demand, on_demand_price=LAMBDA,
+            bid_lo=min(bid, 0.01), bid_hi=max(bid, 0.02), work_loss=0.5,
+        )
+        analytic = fixed_bid_outcome(case, bid)
+        sim = simulate_policy(
+            NoPlanPolicy(FixedBids(value=bid)), prices, demand,
+            VMClass(name="single-charge", on_demand_price=LAMBDA),
+            rates=CostRates(), interruption_loss=0.5,
+        )
+        assert float(analytic.cost) == sim.total_cost
+        assert analytic.interruptions == sim.out_of_bid_events
+        assert float(analytic.lost_gb) == pytest.approx(sim.lost_gb)
+        # the per-slot eviction marker matches the shared predicate on
+        # exactly the rented (positive-demand) slots
+        rented = demand > 1e-12
+        np.testing.assert_array_equal(
+            sim.out_of_bid, rented & eviction_mask(prices, bid)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis property: bid monotonicity
+# ---------------------------------------------------------------------------
+
+#: Where failing property examples are persisted (mirrors `repro fuzz
+#: --out-dir`): the JSON left behind is the *shrunk* counterexample,
+#: because Hypothesis re-runs the test on the minimal failing input last.
+ARTIFACT_DIR = Path(os.environ.get("REPRO_FUZZ_DIR", "fuzz-reproducers"))
+
+
+def _persist_counterexample(case: BidDominanceCase, lo, hi) -> Path:
+    from repro.verify.oracle import serialize_witness
+
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    path = ARTIFACT_DIR / "property_bid_monotonicity.json"
+    path.write_text(json.dumps({
+        "property": "bid-monotonicity",
+        "witness": serialize_witness(case),
+        "cost_lo": str(lo.cost),
+        "cost_hi": str(hi.cost),
+        "interruptions_lo": lo.interruptions,
+        "interruptions_hi": hi.interruptions,
+    }, indent=2) + "\n")
+    return path
+
+
+if HAVE_HYPOTHESIS:
+
+    @st.composite
+    def bid_cases(draw):
+        T = draw(st.integers(min_value=1, max_value=12))
+        prices = np.array(draw(st.lists(
+            st.floats(0.001, LAMBDA), min_size=T, max_size=T,
+        )))
+        demand = np.array(draw(st.lists(
+            st.floats(0.0, 2.0), min_size=T, max_size=T,
+        )))
+        # half the time bid exactly at a realized price: ties must stay wins
+        if draw(st.booleans()) and prices.size:
+            bid_lo = float(prices[draw(st.integers(0, T - 1))])
+        else:
+            bid_lo = draw(st.floats(0.001, 1.1 * LAMBDA))
+        delta = draw(st.floats(0.001, 0.1))
+        work_loss = draw(st.sampled_from([0.0, 0.25, 0.5, 0.9]))
+        return BidDominanceCase(
+            prices=prices, demand=demand, on_demand_price=LAMBDA,
+            bid_lo=bid_lo, bid_hi=bid_lo + delta, work_loss=work_loss,
+        )
+
+    class TestBidMonotonicity:
+        @settings(max_examples=150, deadline=None, database=None)
+        @given(case=bid_cases())
+        def test_raising_the_bid_never_hurts(self, case):
+            """With spot capped at λ, a higher bid weakly reduces both the
+            realized cost and the interruption count (ties allowed)."""
+            lo = fixed_bid_outcome(case, case.bid_lo)
+            hi = fixed_bid_outcome(case, case.bid_hi)
+            try:
+                assert hi.interruptions <= lo.interruptions
+                assert hi.cost <= lo.cost
+            except AssertionError:
+                path = _persist_counterexample(case, lo, hi)
+                raise AssertionError(
+                    f"bid monotonicity violated; reproducer at {path}"
+                )

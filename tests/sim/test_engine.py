@@ -66,6 +66,42 @@ class TestRunCampaign:
         assert lossy.outcomes["rolling-drrp"].result.lost_gb >= 0.0
 
 
+class TestBidPolicyRoster:
+    def test_make_policy_builds_interrupted_planners(self):
+        from repro.sim import InterruptedRollingDRRPPolicy
+
+        inputs = build_inputs(CONFIG)
+        config = CampaignConfig(
+            slots=48, estimation_slots=240, interruption_loss=0.25,
+            bid_value=0.8,
+            horizon=HorizonConfig(prediction=24, control=12, coarse_block=4),
+        )
+        policy = make_policy("bid-od-index", inputs, config)
+        assert isinstance(policy, InterruptedRollingDRRPPolicy)
+        assert policy.name == "bid-od-index"
+        assert policy.bid_policy.fraction == 0.8
+        # the event model mirrors the simulator's loss fraction
+        assert policy.model.work_loss == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            make_policy("bid-martingale", inputs, config)
+
+    def test_campaign_records_interruptions(self):
+        result = run_campaign(
+            CampaignConfig(
+                slots=24, estimation_slots=240, interruption_loss=0.5,
+                horizon=HorizonConfig(prediction=12, control=6, coarse_block=3),
+                policies=("oracle", "bid-fixed"),
+            )
+        )
+        out = result.outcomes["bid-fixed"]
+        # the policy's settled event count can trail the simulator's marker
+        # by at most the final, never-settled slot
+        assert 0 <= out.result.out_of_bid_events - out.interruptions <= 1
+        payload = result.result_payload()
+        assert payload["policies"]["bid-fixed"]["interruptions"] == out.interruptions
+        assert result.config.jsonable()["bid_value"] is None
+
+
 class TestValidation:
     def test_unknown_vm_rejected(self):
         with pytest.raises(ValueError):

@@ -5,7 +5,9 @@ import pytest
 
 from repro.core import simulate_policy
 from repro.market import BidStrategy, FixedBids, MeanBids, ec2_catalog
-from repro.sim import HorizonConfig, RollingDRRPPolicy
+from repro.market.interruptions import InterruptionModel
+from repro.market.policy import FixedBidPolicy, RebidPolicy
+from repro.sim import HorizonConfig, InterruptedRollingDRRPPolicy, RollingDRRPPolicy
 
 VM = ec2_catalog()["c1.medium"]
 HORIZON = HorizonConfig(prediction=12, control=6, coarse_block=3)
@@ -116,3 +118,88 @@ class TestPriceVisibility:
         from repro.sim import RollingHorizonPolicy
 
         assert RollingHorizonPolicy(MeanBids()).name == "rolling-exp-mean"
+
+
+class TestInterruptedRolling:
+    """The bid-reactive planner: typed events, rebids, forced replans."""
+
+    def _spiky(self):
+        """A quiet market with two hard spikes the low bid must lose."""
+        rng = np.random.default_rng(9)
+        history = rng.normal(0.06, 0.003, 300).clip(0.05, 0.07)
+        realized = rng.normal(0.06, 0.003, 24).clip(0.05, 0.07)
+        realized[7] = realized[15] = 0.19  # above any sane bid, below λ
+        demand = rng.uniform(0.2, 0.6, 24)
+        return history, realized, demand
+
+    def test_evictions_become_events_and_forced_replans(self):
+        history, realized, demand = self._spiky()
+        policy = InterruptedRollingDRRPPolicy(
+            FixedBidPolicy(0.1), model=InterruptionModel(checkpoint_fraction=0.5),
+            horizon=HORIZON,
+        )
+        res = simulate_policy(
+            policy, realized, demand, VM,
+            price_history=history, interruption_loss=0.5,
+        )
+        assert policy.name == "bid-fixed"
+        # the plan batches production, so only *rented* spike slots evict;
+        # the policy's event stream must mirror the simulator's marker
+        # exactly (the final slot is never settled — no next decide call)
+        evicted = np.flatnonzero(res.out_of_bid)
+        assert [e.slot for e in policy.events] == [s for s in evicted if s < 23]
+        assert policy.interruptions == res.out_of_bid_events >= 1
+        for e in policy.events:
+            assert e.spot_price == pytest.approx(0.19)
+            assert e.lost_gb == pytest.approx(e.salvaged_gb)  # 50% checkpoint
+        # cadence alone would replan 4 windows; each eviction forces one more
+        assert policy.replans == 4 + policy.interruptions
+        assert res.forced_topups == 0
+
+    def test_eviction_triggers_a_rebid(self):
+        history, realized, demand = self._spiky()
+        bid_policy = RebidPolicy(availability=0.5, escalation=1.5)
+        policy = InterruptedRollingDRRPPolicy(bid_policy, horizon=HORIZON)
+        res = simulate_policy(
+            policy, realized, demand, VM,
+            price_history=history, interruption_loss=0.5,
+        )
+        assert policy.interruptions >= 1
+        # the escalated bid after the eviction is strictly above the one
+        # that lost the auction
+        assert policy.events[0].bid < bid_policy.bid(history)
+        assert res.out_of_bid_events == policy.interruptions
+
+    def test_nonanticipativity_of_decisions_and_events(self):
+        """Perturbing prices after slot k leaves everything through k
+        bit-identical: decisions, paid prices, and emitted events."""
+        history, realized, demand = self._spiky()
+
+        def run(prices):
+            policy = InterruptedRollingDRRPPolicy(
+                RebidPolicy(availability=0.5, escalation=1.5),
+                model=InterruptionModel(checkpoint_fraction=0.5),
+                horizon=HORIZON,
+            )
+            res = simulate_policy(
+                policy, prices, demand, VM,
+                price_history=history, interruption_loss=0.5,
+            )
+            return policy, res
+
+        k = 12  # between the two engineered price spikes
+        perturbed = realized.copy()
+        perturbed[k:] = (perturbed[k:] * 1.7).clip(None, 0.19)
+        base_policy, base_res = run(realized)
+        pert_policy, pert_res = run(perturbed)
+
+        np.testing.assert_array_equal(base_res.generated[:k], pert_res.generated[:k])
+        np.testing.assert_array_equal(base_res.paid_prices[:k], pert_res.paid_prices[:k])
+        np.testing.assert_array_equal(base_res.out_of_bid[:k], pert_res.out_of_bid[:k])
+        # events settle one slot late: everything decided at or before k-1
+        # (settled by slot k, whose *decision* sees only prices <= k) match
+        base_events = [e for e in base_policy.events if e.slot < k]
+        pert_events = [e for e in pert_policy.events if e.slot < k]
+        assert base_events == pert_events
+        # and the futures genuinely diverged, so the prefix check is real
+        assert pert_res.out_of_bid[k:].sum() > base_res.out_of_bid[k:].sum()

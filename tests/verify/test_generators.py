@@ -12,8 +12,10 @@ from repro.solver.result import SolverStatus
 from repro.solver.scipy_backend import scipy_available
 from repro.verify.generators import (
     FAMILIES,
+    bid_dominance,
     infeasible_lp,
     planted_drrp,
+    planted_evicted_drrp,
     planted_lp,
     planted_milp,
     planted_srrp,
@@ -111,9 +113,73 @@ class TestTwoStage:
             assert close(ef.objective, bd.objective, tol=1e-5)
 
 
+class TestPlantedEvictedDRRP:
+    def test_optimum_matches_milp(self, rng):
+        for _ in range(10):
+            case = planted_evicted_drrp(rng)
+            plan = solve_drrp(case.instance, backend="auto")
+            assert close(plan.objective, case.optimum)
+
+    def test_evicted_slots_are_knocked_out(self, rng):
+        for _ in range(10):
+            case = planted_evicted_drrp(rng)
+            evicted = case.meta["evicted"]
+            assert evicted and 0 not in evicted
+            cap = case.instance.bottleneck_capacity
+            assert all(cap[e] == 0.0 for e in evicted)
+            plan = solve_drrp(case.instance, backend="auto")
+            assert all(plan.alpha[e] <= 1e-9 for e in evicted)
+
+    def test_x_star_is_a_valid_plan(self, rng):
+        from repro.core.drrp import RentalPlan
+
+        case = planted_evicted_drrp(rng)
+        T = case.instance.horizon
+        plan = RentalPlan(
+            alpha=case.x_star[:T], beta=case.x_star[T : 2 * T], chi=case.x_star[2 * T :],
+            compute_cost=0, inventory_cost=0, transfer_in_cost=0, transfer_out_cost=0,
+            objective=case.optimum, status=SolverStatus.OPTIMAL,
+        )
+        plan.validate(case.instance)
+
+
+class TestBidDominance:
+    def test_higher_bid_weakly_dominates(self, rng):
+        from repro.market.interruptions import fixed_bid_outcome
+
+        for _ in range(20):
+            case = bid_dominance(rng)
+            inst = case.instance
+            lo = fixed_bid_outcome(inst, inst.bid_lo)
+            hi = fixed_bid_outcome(inst, inst.bid_hi)
+            assert hi.cost <= lo.cost
+            assert hi.interruptions <= lo.interruptions
+            assert float(hi.cost) == case.optimum
+
+    def test_outcome_matches_simulator_bit_for_bit(self, rng):
+        from repro.core.rolling import NoPlanPolicy, simulate_policy
+        from repro.market.auction import FixedBids
+        from repro.market.catalog import CostRates, VMClass
+        from repro.market.interruptions import fixed_bid_outcome
+
+        for _ in range(5):
+            case = bid_dominance(rng)
+            inst = case.instance
+            vm = VMClass(name="bid-dominance", on_demand_price=inst.on_demand_price)
+            for bid in (inst.bid_lo, inst.bid_hi):
+                analytic = fixed_bid_outcome(inst, bid)
+                sim = simulate_policy(
+                    NoPlanPolicy(FixedBids(value=bid)), inst.prices, inst.demand,
+                    vm, rates=CostRates(), interruption_loss=inst.work_loss,
+                )
+                assert float(analytic.cost) == sim.total_cost
+                assert analytic.interruptions == sim.out_of_bid_events
+
+
 def test_family_registry_is_complete(rng):
     assert set(FAMILIES) == {
-        "lp", "milp", "lp-infeasible", "drrp", "drrp-random", "srrp", "two-stage",
+        "lp", "milp", "lp-infeasible", "drrp", "drrp-random", "drrp-evicted",
+        "srrp", "two-stage", "bid-dominance",
     }
     for gen in FAMILIES.values():
         case = gen(rng)
