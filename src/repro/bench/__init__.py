@@ -8,6 +8,7 @@ pivots/solve, warm-hit rate, and wall time to ``BENCH_solver.json``.
 committed record.
 """
 
+from .report import report_lines
 from .solver import (
     SolverBenchConfig,
     check_solver_regression,
@@ -18,6 +19,7 @@ from .solver import (
 __all__ = [
     "SolverBenchConfig",
     "check_solver_regression",
+    "report_lines",
     "run_solver_bench",
     "summary_lines",
 ]

@@ -38,10 +38,12 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs.spans import span
 from repro.parallel.pool import default_workers
 from repro.solver import BranchAndBoundOptions, SolverStatus, solve_compiled
 from repro.solver.benders import BendersOptions, Scenario, TwoStageProblem, solve_benders
 from repro.solver.model import CompiledProblem
+from repro.solver.telemetry import Telemetry
 
 __all__ = [
     "SolverBenchConfig",
@@ -145,6 +147,7 @@ def _bb_leg(
     warm: bool,
     node_limit: int,
     incumbent: np.ndarray | None = None,
+    telemetry: Telemetry | None = None,
 ) -> dict:
     wall = 0.0
     nodes = pivots = lp_warm = lp_cold = 0
@@ -154,7 +157,7 @@ def _bb_leg(
             warm_start_lps=warm, node_limit=node_limit, initial_incumbent=incumbent
         )
         t0 = time.perf_counter()
-        res = solve_compiled(p, backend="simplex", bb_options=opts)
+        res = solve_compiled(p, backend="simplex", bb_options=opts, listener=telemetry)
         wall += time.perf_counter() - t0
         if res.status not in (SolverStatus.OPTIMAL, SolverStatus.NODE_LIMIT, SolverStatus.FEASIBLE):
             raise RuntimeError(f"bench MILP terminated {res.status.value}")
@@ -177,10 +180,11 @@ def _bb_leg(
     }
 
 
-def _benders_leg(tsp: TwoStageProblem, workers: int) -> dict:
+def _benders_leg(tsp: TwoStageProblem, workers: int,
+                 telemetry: Telemetry | None = None) -> dict:
     opts = BendersOptions(n_workers=workers)
     t0 = time.perf_counter()
-    res = solve_benders(tsp, options=opts)
+    res = solve_benders(tsp, options=opts, listener=telemetry)
     wall = time.perf_counter() - t0
     if res.status is not SolverStatus.OPTIMAL:
         raise RuntimeError(f"bench Benders terminated {res.status.value}")
@@ -193,35 +197,53 @@ def _benders_leg(tsp: TwoStageProblem, workers: int) -> dict:
     }
 
 
-def run_solver_bench(cfg: SolverBenchConfig | None = None) -> dict:
-    """Run all three workloads and return (and optionally write) the record."""
+def run_solver_bench(cfg: SolverBenchConfig | None = None, listener=None) -> dict:
+    """Run all three workloads and return (and optionally write) the record.
+
+    ``listener`` attaches solver telemetry to the whole run: every leg is
+    bracketed in its own span under one root ``bench_solver`` span, so
+    :func:`repro.obs.prof.profile_events` can attribute essentially all of
+    the bench's wall time (``repro profile bench-solver``).
+    """
     cfg = cfg or SolverBenchConfig()
+    hub = Telemetry.from_listener(listener)
     rng = np.random.default_rng(cfg.seed)
     problems = [
         _random_milp(rng, cfg.bb_vars, cfg.bb_rows) for _ in range(cfg.bb_instances)
     ]
 
-    bb_warm = _bb_leg(problems, warm=True, node_limit=cfg.node_limit)
-    bb_cold = _bb_leg(problems, warm=False, node_limit=cfg.node_limit)
-    if not np.allclose(bb_warm["objectives"], bb_cold["objectives"], rtol=1e-7, atol=1e-7):
-        raise RuntimeError(
-            "warm and cold B&B disagree on bench optima: "
-            f"{bb_warm['objectives']} vs {bb_cold['objectives']}"
-        )
+    with span(hub, "bench_solver", seed=cfg.seed):
+        with span(hub, "bench_leg[bb_warm]"):
+            bb_warm = _bb_leg(problems, warm=True, node_limit=cfg.node_limit,
+                              telemetry=hub)
+        with span(hub, "bench_leg[bb_cold]"):
+            bb_cold = _bb_leg(problems, warm=False, node_limit=cfg.node_limit,
+                              telemetry=hub)
+        if not np.allclose(bb_warm["objectives"], bb_cold["objectives"], rtol=1e-7, atol=1e-7):
+            raise RuntimeError(
+                "warm and cold B&B disagree on bench optima: "
+                f"{bb_warm['objectives']} vs {bb_cold['objectives']}"
+            )
 
-    drrp_prob, drrp_x0 = _drrp_problem(cfg)
-    drrp_warm = _bb_leg([drrp_prob], warm=True, node_limit=cfg.node_limit, incumbent=drrp_x0)
-    drrp_cold = _bb_leg([drrp_prob], warm=False, node_limit=cfg.node_limit, incumbent=drrp_x0)
-    if not np.allclose(drrp_warm["objectives"], drrp_cold["objectives"], rtol=1e-7, atol=1e-7):
-        raise RuntimeError(
-            "warm and cold B&B disagree on the DRRP leg: "
-            f"{drrp_warm['objectives']} vs {drrp_cold['objectives']}"
-        )
+        drrp_prob, drrp_x0 = _drrp_problem(cfg)
+        with span(hub, "bench_leg[drrp_warm]"):
+            drrp_warm = _bb_leg([drrp_prob], warm=True, node_limit=cfg.node_limit,
+                                incumbent=drrp_x0, telemetry=hub)
+        with span(hub, "bench_leg[drrp_cold]"):
+            drrp_cold = _bb_leg([drrp_prob], warm=False, node_limit=cfg.node_limit,
+                                incumbent=drrp_x0, telemetry=hub)
+        if not np.allclose(drrp_warm["objectives"], drrp_cold["objectives"], rtol=1e-7, atol=1e-7):
+            raise RuntimeError(
+                "warm and cold B&B disagree on the DRRP leg: "
+                f"{drrp_warm['objectives']} vs {drrp_cold['objectives']}"
+            )
 
-    tsp = _two_stage(cfg)
-    workers = cfg.benders_workers if cfg.benders_workers is not None else default_workers()
-    benders_serial = _benders_leg(tsp, workers=1)
-    benders_parallel = _benders_leg(tsp, workers=max(2, workers))
+        tsp = _two_stage(cfg)
+        workers = cfg.benders_workers if cfg.benders_workers is not None else default_workers()
+        with span(hub, "bench_leg[benders_serial]"):
+            benders_serial = _benders_leg(tsp, workers=1, telemetry=hub)
+        with span(hub, "bench_leg[benders_parallel]"):
+            benders_parallel = _benders_leg(tsp, workers=max(2, workers), telemetry=hub)
     if abs(benders_serial["objective"] - benders_parallel["objective"]) > 1e-6 * max(
         1.0, abs(benders_serial["objective"])
     ):

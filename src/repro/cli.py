@@ -43,6 +43,21 @@ Commands mirror the library's main workflows:
     ``--check-against BASELINE`` it exits nonzero when the
     cold-normalized throughput ratio regresses more than 25% against the
     committed baseline (the CI gate).
+``trace``
+    Merge per-process JSONL event files (``simulate --trace-dir``, the
+    service's per-job captures, ``run --out-dir``) into one Chrome trace
+    with real pid lanes and cross-process flow arrows
+    (:mod:`repro.obs.propagate`).
+``profile``
+    Deterministic phase profiler (:mod:`repro.obs.prof`): attribute wall
+    time to simplex phases, B&B node lifecycle, Benders
+    master/subproblem/IPC, and service queue wait; ``--speedscope``
+    exports a speedscope-JSON flamechart.  ``profile bench-solver``
+    additionally fails (exit 1) when less than 95% of the bench wall
+    time is attributed.
+``bench-report``
+    Print the headline-metric table of every committed ``BENCH_*.json``
+    next to fresh records from ``REPRO_BENCH_DIR``/``bench-out/``.
 
 Exit codes, uniformly: ``0`` success (``plan``/``submit``: the plan is
 OPTIMAL; ``fuzz``: campaign completed clean), ``1`` failure (no plan,
@@ -190,6 +205,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the campaign RunManifest as JSON")
     p_sim.add_argument("--json", default=None, metavar="FILE", dest="out_json",
                        help="write the full campaign record (costs, ratios) as JSON")
+    p_sim.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="campaign mode: record per-process event files under DIR "
+             "(campaign + per-job service captures), merge them into "
+             "DIR/merged.trace.json, and save a Prometheus /metrics scrape",
+    )
 
     p_rep = sub.add_parser(
         "report", help="regenerate paper figures, or render a recorded trace/manifest file"
@@ -343,6 +364,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_bsim.add_argument("--check-against", default=None, metavar="BASELINE",
                         help="compare cost/oracle ratios and service invariants "
                              "against a committed BENCH_sim.json; exit 1 on drift")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="merge per-process JSONL event files into one Chrome trace "
+             "with cross-process flow arrows",
+    )
+    p_trace.add_argument(
+        "paths", nargs="+",
+        help="event files written with trace metadata, or directories to "
+             "scan recursively for *.jsonl (e.g. a simulate --trace-dir)",
+    )
+    p_trace.add_argument("-o", "--out", default="merged.trace.json", metavar="FILE",
+                         help="merged Chrome trace output (default merged.trace.json)")
+    p_trace.add_argument("--label", default="repro", help="trace label (default repro)")
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="deterministic phase profiler: attribute wall time to solver "
+             "phases and export speedscope JSON",
+    )
+    p_prof.add_argument(
+        "target",
+        help="'plan' (profile one DRRP solve), 'bench-solver' (profile the "
+             "solver benchmark), or a path to a recorded events.jsonl",
+    )
+    p_prof.add_argument("--vm", default="m1.large", help="VM class for 'plan'")
+    p_prof.add_argument("--horizon", type=int, default=24, help="'plan' horizon (default 24)")
+    p_prof.add_argument("--seed", type=int, default=0, help="seed for 'plan'/'bench-solver'")
+    p_prof.add_argument("--backend", default="auto", help="solver backend for 'plan'")
+    p_prof.add_argument("--node-limit", type=int, default=None,
+                        help="'bench-solver': B&B node cap override")
+    p_prof.add_argument("--scenarios", type=int, default=None,
+                        help="'bench-solver': Benders scenario count override")
+    p_prof.add_argument("--speedscope", default=None, metavar="FILE",
+                        help="write a speedscope JSON profile (speedscope.app)")
+    p_prof.add_argument("--json", default=None, metavar="FILE", dest="out_json",
+                        help="write the phase profile as JSON")
+
+    p_brep = sub.add_parser(
+        "bench-report",
+        help="print the benchmark headline-metric table: committed "
+             "BENCH_*.json baselines vs fresh records",
+    )
+    p_brep.add_argument("--dir", default=".", metavar="DIR",
+                        help="directory holding the committed BENCH_*.json (default .)")
+    p_brep.add_argument("--fresh", default=None, metavar="DIR",
+                        help="directory with fresh records (default: REPRO_BENCH_DIR "
+                             "or bench-out/ when present)")
 
     return parser
 
@@ -627,13 +696,31 @@ def _cmd_simulate_campaign(args) -> int:
 
     service = httpd = None
     service_url = args.service
+    trace_dir = Path(args.trace_dir) if args.trace_dir else None
+    if trace_dir is not None:
+        trace_dir.mkdir(parents=True, exist_ok=True)
     if args.with_service:
         from repro.service import ServiceConfig, serve
 
-        service, httpd = serve(port=0, config=ServiceConfig(workers=2), block=False)
+        svc_config = ServiceConfig(
+            workers=2,
+            capture_dir=str(trace_dir / "service") if trace_dir is not None else None,
+        )
+        service, httpd = serve(port=0, config=svc_config, block=False)
         service_url = f"http://127.0.0.1:{httpd.server_address[1]}"
+    prom_text = None
     try:
         result = run_campaign(config, service_url=service_url)
+        if trace_dir is not None and service_url is not None:
+            import urllib.request
+
+            try:  # scrape while the server is still up
+                with urllib.request.urlopen(
+                    service_url + "/metrics?format=prom", timeout=10
+                ) as resp:
+                    prom_text = resp.read().decode()
+            except OSError:
+                prom_text = None
     except ValueError as exc:  # unknown VM class or policy name
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -645,6 +732,24 @@ def _cmd_simulate_campaign(args) -> int:
 
     for line in result.summary_lines():
         print(line)
+    if trace_dir is not None:
+        from repro.obs.propagate import (
+            collect_event_files,
+            write_merged_trace,
+            write_process_events,
+        )
+
+        write_process_events(
+            trace_dir / "campaign.events.jsonl", result.events,
+            label="campaign", trace=result.trace, wall_t0=result.wall_t0,
+        )
+        files = collect_event_files(trace_dir)
+        merged = write_merged_trace(trace_dir / "merged.trace.json", files,
+                                    label=f"campaign {config.vm}")
+        print(f"trace: {merged} ({len(files)} process files)")
+        if prom_text:
+            (trace_dir / "metrics.prom").write_text(prom_text)
+            print(f"metrics: {trace_dir / 'metrics.prom'}")
     print(result.manifest.summary_line())
     if args.manifest:
         print(f"manifest: {result.manifest.write(args.manifest)}")
@@ -1079,6 +1184,126 @@ def _cmd_bench_sim(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.propagate import collect_event_files, write_merged_trace
+
+    files: list[Path] = []
+    for raw in args.paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(collect_event_files(p))
+        elif p.is_file():
+            files.append(p)
+        else:
+            print(f"error: {p} is neither a file nor a directory", file=sys.stderr)
+            return 2
+    files = list(dict.fromkeys(files))
+    if not files:
+        print("error: no *.jsonl event files found", file=sys.stderr)
+        return 2
+    path = write_merged_trace(args.out, files, label=args.label)
+    doc = json.loads(Path(path).read_text())
+    ids = doc.get("otherData", {}).get("trace_ids", [])
+    flows = sum(1 for e in doc.get("traceEvents", []) if e.get("ph") == "s")
+    print(f"merged {len(files)} process files -> {path}")
+    print(f"trace ids: {', '.join(ids) if ids else '(none)'}; flow arrows: {flows}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.prof import parent_clock_spans, profile_spans, write_speedscope
+    from repro.solver import EventRecorder
+
+    target = args.target
+    recorder = EventRecorder()
+    if target == "plan":
+        from repro.core import DRRPInstance, NormalDemand, on_demand_schedule, solve_drrp
+        from repro.market import ec2_catalog
+
+        catalog = ec2_catalog()
+        if args.vm not in catalog:
+            print(f"unknown VM class {args.vm!r}; choose from {sorted(catalog)}",
+                  file=sys.stderr)
+            return 2
+        vm = catalog[args.vm]
+        demand = NormalDemand().sample(args.horizon, args.seed)
+        inst = DRRPInstance(
+            demand=demand, costs=on_demand_schedule(vm, args.horizon), vm_name=vm.name
+        )
+        solve_drrp(inst, backend=args.backend, listener=recorder)
+        events = recorder.events
+        name = f"repro plan {vm.name}/{args.horizon}"
+    elif target == "bench-solver":
+        from repro.bench import SolverBenchConfig, run_solver_bench
+
+        overrides = {}
+        if args.node_limit is not None:
+            overrides["node_limit"] = args.node_limit
+        if args.scenarios is not None:
+            overrides["scenarios"] = args.scenarios
+        try:
+            cfg = SolverBenchConfig(seed=args.seed, out=None, **overrides)
+            run_solver_bench(cfg, listener=recorder)
+        except (ValueError, RuntimeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        events = recorder.events
+        name = "repro bench-solver"
+    else:
+        path = Path(target)
+        if not path.is_file():
+            print(f"error: profile target {target!r} is not 'plan', "
+                  f"'bench-solver', or an event file", file=sys.stderr)
+            return 2
+        from repro.obs.propagate import read_process_events
+
+        meta, events = read_process_events(path)
+        name = (meta or {}).get("label") or path.name
+
+    roots, markers = parent_clock_spans(events)
+    prof = profile_spans(roots, markers)
+    print(prof.render())
+    if args.out_json:
+        Path(args.out_json).write_text(
+            json.dumps(prof.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"profile: {args.out_json}")
+    if args.speedscope:
+        print(f"speedscope: {write_speedscope(args.speedscope, roots, name=name)}")
+    # The bench wraps every leg in one root span, so essentially all wall
+    # time must land in a named bucket; a big hole means instrumentation
+    # regressed somewhere under the bench.
+    if target == "bench-solver" and not prof.coverage >= 0.95:
+        print(f"FAIL: profiler attributed only {prof.coverage:.0%} of the "
+              f"bench wall time (need >= 95%)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench_report(args) -> int:
+    import os
+    from pathlib import Path
+
+    from repro.bench.report import report_lines
+
+    fresh = args.fresh
+    if fresh is None:
+        env = os.environ.get("REPRO_BENCH_DIR")
+        if env and Path(env).is_dir():
+            fresh = env
+        elif Path("bench-out").is_dir():
+            fresh = "bench-out"
+    for line in report_lines(args.dir, fresh):
+        print(line)
+    return 0
+
+
 _COMMANDS = {
     "plan": _cmd_plan,
     "run": _cmd_run,
@@ -1092,6 +1317,9 @@ _COMMANDS = {
     "bench-service": _cmd_bench_service,
     "bench-solver": _cmd_bench_solver,
     "bench-sim": _cmd_bench_sim,
+    "trace": _cmd_trace,
+    "profile": _cmd_profile,
+    "bench-report": _cmd_bench_report,
 }
 
 

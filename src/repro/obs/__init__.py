@@ -17,7 +17,13 @@ changes required to adopt it:
   trace-event / Perfetto span dumps with a lossless loader, and the
   terminal report;
 * :mod:`repro.obs.manifest` — per-run provenance manifests with result
-  digests, for replaying and diffing figure/fuzz runs.
+  digests, for replaying and diffing figure/fuzz runs;
+* :mod:`repro.obs.propagate` — W3C-``traceparent``-style
+  :class:`TraceContext` carried across ``parallel_map`` forks and
+  service HTTP hops, per-process event files, and the cross-process
+  trace merge behind ``repro trace``;
+* :mod:`repro.obs.prof` — the deterministic phase profiler
+  (:func:`profile_events`) and speedscope export behind ``repro profile``.
 
 See ``docs/observability.md`` for the event-to-span mapping and file
 formats.
@@ -51,6 +57,28 @@ from .metrics import (
     MetricsAggregator,
     MetricsRegistry,
     Series,
+    to_prometheus,
+)
+from .prof import (
+    PhaseProfile,
+    parent_clock_spans,
+    profile_events,
+    profile_spans,
+    to_speedscope,
+    write_speedscope,
+)
+from .propagate import (
+    TRACEPARENT_HEADER,
+    TraceContext,
+    activate,
+    collect_event_files,
+    current_trace,
+    ensure_trace,
+    merge_process_traces,
+    parse_traceparent,
+    read_process_events,
+    write_merged_trace,
+    write_process_events,
 )
 from .spans import Marker, Span, Tracer, span
 
@@ -69,6 +97,26 @@ __all__ = [
     "MetricsAggregator",
     "NULL_REGISTRY",
     "DEFAULT_DURATION_BUCKETS",
+    "to_prometheus",
+    # propagation
+    "TRACEPARENT_HEADER",
+    "TraceContext",
+    "parse_traceparent",
+    "current_trace",
+    "activate",
+    "ensure_trace",
+    "write_process_events",
+    "read_process_events",
+    "collect_event_files",
+    "merge_process_traces",
+    "write_merged_trace",
+    # profiler
+    "PhaseProfile",
+    "profile_events",
+    "profile_spans",
+    "parent_clock_spans",
+    "to_speedscope",
+    "write_speedscope",
     # exporters
     "write_events_jsonl",
     "read_events_jsonl",

@@ -67,6 +67,10 @@ def read_events_jsonl(path: str | Path) -> list[SolveEvent]:
             continue
         obj = json.loads(line)
         kind = obj.pop("kind")
+        if kind == "process_meta":
+            # Process event files (repro.obs.propagate) prefix the log with
+            # one metadata line; plain event readers skip it.
+            continue
         t = float(obj.pop("t"))
         events.append(SolveEvent(kind=kind, t=t, data=obj))
     return events
@@ -81,13 +85,20 @@ def to_chrome_trace(
     roots: list[Span],
     markers: list[Marker] = (),
     label: str = "repro",
+    pid: int = 0,
+    t_offset: float = 0.0,
 ) -> dict:
-    """Span forest + markers as a Chrome trace-event document."""
+    """Span forest + markers as a Chrome trace-event document.
+
+    ``pid`` and ``t_offset`` (seconds added to every timestamp) let the
+    cross-process merge (:func:`repro.obs.propagate.merge_process_traces`)
+    place each process's spans on its own pid lane, on one shared clock.
+    """
     trace_events: list[dict] = [
         {
             "name": "process_name",
             "ph": "M",
-            "pid": 0,
+            "pid": pid,
             "tid": 0,
             "args": {"name": label},
         }
@@ -108,9 +119,9 @@ def to_chrome_trace(
                     "name": span.name,
                     "cat": span.category,
                     "ph": "X",
-                    "ts": span.start * _US,
+                    "ts": (span.start + t_offset) * _US,
                     "dur": span.duration * _US,
-                    "pid": 0,
+                    "pid": pid,
                     "tid": span.worker,
                     "args": args,
                 }
@@ -122,8 +133,8 @@ def to_chrome_trace(
                 "cat": "marker",
                 "ph": "i",
                 "s": "t",
-                "ts": mark.t * _US,
-                "pid": 0,
+                "ts": (mark.t + t_offset) * _US,
+                "pid": pid,
                 "tid": mark.worker,
                 "args": jsonable(mark.data),
             }

@@ -45,6 +45,10 @@ MANIFEST_VERSION = 1
 #: Fields that legitimately differ between a run and its replay.
 VOLATILE_FIELDS = frozenset({"created", "elapsed", "versions", "host", "events"})
 
+#: Keys inside ``extra`` that vary between a run and its faithful replay
+#: (trace ids are random per run, like timestamps).
+VOLATILE_EXTRA_KEYS = frozenset({"trace_id"})
+
 
 def package_versions() -> dict:
     """Versions of the packages that can change numeric results."""
@@ -194,6 +198,10 @@ def diff_manifests(a: RunManifest, b: RunManifest, *, include_volatile: bool = F
             continue
         if not include_volatile and key in VOLATILE_FIELDS:
             continue
-        if da.get(key) != db.get(key):
-            diff[key] = (da.get(key), db.get(key))
+        va, vb = da.get(key), db.get(key)
+        if key == "extra" and not include_volatile:
+            va = {k: v for k, v in (va or {}).items() if k not in VOLATILE_EXTRA_KEYS}
+            vb = {k: v for k, v in (vb or {}).items() if k not in VOLATILE_EXTRA_KEYS}
+        if va != vb:
+            diff[key] = (va, vb)
     return diff

@@ -19,6 +19,8 @@ returning ``None``).
 from __future__ import annotations
 
 import math
+import re
+import threading
 from dataclasses import dataclass, field
 
 from typing import TYPE_CHECKING
@@ -35,6 +37,7 @@ __all__ = [
     "NULL_REGISTRY",
     "MetricsAggregator",
     "DEFAULT_DURATION_BUCKETS",
+    "to_prometheus",
 ]
 
 #: Upper bounds (seconds) for duration histograms; the last bucket is +inf.
@@ -180,24 +183,34 @@ _NULL = _NullInstrument()
 
 
 class MetricsRegistry:
-    """Named instruments with create-on-first-use semantics."""
+    """Named instruments with create-on-first-use semantics.
+
+    Thread-safe at the registry level: the planning service mutates
+    instruments from solver worker threads while HTTP handler threads
+    snapshot ``/metrics`` concurrently, so create-on-first-use and
+    :meth:`snapshot` hold a lock — an unlocked check-then-set can hand
+    two racing threads *different* instruments for the same name,
+    silently dropping one thread's observations.
+    """
 
     enabled = True
 
     def __init__(self) -> None:
         self._metrics: dict[str, object] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, factory, cls):
-        inst = self._metrics.get(name)
-        if inst is None:
-            inst = factory()
-            self._metrics[name] = inst
-        elif not isinstance(inst, cls):
-            raise TypeError(
-                f"metric {name!r} already registered as {type(inst).__name__}, "
-                f"not {cls.__name__}"
-            )
-        return inst
+        with self._lock:
+            inst = self._metrics.get(name)
+            if inst is None:
+                inst = factory()
+                self._metrics[name] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {type(inst).__name__}, "
+                    f"not {cls.__name__}"
+                )
+            return inst
 
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter, Counter)
@@ -222,7 +235,8 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         """JSON-friendly dump of every instrument, sorted by name."""
-        return {name: self._metrics[name].snapshot() for name in self.names()}
+        with self._lock:
+            return {name: self._metrics[name].snapshot() for name in sorted(self._metrics)}
 
     def render_table(self) -> str:
         """Aligned text table for terminal reports."""
@@ -282,6 +296,69 @@ def _fmt(v) -> str:
     return str(v)
 
 
+# -- Prometheus text exposition (format 0.0.4) ------------------------------
+
+_PROM_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, namespace: str) -> str:
+    full = f"{namespace}_{name}" if namespace else name
+    full = _PROM_BAD_CHARS.sub("_", full)
+    if full and full[0].isdigit():
+        full = "_" + full
+    return full
+
+
+def _prom_value(v) -> str:
+    v = float(v)
+    if math.isnan(v):
+        return "NaN"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def to_prometheus(snapshot: dict, namespace: str = "repro") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text 0.0.4.
+
+    Counters and gauges map directly; a :class:`Series` is exposed as a
+    gauge of its last value.  Histogram buckets are rendered with the
+    **cumulative** counts the exposition format requires (the in-memory
+    representation keeps per-bucket counts), plus ``_sum``/``_count``.
+    Nested/unknown snapshot entries (e.g. the service's cache summary)
+    are skipped — the JSON endpoint carries those.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        snap = snapshot[name]
+        if not isinstance(snap, dict) or "type" not in snap:
+            continue
+        metric = _prom_name(name, namespace)
+        kind = snap["type"]
+        if kind == "counter":
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_prom_value(snap['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_prom_value(snap['value'])}")
+        elif kind == "series":
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_prom_value(snap['last'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, count in zip(snap["buckets"], snap["counts"]):
+                cumulative += int(count)
+                lines.append(
+                    f'{metric}_bucket{{le="{_prom_value(bound)}"}} {cumulative}'
+                )
+            lines.append(f"{metric}_sum {_prom_value(snap['sum'])}")
+            lines.append(f"{metric}_count {int(snap['count'])}")
+    return "\n".join(lines) + "\n"
+
+
 class MetricsAggregator:
     """Telemetry listener that folds solve events into a registry.
 
@@ -329,6 +406,9 @@ class MetricsAggregator:
                 reg.histogram(
                     "lp_pivots_per_solve", buckets=_PIVOT_BUCKETS
                 ).observe(float(pivots))
+            duration = data.get("duration")
+            if duration is not None:
+                reg.histogram("lp_solve_s").observe(float(duration))
             warm = reg.counter("lp_warm_solves").value
             cold = reg.counter("lp_cold_solves").value
             reg.gauge("lp_warm_hit_rate").set(warm / (warm + cold))

@@ -154,6 +154,9 @@ class Tracer:
         # Per-parent timestamp of the previous sliced event, so consecutive
         # benders_iteration / fuzz_case events tile the parent interval.
         self._slice_cursor: dict[int | None, float] = {}
+        # Per-(enclosing span, worker) clock offset mapping in-worker
+        # ``worker_t`` timestamps onto the parent clock; see _worker_time.
+        self._worker_offset: dict[tuple[int | None, int], float] = {}
         self._finished = False
 
     # -- listener protocol -------------------------------------------------
@@ -163,6 +166,9 @@ class Tracer:
         worker = int(data.pop("worker", 0))
         t = event.t
         self._last_t = max(self._last_t, t)
+        worker_t = data.pop("worker_t", None)
+        if worker_t is not None:
+            t = self._worker_time(worker, float(worker_t), t)
         kind = event.kind
 
         if kind == "solve_start":
@@ -218,6 +224,35 @@ class Tracer:
         return self.roots
 
     # -- internals ---------------------------------------------------------
+
+    def _worker_time(self, worker: int, worker_t: float, t: float) -> float:
+        """Map a forwarded in-worker timestamp onto the parent clock.
+
+        ``parallel_map`` re-emits captured worker events only after the
+        pool completes, so their parent-hub timestamps all collapse at
+        the fan-out's end — every worker span would render as a zero-width
+        sliver on one lane.  ``worker_t`` is monotone on a per-process
+        epoch, so anchoring each worker's first event at the enclosing
+        span's start recovers real in-worker start times and durations on
+        that worker's own lane.  The anchor is keyed per enclosing span:
+        each fan-out phase spawns a fresh pool, so worker ids (and their
+        epochs) only mean something within one phase.  Spans owned by
+        this same worker are skipped when picking the anchor — otherwise
+        a worker's ``phase_end`` would re-anchor on the span being closed
+        and collapse it to zero width.
+        """
+        anchor = next(
+            (s for s in reversed(self._stack) if s.worker != worker), None
+        )
+        key = (anchor.span_id if anchor is not None else None, worker)
+        offset = self._worker_offset.get(key)
+        if offset is None:
+            base = anchor.start if anchor is not None else t
+            offset = base - worker_t
+            self._worker_offset[key] = offset
+        # Never run past the re-emission time: the fan-out demonstrably
+        # finished by then, whatever the two clocks disagree about.
+        return min(worker_t + offset, t)
 
     def _attach(self, span: Span) -> None:
         if self._stack:

@@ -19,20 +19,31 @@ parent.  Passing ``telemetry=hub`` to :func:`parallel_map` fixes that:
 * captured events travel back with the task result (plain tuples, so the
   usual pickling contract holds) and are re-emitted into the parent hub
   **in item order**, tagged with a compact ``worker`` id (0, 1, ... by
-  first appearance) and the original in-worker timestamp as ``worker_t``;
+  first appearance) and the in-worker timestamp as ``worker_t``
+  (monotone on a per-process epoch, so consecutive tasks on one worker
+  stay ordered and :class:`repro.obs.spans.Tracer` can re-time them);
 * the serial path captures the same way with ``worker=0``, so listeners
   observe one well-ordered merged stream either way (the parent hub
   clamps timestamps monotone).
+
+The caller's ambient :class:`repro.obs.propagate.TraceContext` (if any)
+is pickled into the task wrapper: each task runs under a *child* context
+(``current_trace()`` works inside the worker), re-emitted events are
+tagged with the trace id, and an **unsampled** context disables event
+capture in the workers entirely — the sampling decision made at the root
+holds across the fork.
 """
 
 from __future__ import annotations
 
 import os
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.obs.propagate import TraceContext, activate, current_trace
 from repro.solver.telemetry import EventRecorder, Telemetry
 
 T = TypeVar("T")
@@ -127,39 +138,66 @@ def default_workers(cap: int = 8) -> int:
     return max(1, min(cap, cpus - 1))
 
 
+#: Per-process epoch for ``worker_t`` timestamps: the monotonic clock at
+#: this process's first captured task.  Each task gets a fresh capture hub
+#: (whose clock restarts at zero), so timestamps are rebased onto this
+#: epoch before travelling back — consecutive tasks on one worker then
+#: carry one monotone in-worker timeline instead of restarting at zero.
+_epoch: float | None = None
+
+
 class _CapturedTask:
     """Picklable wrapper running ``fn`` under a capture hub.
 
     Returns ``(result, pid, events)`` where ``events`` is a list of
     ``(kind, t, data)`` tuples — everything plain so it survives the
-    multiprocessing round-trip.
+    multiprocessing round-trip.  ``trace`` (the caller's ambient
+    :class:`TraceContext`, pickled along) makes each task run under a
+    child context; an unsampled context suppresses capture entirely.
     """
 
-    __slots__ = ("fn",)
+    __slots__ = ("fn", "trace")
 
-    def __init__(self, fn: Callable) -> None:
+    def __init__(self, fn: Callable, trace: TraceContext | None = None) -> None:
         self.fn = fn
+        self.trace = trace
 
     def __call__(self, item):
-        global _ambient
+        global _ambient, _epoch
+        start = time.monotonic()
+        if _epoch is None:
+            _epoch = start
+        child = self.trace.child() if self.trace is not None else None
+        if child is not None and not child.sampled:
+            # Sampling decided "no" at the trace root: run without any
+            # capture hub so the worker pays nothing for telemetry.
+            with activate(child):
+                return self.fn(item), os.getpid(), []
         recorder = EventRecorder()
         hub = Telemetry(listeners=(recorder,))
         previous, _ambient = _ambient, hub
         try:
-            result = self.fn(item)
+            with activate(child) if child is not None else nullcontext():
+                result = self.fn(item)
         finally:
             _ambient = previous
-        events = [(ev.kind, ev.t, ev.data) for ev in recorder.events]
+        base = start - _epoch
+        events = [(ev.kind, base + ev.t, ev.data) for ev in recorder.events]
         return result, os.getpid(), events
 
 
-def _forward(telemetry: Telemetry, outputs) -> list:
+def _forward(telemetry: Telemetry, outputs, trace: TraceContext | None = None) -> list:
     """Re-emit captured worker events into the parent hub, in item order."""
     results = []
     worker_ids: dict[int, int] = {}
     for result, pid, events in outputs:
         worker = worker_ids.setdefault(pid, len(worker_ids))
         for kind, t, data in events:
+            # Doubly-forwarded events (a task body that itself ran a serial
+            # parallel_map) already carry worker tags; this hop's tags win.
+            data = {k: v for k, v in data.items() if k not in ("worker", "worker_t")}
+            if trace is not None:
+                data.setdefault("trace_id", trace.trace_id)
             telemetry.emit(kind, worker=worker, worker_t=t, **data)
         results.append(result)
     return results
@@ -184,7 +222,9 @@ def parallel_map(
 
     ``telemetry`` (optional) forwards events emitted by task bodies through
     :func:`current_telemetry` back into the given parent hub, tagged with a
-    ``worker`` id — see the module docstring.
+    ``worker`` id — see the module docstring.  The ambient
+    :class:`TraceContext` (if one is active) rides along: tasks run under
+    child contexts and its sampling decision governs worker-side capture.
     """
     items = list(items)
     if n_workers is None:
@@ -197,17 +237,18 @@ def parallel_map(
     # multiply processes geometrically instead of adding parallelism.
     if n_workers > 1 and in_parallel_worker():
         n_workers = 1
+    trace = current_trace()
     if n_workers <= 1 or len(items) <= 1:
         if telemetry is None:
             return [fn(item) for item in items]
-        task = _CapturedTask(fn)
-        return _forward(telemetry, [task(item) for item in items])
+        task = _CapturedTask(fn, trace)
+        return _forward(telemetry, [task(item) for item in items], trace)
     if chunksize is None:
         chunksize = max(1, len(items) // (4 * n_workers))
     if telemetry is None:
         with ProcessPoolExecutor(max_workers=n_workers, initializer=_child_init) as pool:
             return list(pool.map(fn, items, chunksize=chunksize))
-    task = _CapturedTask(fn)
+    task = _CapturedTask(fn, trace)
     with ProcessPoolExecutor(max_workers=n_workers, initializer=_child_init) as pool:
         outputs = list(pool.map(task, items, chunksize=chunksize))
-    return _forward(telemetry, outputs)
+    return _forward(telemetry, outputs, trace)

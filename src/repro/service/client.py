@@ -23,6 +23,8 @@ import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
 
+from repro.obs.propagate import TRACEPARENT_HEADER, TraceContext, current_trace
+
 __all__ = [
     "ServiceClient",
     "ServiceError",
@@ -85,17 +87,24 @@ class SubmitResult:
 class ServiceClient:
     """Minimal JSON/HTTP client for one planning server."""
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    def __init__(self, base_url: str, timeout: float = 60.0,
+                 trace: TraceContext | None = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Explicit trace context for outgoing requests; when unset, the
+        #: thread's ambient context (``current_trace()``) is used instead.
+        self.trace = trace
 
     # -- transport ---------------------------------------------------------
 
     def _request(self, method: str, path: str, body: dict | None = None) -> tuple[int, dict, dict]:
         data = None if body is None else json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"} if data else {}
+        ctx = self.trace if self.trace is not None else current_trace()
+        if ctx is not None:
+            headers[TRACEPARENT_HEADER] = ctx.to_traceparent()
         req = urllib.request.Request(
-            self.base_url + path, data=data, method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            self.base_url + path, data=data, method=method, headers=headers,
         )
         try:
             with urllib.request.urlopen(req, timeout=self.timeout) as resp:

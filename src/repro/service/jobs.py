@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # annotation-only: keeps this module stdlib-importable
+    from repro.obs.propagate import TraceContext
     from repro.solver.telemetry import Deadline
 
 __all__ = ["JobState", "Job", "JobStore"]
@@ -52,6 +53,9 @@ class Job:
     coalesced: int = 0            # extra identical submissions sharing this job
     plan: dict | None = None
     error: str | None = None
+    trace: TraceContext | None = None   # this job's own span context
+    trace_parent: str | None = None     # caller's span id (from traceparent)
+    wall_t0: float | None = None        # time.time() when the solve started
     done_event: threading.Event = field(default_factory=threading.Event, repr=False)
 
     def finish(self, plan: dict | None = None, error: str | None = None) -> None:
@@ -79,6 +83,8 @@ class Job:
             "cached": self.cached,
             "coalesced": self.coalesced,
         }
+        if self.trace is not None:
+            view["trace_id"] = self.trace.trace_id
         if self.degraded is not None:
             view["degraded"] = self.degraded
         if self.latency is not None:

@@ -22,8 +22,19 @@ Two layers, separable for testing:
     GET       ``/v1/jobs/<id>``        job status
     GET       ``/v1/jobs/<id>/plan``   plan body; 409 while pending
     GET       ``/healthz``             liveness + queue/cache summary
-    GET       ``/metrics``             metrics-registry snapshot (JSON)
+    GET       ``/metrics``             metrics-registry snapshot; JSON by
+                                       default, Prometheus text 0.0.4 with
+                                       ``?format=prom`` or ``Accept: text/plain``
     ========  =======================  ==========================================
+
+Trace propagation: ``POST`` handlers parse the W3C ``traceparent``
+header; an admitted job runs under a *child* span context of the
+caller's (a fresh root when the header is absent or malformed — a
+garbled header is never an error).  With ``capture_dir`` set, each job's
+``events.jsonl`` starts with a ``process_meta`` line carrying that
+context, so ``repro trace`` can stitch client- and server-side event
+files into one cross-process trace, and the queue wait is recorded as a
+synthetic ``service_queue_wait`` phase distinct from solve time.
 
 Admission control: the queue is bounded; when it is full a submission
 either gets 429 with a ``Retry-After`` estimate (``on_overload:
@@ -49,7 +60,13 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING
 
-from repro.obs.metrics import MetricsAggregator, MetricsRegistry
+from repro.obs.metrics import MetricsAggregator, MetricsRegistry, to_prometheus
+from repro.obs.propagate import (
+    TRACEPARENT_HEADER,
+    TraceContext,
+    activate,
+    parse_traceparent,
+)
 from repro.serialize import jsonable
 
 from .cache import PlanCache
@@ -156,14 +173,21 @@ class PlanningService:
 
     # -- admission ---------------------------------------------------------
 
-    def submit(self, payload) -> tuple[int, dict]:
+    def submit(self, payload, trace: TraceContext | None = None) -> tuple[int, dict]:
         """Admit one submission; returns ``(http_status, body)``.
 
         Never blocks on solver work: the slow paths are a queue insert, a
         cache lookup, or (``on_overload: "degrade"``) one polynomial-time
         heuristic.
+
+        ``trace`` is the caller's propagated context (parsed from the
+        ``traceparent`` header by the HTTP layer); the job runs under a
+        child span of it, or a fresh root when absent.
         """
         self.registry.counter("service_submissions").inc()
+        job_trace = trace.child() if trace is not None else TraceContext.new_root()
+        trace_fields = {"trace": job_trace,
+                        "trace_parent": trace.span_id if trace is not None else None}
         try:
             request = normalize_request(payload)
         except BadRequest as exc:
@@ -178,7 +202,8 @@ class PlanningService:
             cached = self.cache.get(digest)
             if cached is not None:
                 self.registry.counter("service_cache_hits").inc()
-                job = self.jobs.create(digest, request, state=JobState.DONE, cached=True)
+                job = self.jobs.create(digest, request, state=JobState.DONE,
+                                       cached=True, **trace_fields)
                 job.finish(plan=cached)
                 self._latency.observe(job.latency)
                 return 200, {"job": job.to_dict(), "plan": cached}
@@ -193,7 +218,7 @@ class PlanningService:
             if budget is None:
                 budget = self.config.default_time_limit
             deadline = Deadline(budget) if budget is not None else Deadline.never()
-            job = self.jobs.create(digest, request, deadline=deadline)
+            job = self.jobs.create(digest, request, deadline=deadline, **trace_fields)
             try:
                 self._queue.put_nowait(job)
             except queue.Full:
@@ -251,15 +276,26 @@ class PlanningService:
         job.state = JobState.RUNNING
         job.started = time.monotonic()
         recorder = EventRecorder() if self.config.capture_dir else None
-        listener = (
-            self._aggregator if recorder is None
-            else Telemetry(listeners=(recorder, self._aggregator))
+        job.wall_t0 = time.time()
+        hub = Telemetry(
+            listeners=(self._aggregator,) if recorder is None
+            else (recorder, self._aggregator)
         )
+        # The queue wait just ended; record it as a synthetic zero-width
+        # phase so profilers and the aggregator see it separately from
+        # solve time (the hub's clock only starts now, so a real span
+        # could not cover the wait retroactively).
+        hub.emit("phase_end", phase="service_queue_wait",
+                 duration=job.started - job.submitted, job=job.id)
         remaining = job.deadline.remaining() if job.deadline is not None else None
         if remaining is not None and math.isinf(remaining):
             remaining = None
         try:
-            payload = execute_request(job.request, time_limit=remaining, listener=listener)
+            # The job's span context becomes ambient for the solve: any
+            # parallel_map fan-out inherits it (child spans, sampling).
+            with activate(job.trace):
+                payload = execute_request(job.request, time_limit=remaining,
+                                          listener=hub)
             self._finish_job(job, plan=payload)
         except RuntimeError as exc:
             if job.deadline is not None and job.deadline.expired():
@@ -295,10 +331,14 @@ class PlanningService:
         """Write per-job provenance under ``capture_dir/<job id>/``."""
         from pathlib import Path
 
-        from repro.obs import RunManifest, write_events_jsonl
+        from repro.obs import RunManifest
+        from repro.obs.propagate import write_process_events
 
         out = Path(self.config.capture_dir) / job.id
         result = job.plan if job.plan is not None else {"error": job.error}
+        extra = {}
+        if job.trace is not None:
+            extra["trace"] = {**job.trace.to_dict(), "parent_span_id": job.trace_parent}
         manifest = RunManifest.from_run(
             "service",
             f"{job.request['kind']}:{job.id}",
@@ -311,9 +351,14 @@ class PlanningService:
                 else job.deadline.budget
             ),
             elapsed=job.latency,
+            extra=extra,
         )
         manifest.write(out / "manifest.json")
-        write_events_jsonl(out / "events.jsonl", recorder.events)
+        write_process_events(
+            out / "events.jsonl", recorder.events,
+            label=f"service:{job.id}", trace=job.trace,
+            parent_span_id=job.trace_parent, wall_t0=job.wall_t0,
+        )
 
     # -- read views --------------------------------------------------------
 
@@ -387,8 +432,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send(self, status: int, body: dict, retry_after: float | None = None) -> None:
         data = json.dumps(jsonable(body), allow_nan=False).encode()
+        self._send_raw(status, data, "application/json", retry_after=retry_after)
+
+    def _send_raw(self, status: int, data: bytes, content_type: str,
+                  retry_after: float | None = None) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         if retry_after is not None:
             self.send_header("Retry-After", f"{retry_after:g}")
@@ -416,6 +465,17 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes ------------------------------------------------------------
 
+    def _wants_prometheus(self) -> bool:
+        """Content negotiation for ``/metrics``: query beats Accept header."""
+        from urllib.parse import parse_qs, urlsplit
+
+        query = parse_qs(urlsplit(self.path).query)
+        fmt = (query.get("format") or [""])[0].lower()
+        if fmt:
+            return fmt in ("prom", "prometheus", "text")
+        accept = self.headers.get("Accept", "")
+        return "text/plain" in accept.lower()
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         service = self.server.service
         path = self.path.split("?", 1)[0].rstrip("/")
@@ -423,7 +483,12 @@ class _Handler(BaseHTTPRequestHandler):
             health = service.health()
             self._reply(200 if health["status"] == "ok" else 503, health)
         elif path == "/metrics":
-            self._reply(200, service.metrics_snapshot())
+            if self._wants_prometheus():
+                text = to_prometheus(service.metrics_snapshot())
+                self._send_raw(200, text.encode(),
+                               "text/plain; version=0.0.4; charset=utf-8")
+            else:
+                self._reply(200, service.metrics_snapshot())
         elif path.startswith("/v1/jobs/") and path.endswith("/plan"):
             self._reply(*service.plan_view(path[len("/v1/jobs/"):-len("/plan")]))
         elif path.startswith("/v1/jobs/"):
@@ -441,7 +506,10 @@ class _Handler(BaseHTTPRequestHandler):
         if err is not None:
             self._reply(400, {"error": err})
             return
-        status, body = service.submit(payload)
+        # Missing or garbled traceparent parses to None — the job simply
+        # starts a fresh trace root; propagation is never worth a 4xx/5xx.
+        trace = parse_traceparent(self.headers.get(TRACEPARENT_HEADER))
+        status, body = service.submit(payload, trace=trace)
         if path == "/v1/jobs" or status != 202:
             self._reply(status, body)
             return

@@ -44,6 +44,7 @@ from repro.market.catalog import CostRates, ec2_catalog
 from repro.market.traces import campaign_series
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import MetricsAggregator, MetricsRegistry
+from repro.obs.propagate import TraceContext, activate, current_trace
 from repro.obs.spans import span
 from repro.stats.empirical import EmpiricalDistribution
 
@@ -246,6 +247,9 @@ class CampaignResult:
     manifest: RunManifest
     registry: MetricsRegistry
     elapsed: float
+    events: list = field(default_factory=list)      # recorded SolveEvents
+    trace: TraceContext | None = None               # the campaign's root context
+    wall_t0: float | None = None                    # time.time() at hub creation
 
     def result_payload(self) -> dict:
         """The digest-stable record of the campaign (decisions included).
@@ -317,22 +321,35 @@ def run_campaign(
     config: CampaignConfig | None = None,
     service_url: str | None = None,
     extra_policies: dict[str, Policy] | None = None,
+    listener=None,
 ) -> CampaignResult:
     """Run one closed-loop campaign end to end (see module docstring).
 
     ``extra_policies`` lets callers add pre-built :class:`Policy`
     instances (keyed by display name) beyond the named roster — they are
     simulated and scored like any other policy but are *not* recorded in
-    the manifest config.
+    the manifest config.  ``listener`` attaches one extra telemetry
+    listener to the campaign hub (the CLI's live narrator, tests).
+
+    The whole campaign runs under one ambient
+    :class:`~repro.obs.propagate.TraceContext` — the caller's, when one
+    is active, otherwise a fresh root — so service submissions and
+    ``parallel_map`` fan-outs all land in the same trace; its id is
+    recorded in the manifest (``extra["trace_id"]``) and on the result.
     """
     from repro.solver import EventRecorder, Telemetry
 
     config = config or CampaignConfig()
     recorder = EventRecorder()
     registry = MetricsRegistry()
-    hub = Telemetry(listeners=[recorder, MetricsAggregator(registry)])
+    listeners = [recorder, MetricsAggregator(registry)]
+    if listener is not None:
+        listeners.append(listener)
+    wall_t0 = time.time()
+    hub = Telemetry(listeners=listeners)
     latency_hist = registry.histogram("sim_replan_s", _REPLAN_BUCKETS)
     window_counter = registry.counter("sim_replans_total")
+    ctx = current_trace() or TraceContext.new_root()
 
     inputs = build_inputs(config)
     t_start = time.perf_counter()
@@ -346,7 +363,7 @@ def run_campaign(
         roster.append((name, policy))
 
     for name, policy in roster:
-        with span(hub, f"policy[{name}]", slots=config.slots) as info:
+        with activate(ctx), span(hub, f"policy[{name}]", slots=config.slots) as info:
             result = simulate_policy(
                 policy,
                 inputs.realized,
@@ -392,7 +409,8 @@ def run_campaign(
         elapsed=elapsed,
         # The ephemeral port would differ between a run and its replay, so
         # only the *fact* of service routing goes under the manifest.
-        extra={"service_routed": service_url is not None},
+        extra={"service_routed": service_url is not None,
+               "trace_id": ctx.trace_id},
     )
     return CampaignResult(
         config=config,
@@ -402,6 +420,9 @@ def run_campaign(
         manifest=manifest,
         registry=registry,
         elapsed=elapsed,
+        events=list(recorder.events),
+        trace=ctx,
+        wall_t0=wall_t0,
     )
 
 

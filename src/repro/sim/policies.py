@@ -37,6 +37,7 @@ from repro.core.rolling import Policy, SimulationContext, SlotDecision
 from repro.market.auction import BidStrategy, is_out_of_bid
 from repro.market.interruptions import InterruptionEvent, InterruptionModel
 from repro.market.policy import BidPolicy, PolicyBids
+from repro.obs.propagate import TraceContext, activate, current_trace
 from repro.obs.spans import span
 
 from .horizon import HorizonConfig, aggregate_window, build_blocks
@@ -300,6 +301,19 @@ class ServiceDRRPPolicy(RollingHorizonPolicy):
     def _solve_window(self, ctx: SimulationContext, agg) -> tuple:
         from repro.service.client import Saturated, drrp_payload
 
+        # One child span context per replanned slot, shared across retries
+        # (they are one logical request); the client sends it as the
+        # traceparent header and the server's job runs as its child, so
+        # the merged trace draws a flow arrow from this span to the job.
+        parent = current_trace()
+        slot_ctx = parent.child() if parent is not None else TraceContext.new_root()
+        with activate(slot_ctx), span(
+            self.telemetry, "service_request",
+            slot=ctx.t, trace_id=slot_ctx.trace_id, span_id=slot_ctx.span_id,
+        ):
+            return self._solve_window_traced(ctx, agg, Saturated, drrp_payload)
+
+    def _solve_window_traced(self, ctx, agg, Saturated, drrp_payload) -> tuple:
         payload = drrp_payload(
             agg.demand,
             agg.compute,

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -247,16 +248,23 @@ def _sub_task(item):
 
     ``item`` is ``(scenario, x, penalty, remaining_seconds, warm_basis,
     backend)``; the deadline is re-materialized from the remaining budget so
-    the tuple survives the process boundary.  Returns what the backend
-    solver returns (``None`` means the deadline expired inside the solve).
+    the tuple survives the process boundary.  Returns ``(sub, basis,
+    warm_used, elapsed_seconds)`` — the in-worker solve time measured here,
+    where it is real compute rather than fan-out overhead — or ``None``
+    when the deadline expired inside the solve.
     """
     s, x, penalty, remaining, warm, backend = item
+    t0 = perf_counter()
     if backend == "scipy":
-        return _solve_subproblem(s, x, penalty), None, False
+        return _solve_subproblem(s, x, penalty), None, False, perf_counter() - t0
     dl = Deadline(max(0.0, remaining)) if math.isfinite(remaining) else None
-    return _solve_subproblem_simplex(
+    out = _solve_subproblem_simplex(
         s, x, penalty, deadline=dl, warm=warm, telemetry=current_telemetry()
     )
+    if out is None:
+        return None
+    sub, basis, warm_used = out
+    return sub, basis, warm_used, perf_counter() - t0
 
 
 def _master_problem(p: TwoStageProblem, theta_lb: float) -> CompiledProblem:
@@ -365,14 +373,19 @@ def solve_benders(
         if telemetry:
             with telemetry.phase(
                 "benders_subproblems", scenarios=S, iteration=it, workers=eff_workers
-            ):
+            ) as sub_info:
                 outs = parallel_map(_sub_task, items, n_workers=eff_workers, telemetry=telemetry)
+                # Summed in-worker solve seconds: the profiler splits this
+                # phase into subproblem compute vs fan-out/IPC overhead.
+                sub_info["subproblem_s"] = float(
+                    sum(o[3] for o in outs if o is not None)
+                )
         else:
             outs = parallel_map(_sub_task, items, n_workers=eff_workers)
         if any(o is None for o in outs):
             return out_of_time(it)
         subs = [o[0] for o in outs]
-        sub_bases = [new if new is not None else old for (_, new, _), old in zip(outs, sub_bases)]
+        sub_bases = [new if new is not None else old for (_, new, _, _), old in zip(outs, sub_bases)]
         warm_count = sum(1 for o in outs if o[2])
         warm_hits_total += warm_count
         if telemetry and eff_workers > 1:

@@ -29,6 +29,7 @@ import heapq
 import inspect
 import itertools
 import math
+import time
 import warnings
 from dataclasses import dataclass, replace as dc_replace
 from typing import Callable
@@ -171,6 +172,7 @@ def branch_and_bound(
     def lp_at(lb: np.ndarray, ub: np.ndarray, warm=None) -> SolverResult:
         nonlocal total_lp_iters, lp_warm_hits, lp_cold_solves
         node_problem = dc_replace(work, lb=lb, ub=ub, integrality=np.zeros_like(work.integrality))
+        lp_t0 = time.perf_counter() if telemetry else 0.0
         if use_warm:
             res = lp_solver(node_problem, warm_start=warm)
         else:
@@ -183,10 +185,11 @@ def branch_and_bound(
         else:
             lp_cold_solves += 1
         if telemetry:
+            lp_elapsed = time.perf_counter() - lp_t0
             if warm_used:
                 telemetry.emit(
                     "lp_warm", node=nodes_explored, pivots=res.iterations,
-                    mode=winfo.get("mode"),
+                    mode=winfo.get("mode"), duration=lp_elapsed,
                 )
             else:
                 reason = (
@@ -195,7 +198,7 @@ def branch_and_bound(
                 )
                 telemetry.emit(
                     "lp_cold", node=nodes_explored, pivots=res.iterations,
-                    reason=reason,
+                    reason=reason, duration=lp_elapsed,
                 )
         return res
 

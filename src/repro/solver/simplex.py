@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -364,6 +365,7 @@ def _iterate(
     u: np.ndarray,
     max_iter: int,
     deadline: Deadline | None = None,
+    breakdown: dict | None = None,
 ) -> tuple[str, int]:
     """Run bounded primal simplex iterations until a terminal state.
 
@@ -376,6 +378,10 @@ def _iterate(
     an O(m) rhs update instead of an O(m·n) pivot).  The deadline is polled
     every step so a single large LP cannot blow through the shared
     wall-clock budget.
+
+    ``breakdown`` (optional, telemetry-enabled call sites only) accumulates
+    per-section wall seconds under ``"pricing"``, ``"ratio_test"``, and
+    ``"basis_update"``; ``None`` keeps the hot loop timer-free.
     """
     m = T.shape[0] - 1
     n_cols = T.shape[1] - 1
@@ -383,9 +389,17 @@ def _iterate(
     in_basis[basis] = True
     stall = 0
     bland = False
+    track = breakdown is not None
+
+    def _acc(key: str, t0: float) -> float:
+        now = perf_counter()
+        breakdown[key] = breakdown.get(key, 0.0) + now - t0
+        return now
+
     for it in range(max_iter):
         if deadline is not None and deadline.expired():
             return "deadline", it
+        t0 = perf_counter() if track else 0.0
         red = T[-1, :-1]
         # Violation: at-lower columns improve when red < 0, at-upper when
         # red > 0.  Basic columns are masked out.
@@ -394,13 +408,19 @@ def _iterate(
         if bland:
             cand = np.nonzero(viol > _EPS)[0]
             if cand.size == 0:
+                if track:
+                    _acc("pricing", t0)
                 return "optimal", it
             col = int(cand[0])
         else:
             col = int(np.argmax(viol))
             if viol[col] <= _EPS:
+                if track:
+                    _acc("pricing", t0)
                 return "optimal", it
         from_upper = bool(at_upper[col])
+        if track:
+            t0 = _acc("pricing", t0)
         alpha = T[:-1, col]
         rhs = T[:-1, -1]
         ub_basis = u[basis]
@@ -424,13 +444,19 @@ def _iterate(
         else:
             row, t_row = -1, math.inf
         if not math.isfinite(t_own) and not math.isfinite(t_row):
+            if track:
+                _acc("ratio_test", t0)
             return "unbounded", it
         if t_own <= t_row:
+            if track:
+                t0 = _acc("ratio_test", t0)
             # Bound flip: no pivot, the entering column swaps bounds.
             if from_upper:
                 _flip_to_lower(T, at_upper, u, col)
             else:
                 _flip_to_upper(T, at_upper, u, col)
+            if track:
+                _acc("basis_update", t0)
             if t_own <= _EPS:
                 stall += 1
                 if stall > 2 * m + 10:
@@ -446,6 +472,8 @@ def _iterate(
         leave = int(basis[row])
         leave_to_upper = (alpha[row] > 0.0) if from_upper else (alpha[row] < 0.0)
         degenerate = t_row <= _EPS
+        if track:
+            t0 = _acc("ratio_test", t0)
         if from_upper:
             _flip_to_lower(T, at_upper, u, col)
         _pivot(T, basis, row, col)
@@ -453,6 +481,8 @@ def _iterate(
         in_basis[col] = True
         if leave_to_upper:
             _flip_to_upper(T, at_upper, u, leave)
+        if track:
+            _acc("basis_update", t0)
         if degenerate:
             stall += 1
             if stall > 2 * m + 10:
@@ -593,8 +623,12 @@ def simplex_solve(
 
     if telemetry:
         with telemetry.phase("simplex_phase1", rows=m, cols=n) as info:
-            status, it1 = _iterate(T, basis, at_upper, u_ext, max_iter, deadline)
+            breakdown: dict = {}
+            status, it1 = _iterate(
+                T, basis, at_upper, u_ext, max_iter, deadline, breakdown=breakdown
+            )
             info["pivots"] = it1
+            info["breakdown"] = breakdown
     else:
         status, it1 = _iterate(T, basis, at_upper, u_ext, max_iter, deadline)
     if status in ("limit", "deadline"):
@@ -634,8 +668,12 @@ def simplex_solve(
 
     if telemetry:
         with telemetry.phase("simplex_phase2", rows=m2, cols=n) as info:
-            status, it2 = _iterate(T, basis, at_upper, u, max_iter, deadline)
+            breakdown = {}
+            status, it2 = _iterate(
+                T, basis, at_upper, u, max_iter, deadline, breakdown=breakdown
+            )
             info["pivots"] = it2
+            info["breakdown"] = breakdown
     else:
         status, it2 = _iterate(T, basis, at_upper, u, max_iter, deadline)
     tableau = SimplexTableau(T, basis, rows=row_ids, at_upper=at_upper, u=u.copy())
@@ -679,12 +717,15 @@ def _warm_solve(
     warm: SimplexBasis,
     max_iter: int,
     deadline: Deadline | None,
+    breakdown: dict | None = None,
 ) -> tuple[str, np.ndarray | None, float, int, SimplexTableau | None, str] | None:
     """Phase-2-only re-solve from a previous basis; ``None`` requests a cold solve.
 
     The returned tuple matches :func:`simplex_solve` plus a trailing mode
     string (``"primal"`` when the refactorized point was already feasible,
     ``"dual"`` when the bounded dual simplex repaired it first).
+    ``breakdown`` adds ``"refactorization"`` (the dense basis re-solve) and
+    ``"dual_repair"`` seconds alongside the pivot-loop sections.
     """
     m_all, n = sf.A.shape
     rows = np.asarray(warm.rows, dtype=int)
@@ -702,12 +743,18 @@ def _warm_solve(
 
     A = sf.A[rows]
     b = sf.b[rows]
+    refac_t0 = perf_counter() if breakdown is not None else 0.0
     try:
         B = A[:, basis]
         body = np.linalg.solve(B, A)
         rhs = np.linalg.solve(B, b)
     except np.linalg.LinAlgError:
         return None
+    finally:
+        if breakdown is not None:
+            breakdown["refactorization"] = (
+                breakdown.get("refactorization", 0.0) + perf_counter() - refac_t0
+            )
     if not (np.isfinite(body).all() and np.isfinite(rhs).all()):
         return None
     if at_upper.any():
@@ -743,7 +790,12 @@ def _warm_solve(
         # Cap the repair: a stalled dual loop falls back to a cold solve
         # rather than burning the whole pivot budget.
         cap = min(max_iter, 4 * (mcur + n) + 100)
+        repair_t0 = perf_counter() if breakdown is not None else 0.0
         dstat, dit = _iterate_dual(T, basis, at_upper, u, cap, deadline)
+        if breakdown is not None:
+            breakdown["dual_repair"] = (
+                breakdown.get("dual_repair", 0.0) + perf_counter() - repair_t0
+            )
         iters += dit
         if dstat == "deadline":
             return "deadline", None, math.nan, iters, None, mode
@@ -751,7 +803,7 @@ def _warm_solve(
             # "infeasible" → cold solve produces the Farkas certificate;
             # "limit" → cold solve from scratch.
             return None
-    status, pit = _iterate(T, basis, at_upper, u, max_iter, deadline)
+    status, pit = _iterate(T, basis, at_upper, u, max_iter, deadline, breakdown=breakdown)
     iters += pit
     tableau = SimplexTableau(T, basis, rows=rows, at_upper=at_upper, u=u.copy())
     if status == "optimal":
@@ -821,9 +873,13 @@ def solve_lp_simplex(
         if warm_start.matches(sf):
             if telemetry:
                 with telemetry.phase("simplex_warm") as info:
-                    attempt = _warm_solve(sf, warm_start, max_iter, deadline)
+                    breakdown: dict = {}
+                    attempt = _warm_solve(
+                        sf, warm_start, max_iter, deadline, breakdown=breakdown
+                    )
                     info["pivots"] = attempt[3] if attempt is not None else 0
                     info["accepted"] = attempt is not None
+                    info["breakdown"] = breakdown
             else:
                 attempt = _warm_solve(sf, warm_start, max_iter, deadline)
             if attempt is not None:

@@ -1,0 +1,266 @@
+"""Phase profiler: wall partition, breakdowns, speedscope export."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.prof import (
+    PhaseProfile,
+    parent_clock_spans,
+    profile_events,
+    to_speedscope,
+    write_speedscope,
+)
+from repro.solver.telemetry import SolveEvent
+
+
+def ev(kind, t, **data):
+    return SolveEvent(kind=kind, t=float(t), data=data)
+
+
+def solve_stream(inner):
+    """Wrap phase events in a solve_start/solve_end bracket 0..1s."""
+    return [ev("solve_start", 0.0, backend="bb"), *inner, ev("solve_end", 1.0)]
+
+
+class TestPartition:
+    def test_simple_phases_tile_the_wall(self):
+        prof = profile_events(solve_stream([
+            ev("phase_start", 0.0, phase="presolve"),
+            ev("phase_end", 0.3, phase="presolve"),
+            ev("phase_start", 0.3, phase="simplex_phase2"),
+            ev("phase_end", 1.0, phase="simplex_phase2"),
+        ]))
+        assert prof.wall == pytest.approx(1.0)
+        assert prof.entries["presolve"] == pytest.approx(0.3)
+        assert prof.entries["simplex_phase2"] == pytest.approx(0.7)
+        # The solve root contributes only its (zero) self time.
+        assert prof.entries["solve[bb]"] == pytest.approx(0.0)
+        assert prof.tracked == pytest.approx(prof.wall)
+        assert prof.coverage == pytest.approx(1.0)
+
+    def test_untracked_gap_lowers_coverage(self):
+        prof = profile_events([
+            ev("phase_start", 0.0, phase="a"),
+            ev("phase_end", 0.5, phase="a"),
+            ev("phase_start", 0.8, phase="b"),
+            ev("phase_end", 1.0, phase="b"),
+        ])
+        assert prof.wall == pytest.approx(1.0)
+        assert prof.coverage == pytest.approx(0.7)
+
+    def test_empty_stream(self):
+        prof = profile_events([])
+        assert prof.wall == 0.0 and prof.entries == {}
+        assert math.isnan(prof.coverage)
+
+
+class TestBreakdown:
+    def test_breakdown_splits_phase_with_residual(self):
+        prof = profile_events(solve_stream([
+            ev("phase_start", 0.0, phase="simplex_phase2"),
+            ev("phase_end", 1.0, phase="simplex_phase2",
+               breakdown={"pricing": 0.4, "ratio_test": 0.25, "basis_update": 0.15}),
+        ]))
+        assert prof.entries["simplex.pricing"] == pytest.approx(0.4)
+        assert prof.entries["simplex.ratio_test"] == pytest.approx(0.25)
+        assert prof.entries["simplex.basis_update"] == pytest.approx(0.15)
+        # Residual (un-attributed loop time) stays under the phase name.
+        assert prof.entries["simplex_phase2"] == pytest.approx(0.2)
+        assert prof.tracked == pytest.approx(prof.wall)
+
+    def test_breakdown_overshoot_clamps_residual_to_zero(self):
+        prof = profile_events(solve_stream([
+            ev("phase_start", 0.0, phase="simplex_warm"),
+            ev("phase_end", 0.5, phase="simplex_warm",
+               breakdown={"refactorization": 0.6}),
+        ]))
+        assert prof.entries["simplex.refactorization"] == pytest.approx(0.6)
+        assert prof.entries["simplex_warm"] == 0.0  # negative residual clamped
+
+
+class TestBenders:
+    def test_subproblem_ipc_split(self):
+        # 0.8s fan-out, 1.2 CPU-seconds over 2 workers -> 0.6s compute wall.
+        prof = profile_events(solve_stream([
+            ev("phase_start", 0.1, phase="benders_subproblems"),
+            ev("phase_end", 0.9, phase="benders_subproblems",
+               subproblem_s=1.2, workers=2),
+        ]))
+        assert prof.entries["benders.subproblem"] == pytest.approx(0.6)
+        assert prof.entries["benders.ipc"] == pytest.approx(0.2)
+        assert prof.extras["benders_subproblem_cpu_s"] == pytest.approx(1.2)
+
+    def test_subproblem_wall_capped_at_phase_duration(self):
+        prof = profile_events(solve_stream([
+            ev("phase_start", 0.0, phase="benders_subproblems"),
+            ev("phase_end", 0.5, phase="benders_subproblems",
+               subproblem_s=4.0, workers=2),
+        ]))
+        assert prof.entries["benders.subproblem"] == pytest.approx(0.5)
+        assert prof.entries["benders.ipc"] == pytest.approx(0.0)
+
+    def test_forwarded_worker_spans_not_double_counted(self):
+        # Worker-forwarded phases inside the fan-out must not add buckets:
+        # subproblem/ipc already partition that interval.
+        prof = profile_events(solve_stream([
+            ev("phase_start", 0.0, phase="benders_subproblems"),
+            ev("phase_start", 0.1, phase="simplex_phase2", worker=1),
+            ev("phase_end", 0.3, phase="simplex_phase2", worker=1),
+            ev("phase_end", 0.4, phase="benders_subproblems",
+               subproblem_s=0.2, workers=1),
+        ]))
+        assert "simplex_phase2" not in prof.entries
+        total = prof.entries["benders.subproblem"] + prof.entries["benders.ipc"]
+        assert total == pytest.approx(0.4)
+
+
+class TestOverlappingCategories:
+    def test_nodes_counted_not_partitioned(self):
+        prof = profile_events(solve_stream([
+            ev("phase_start", 0.0, phase="bb_loop"),
+            ev("node_open", 0.1, node=0),
+            ev("node_open", 0.2, node=1),
+            ev("node_close", 0.6, node=0),
+            ev("node_prune", 0.7, node=1),
+            ev("phase_end", 1.0, phase="bb_loop"),
+        ]))
+        assert prof.counts["nodes"] == 2
+        # Residencies overlap (0.5 + 0.5 > loop wall is fine as an extra).
+        assert prof.extras["node_residency_s"] == pytest.approx(1.0)
+        # The loop keeps its full self time: nodes contribute nothing.
+        assert prof.entries["bb_loop"] == pytest.approx(1.0)
+        assert prof.tracked == pytest.approx(prof.wall)
+
+    def test_lp_markers_become_counts_and_extras(self):
+        prof = profile_events(solve_stream([
+            ev("lp_warm", 0.2, node=0, duration=0.05),
+            ev("lp_cold", 0.4, node=1, duration=0.11),
+            ev("lp_warm", 0.6, node=2, duration=0.07),
+        ]))
+        assert prof.counts["lp_warm"] == 2 and prof.counts["lp_cold"] == 1
+        assert prof.extras["lp_warm_s"] == pytest.approx(0.12)
+        assert prof.extras["lp_cold_s"] == pytest.approx(0.11)
+
+
+class TestInstantSpans:
+    def test_queue_wait_duration_credited(self):
+        # A bare phase_end carrying `duration`: time elapsed outside this
+        # stream (service submit-to-start wait).
+        prof = profile_events(solve_stream([
+            ev("phase_end", 0.0, phase="service_queue_wait", duration=0.25, job="j1"),
+        ]))
+        assert prof.entries["service_queue_wait"] == pytest.approx(0.25)
+        assert prof.counts["service_queue_wait"] == 1
+
+
+class TestParentClock:
+    def test_worker_t_is_stripped_for_profiling(self):
+        # With worker_t honored, the worker span would be re-anchored to the
+        # enclosing span's start; the profiler must use parent timestamps.
+        events = solve_stream([
+            ev("phase_start", 0.2, phase="fanout"),
+            ev("phase_start", 0.8, phase="sub", worker=1, worker_t=5.0),
+            ev("phase_end", 0.9, phase="sub", worker=1, worker_t=5.1),
+            ev("phase_end", 1.0, phase="fanout"),
+        ])
+        roots, _ = parent_clock_spans(events)
+        sub = roots[0].find("sub")
+        assert sub.start == pytest.approx(0.8) and sub.end == pytest.approx(0.9)
+
+
+class TestRender:
+    def test_render_table_and_footer(self):
+        prof = profile_events(solve_stream([
+            ev("phase_start", 0.0, phase="a"),
+            ev("phase_end", 1.0, phase="a"),
+            ev("lp_warm", 0.5, duration=0.1),
+        ]))
+        text = prof.render()
+        assert "a" in text and "100.0%" in text
+        assert "tracked" in text and "wall" in text
+        assert "[lp_warm_s] 0.1000" in text
+
+    def test_render_empty(self):
+        assert PhaseProfile().render() == "(no phases recorded)"
+
+    def test_to_dict_sorted_and_complete(self):
+        prof = profile_events(solve_stream([
+            ev("phase_start", 0.0, phase="small"),
+            ev("phase_end", 0.1, phase="small"),
+            ev("phase_start", 0.1, phase="big"),
+            ev("phase_end", 1.0, phase="big"),
+        ]))
+        d = prof.to_dict()
+        assert set(d) == {"wall_s", "tracked_s", "coverage", "entries",
+                          "counts", "extras"}
+        entries = list(d["entries"])
+        assert entries.index("big") < entries.index("small")
+
+
+def _validate_speedscope(doc):
+    assert doc["$schema"].endswith("file-format-schema.json")
+    profile = doc["profiles"][0]
+    assert profile["type"] == "evented" and profile["unit"] == "seconds"
+    frames = doc["shared"]["frames"]
+    depth, last_at = 0, profile["startValue"]
+    stack = []
+    for event in profile["events"]:
+        assert event["at"] >= last_at          # non-decreasing timestamps
+        assert 0 <= event["frame"] < len(frames)
+        last_at = event["at"]
+        if event["type"] == "O":
+            stack.append(event["frame"])
+            depth += 1
+        else:
+            assert stack and stack.pop() == event["frame"]  # strict nesting
+            depth -= 1
+    assert depth == 0 and not stack
+    assert last_at <= profile["endValue"]
+
+
+class TestSpeedscope:
+    def test_valid_evented_profile(self):
+        roots, _ = parent_clock_spans(solve_stream([
+            ev("phase_start", 0.1, phase="a"),
+            ev("phase_start", 0.2, phase="b"),
+            ev("phase_end", 0.5, phase="b"),
+            ev("phase_end", 0.6, phase="a"),
+        ]))
+        doc = to_speedscope(roots, name="unit")
+        _validate_speedscope(doc)
+        assert doc["name"] == "unit"
+        names = [f["name"] for f in doc["shared"]["frames"]]
+        assert names == ["solve[bb]", "a", "b"]
+
+    def test_overlapping_spans_dropped(self):
+        roots, _ = parent_clock_spans(solve_stream([
+            ev("node_open", 0.1, node=0),
+            ev("node_open", 0.2, node=1),
+            ev("node_close", 0.6, node=0),
+            ev("node_close", 0.7, node=1),
+        ]))
+        doc = to_speedscope(roots)
+        _validate_speedscope(doc)
+        names = [f["name"] for f in doc["shared"]["frames"]]
+        assert names == ["solve[bb]"]  # node spans excluded
+
+    def test_child_clamped_into_parent(self):
+        # A truncated/skewed child extending past its parent is clamped.
+        roots, _ = parent_clock_spans([
+            ev("phase_start", 0.0, phase="outer"),
+            ev("phase_start", 0.4, phase="inner"),
+            ev("phase_end", 0.5, phase="outer"),  # closes inner as truncated
+        ])
+        doc = to_speedscope(roots)
+        _validate_speedscope(doc)
+
+    def test_write_speedscope_round_trips(self, tmp_path):
+        roots, _ = parent_clock_spans(solve_stream([
+            ev("phase_start", 0.0, phase="p"),
+            ev("phase_end", 1.0, phase="p"),
+        ]))
+        out = write_speedscope(tmp_path / "deep" / "profile.speedscope.json", roots)
+        doc = json.loads(out.read_text())
+        _validate_speedscope(doc)

@@ -211,3 +211,81 @@ class TestSpanUtilities:
         assert [s.name for s, _ in root.walk()] == ["a", "b"]
         assert root.find("b") is child and root.find("zzz") is None
         assert root.total_counter("pivots") == 7
+
+
+class TestWorkerReTiming:
+    """Forwarded worker events re-anchored onto the parent clock.
+
+    ``parallel_map`` re-emits captured worker events only after the pool
+    completes, so their parent-hub timestamps all collapse at the fan-out's
+    end; ``worker_t`` recovers real in-worker start times per lane.
+    """
+
+    def _fanout(self, phase, t0, t1, worker_events):
+        events = [ev("phase_start", t0, phase=phase)]
+        # Re-emission: every forwarded event lands at the fan-out's end.
+        events += [ev(kind, t1, worker=w, worker_t=wt, **data)
+                   for kind, w, wt, data in worker_events]
+        events.append(ev("phase_end", t1, phase=phase))
+        return events
+
+    def test_two_worker_lanes_keep_in_phase_intervals(self):
+        tracer = Tracer().replay(self._fanout("fanout", 1.0, 2.0, [
+            ("phase_start", 1, 0.1, {"phase": "sub[0]"}),
+            ("phase_end", 1, 0.4, {"phase": "sub[0]", "duration": 0.3}),
+            ("phase_start", 2, 0.2, {"phase": "sub[1]"}),
+            ("phase_end", 2, 0.5, {"phase": "sub[1]", "duration": 0.3}),
+        ]))
+        fanout = tracer.finish()[0]
+        subs = {c.worker: c for c in fanout.children}
+        assert set(subs) == {1, 2}               # one lane per worker
+        for sub in subs.values():
+            # Re-timed, not collapsed at the re-emission instant...
+            assert abs(sub.duration - 0.3) < 1e-12
+            # ...and anchored inside the enclosing fan-out phase.
+            assert fanout.start <= sub.start and sub.end <= fanout.end
+        # Each worker's first event anchors at the fan-out start.
+        assert abs(subs[1].start - 1.0) < 1e-12
+        assert abs(subs[2].start - 1.0) < 1e-12
+
+    def test_worker_epoch_resets_across_fanouts(self):
+        # A second pool restarts worker ids and epochs: the offset is keyed
+        # per enclosing span, so restarted worker_t clocks re-anchor there.
+        events = (
+            self._fanout("round1", 1.0, 2.0, [
+                ("phase_start", 1, 0.5, {"phase": "sub"}),
+                ("phase_end", 1, 0.8, {"phase": "sub", "duration": 0.3}),
+            ])
+            + self._fanout("round2", 3.0, 4.0, [
+                ("phase_start", 1, 0.05, {"phase": "sub"}),
+                ("phase_end", 1, 0.25, {"phase": "sub", "duration": 0.2}),
+            ])
+        )
+        r1, r2 = Tracer().replay(events).finish()
+        assert abs(r1.children[0].start - 1.0) < 1e-12
+        assert abs(r2.children[0].start - 3.0) < 1e-12   # not 1.0 - 0.45
+        assert abs(r2.children[0].duration - 0.2) < 1e-12
+
+    def test_retimed_span_never_outruns_reemission(self):
+        # A worker clock running ahead of the parent's is clamped at the
+        # re-emission time: the fan-out demonstrably finished by then.
+        tracer = Tracer().replay(self._fanout("fanout", 1.0, 1.2, [
+            ("phase_start", 1, 0.0, {"phase": "sub"}),
+            ("phase_end", 1, 5.0, {"phase": "sub", "duration": 5.0}),
+        ]))
+        sub = tracer.finish()[0].children[0]
+        assert sub.end <= 1.2
+
+    def test_chrome_trace_puts_workers_on_distinct_tids(self):
+        from repro.obs.exporters import to_chrome_trace
+
+        tracer = Tracer().replay(self._fanout("fanout", 0.0, 1.0, [
+            ("phase_start", 1, 0.1, {"phase": "sub[0]"}),
+            ("phase_end", 1, 0.6, {"phase": "sub[0]", "duration": 0.5}),
+            ("phase_start", 2, 0.1, {"phase": "sub[1]"}),
+            ("phase_end", 2, 0.7, {"phase": "sub[1]", "duration": 0.6}),
+        ]))
+        doc = to_chrome_trace(tracer.finish(), tracer.markers)
+        lanes = {e["name"]: e["tid"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+        assert lanes["fanout"] == 0
+        assert {lanes["sub[0]"], lanes["sub[1]"]} == {1, 2}
