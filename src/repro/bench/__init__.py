@@ -8,6 +8,12 @@ pivots/solve, warm-hit rate, and wall time to ``BENCH_solver.json``.
 committed record.
 """
 
+from .fleet import (
+    FleetBenchConfig,
+    check_fleet_regression,
+    fleet_summary_lines,
+    run_fleet_bench,
+)
 from .report import report_lines
 from .solver import (
     SolverBenchConfig,
@@ -17,9 +23,13 @@ from .solver import (
 )
 
 __all__ = [
+    "FleetBenchConfig",
     "SolverBenchConfig",
+    "check_fleet_regression",
     "check_solver_regression",
+    "fleet_summary_lines",
     "report_lines",
+    "run_fleet_bench",
     "run_solver_bench",
     "summary_lines",
 ]

@@ -43,6 +43,16 @@ Commands mirror the library's main workflows:
     ``--check-against BASELINE`` it exits nonzero when the
     cold-normalized throughput ratio regresses more than 25% against the
     committed baseline (the CI gate).
+``plan-fleet``
+    Plan a seeded multi-tenant fleet against shared capacity pools
+    (:mod:`repro.fleet`): heuristic tier, gap-triggered MILP escalation,
+    pool-overload repair; prints per-pool usage and the method mix.
+``bench-fleet``
+    Fleet planning benchmark (:mod:`repro.bench.fleet`): tenants/minute,
+    heuristic-vs-MILP cost ratio on the escalation-eligible cohort,
+    compile shape-cache hit rate; writes ``BENCH_fleet.json``.  With
+    ``--check-against BASELINE`` it exits nonzero on infeasibility or
+    quality/cache-reuse drift (the CI gate).
 ``trace``
     Merge per-process JSONL event files (``simulate --trace-dir``, the
     service's per-job captures, ``run --out-dir``) into one Chrome trace
@@ -339,6 +349,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_bsol.add_argument("--check-against", default=None, metavar="BASELINE",
                         help="compare against a committed BENCH_solver.json; "
                              "exit 1 on >25%% throughput-ratio regression")
+
+    p_pf = sub.add_parser(
+        "plan-fleet",
+        help="plan a seeded multi-tenant fleet against shared capacity pools",
+    )
+    p_pf.add_argument("--tenants", type=int, default=16,
+                      help="fleet size (default 16)")
+    p_pf.add_argument("--seed", type=int, default=0, help="population seed")
+    p_pf.add_argument("--horizon", type=int, default=24,
+                      help="slots to plan (default 24)")
+    p_pf.add_argument("--utilization", type=float, default=0.6,
+                      help="pool capacity as a fraction of members (default 0.6)")
+    p_pf.add_argument("--backend", default="auto",
+                      help="MILP backend for escalated tenants (default auto)")
+    p_pf.add_argument("--workers", type=int, default=None,
+                      help="per-tenant fan-out width (default: auto)")
+    p_pf.add_argument("--no-escalate", action="store_true",
+                      help="heuristic tier only; skip gap-triggered MILP escalation")
+    p_pf.add_argument("--json", action="store_true", dest="as_json",
+                      help="print the full fleet summary as JSON")
+
+    p_bfl = sub.add_parser(
+        "bench-fleet",
+        help="fleet planning benchmark (tenant throughput, heuristic quality, "
+             "compile-cache reuse)",
+    )
+    p_bfl.add_argument("--seed", type=int, default=0, help="population seed (default 0)")
+    p_bfl.add_argument("--tenants", type=int, default=None,
+                       help="fleet size (default 1000)")
+    p_bfl.add_argument("--horizon", type=int, default=None,
+                       help="planning horizon in slots (default 24)")
+    p_bfl.add_argument("--utilization", type=float, default=None,
+                       help="pool capacity fraction (default 0.6)")
+    p_bfl.add_argument("--milp-sample", type=int, default=None,
+                       help="escalation-eligible tenants in the heuristic-vs-MILP "
+                            "cohort (default 64)")
+    p_bfl.add_argument("--workers", type=int, default=None,
+                       help="per-tenant fan-out width (default: auto)")
+    p_bfl.add_argument("--out", default="BENCH_fleet.json", metavar="FILE",
+                       help="benchmark record filename (REPRO_BENCH_DIR honored)")
+    p_bfl.add_argument("--check-against", default=None, metavar="BASELINE",
+                       help="compare against a committed BENCH_fleet.json; exit 1 "
+                            "on infeasibility, cost-ratio, or cache-reuse drift")
 
     p_bsim = sub.add_parser(
         "bench-sim",
@@ -1142,6 +1195,100 @@ def _cmd_bench_solver(args) -> int:
     return 0
 
 
+def _cmd_plan_fleet(args) -> int:
+    import json
+
+    from repro.fleet import FleetConfig, generate_tenants, plan_fleet, uniform_pools
+
+    try:
+        tenants = generate_tenants(args.tenants, seed=args.seed, horizon=args.horizon)
+        pools = uniform_pools(tenants, utilization=args.utilization)
+        config = FleetConfig(
+            backend=args.backend, workers=args.workers, escalate=not args.no_escalate
+        )
+        fleet = plan_fleet(tenants, pools, config)
+    except (ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = fleet.summary(tenants)
+    if args.as_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(
+            f"fleet: {summary['tenants']} tenants over {args.horizon} slots, "
+            f"total cost {summary['total_cost']:.4f}"
+        )
+        print(
+            f"methods: {summary['methods']}, escalated {summary['escalated']} "
+            f"({summary['escalation_fraction']:.1%}), "
+            f"{summary['repair_rounds']} repair rounds, "
+            f"{summary['knockouts']} knockouts"
+        )
+        for name, pool in sorted(summary["pools"].items()):
+            print(
+                f"pool {name}: capacity {pool['capacity_min']:.0f}"
+                f"..{pool['capacity_max']:.0f}, peak usage {pool['peak_usage']:.0f}"
+            )
+        print(f"feasible: {summary['feasible']}")
+    if not summary["feasible"]:
+        for failure in summary["failures"][:5]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench_fleet(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.bench import (
+        FleetBenchConfig,
+        check_fleet_regression,
+        fleet_summary_lines,
+        run_fleet_bench,
+    )
+
+    overrides = {
+        name: value
+        for name, value in (
+            ("tenants", args.tenants),
+            ("horizon", args.horizon),
+            ("utilization", args.utilization),
+            ("milp_sample", args.milp_sample),
+        )
+        if value is not None
+    }
+    try:
+        cfg = FleetBenchConfig(
+            seed=args.seed, workers=args.workers, out=args.out, **overrides
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        record = run_fleet_bench(cfg)
+    except RuntimeError as exc:  # a leg failed or the plan was infeasible
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for line in fleet_summary_lines(record):
+        print(line)
+    if "path" in record:
+        print(f"record: {record['path']}")
+    if args.check_against:
+        baseline_path = Path(args.check_against)
+        if not baseline_path.is_file():
+            print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+        baseline = json.loads(baseline_path.read_text())
+        failures = check_fleet_regression(record, baseline)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"regression gate passed against {baseline_path}")
+    return 0
+
+
 def _cmd_bench_sim(args) -> int:
     import json
     from pathlib import Path
@@ -1316,6 +1463,8 @@ _COMMANDS = {
     "submit": _cmd_submit,
     "bench-service": _cmd_bench_service,
     "bench-solver": _cmd_bench_solver,
+    "plan-fleet": _cmd_plan_fleet,
+    "bench-fleet": _cmd_bench_fleet,
     "bench-sim": _cmd_bench_sim,
     "trace": _cmd_trace,
     "profile": _cmd_profile,

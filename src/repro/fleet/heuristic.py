@@ -1,0 +1,329 @@
+"""Heuristic tier: greedy lot-sizing + local search with a WW escalation rule.
+
+The fleet cannot afford a MILP per tenant.  This module plans one tenant
+in polynomial time:
+
+1. **Greedy construction** walks the horizon once.  At each slot with
+   positive net demand it either serves from the cheapest already-open
+   setup or opens a new one, whichever is cheaper for that slot's demand
+   — the classic lot-sizing greedy (cf. Silver–Meal), extended with an
+   availability mask so repair re-solves (slots knocked out by the pool
+   trimmer) stay heuristic.
+2. **Local search** improves the setup *set* by first-improvement
+   add/remove moves.  Given a setup set, the cheapest assignment of each
+   demand unit to an open setup is computed exactly by a left-to-right
+   running minimum of ``transfer_in*phi - cumulative_holding`` (setups
+   are uncapacitated), so every candidate set is evaluated at its true
+   cost and unused setups prune themselves.
+3. **Exact accounting**: the returned plan's cost decomposition is
+   computed in :class:`fractions.Fraction` arithmetic (floats convert
+   exactly), so fleet totals are order-independent and the differential
+   guarantee *heuristic cost >= MILP optimum* holds exactly, not just to
+   a tolerance.  Search-time comparisons use floats for speed.
+
+**Escalation rule.**  :func:`solve_wagner_whitin` is the exact optimum of
+the uncapacitated single-tenant problem, computable in O(T^2) — a valid
+lower bound even when slots were knocked out (removing slots only raises
+the optimum).  ``gap = (heuristic - WW) / WW`` therefore *overestimates*
+the heuristic's true optimality gap, and a tenant is routed to the DRRP
+MILP only when this certificate exceeds its SLA tolerance: exactly the
+"route only the worth-it tenants" rule the fleet planner needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from fractions import Fraction
+
+import numpy as np
+
+from repro.core.drrp import DRRPInstance, RentalPlan
+from repro.core.lotsizing import solve_wagner_whitin
+from repro.solver import SolverStatus
+
+__all__ = ["HeuristicInfeasible", "HeuristicResult", "solve_heuristic"]
+
+_TINY = 1e-12
+
+
+class HeuristicInfeasible(RuntimeError):
+    """No feasible plan within the availability mask (caller should MILP)."""
+
+
+@dataclass(frozen=True)
+class HeuristicResult:
+    """A heuristic plan plus its escalation certificate."""
+
+    plan: RentalPlan
+    objective: float
+    exact_objective: Fraction
+    lower_bound: float
+    gap: float
+    rounds: int
+
+
+def _availability(instance: DRRPInstance) -> np.ndarray:
+    """Slots where a setup may be opened.
+
+    Zero bottleneck capacity means the slot is knocked out (the pool
+    repair encoding, mirroring ``apply_interruptions``); other capacities
+    are left to the final validation — a partial cap the plan violates
+    raises :class:`HeuristicInfeasible` and the planner escalates.
+    """
+    if instance.bottleneck_rate is None:
+        return np.ones(instance.horizon, dtype=bool)
+    return np.asarray(instance.bottleneck_capacity, dtype=float) > 0.0
+
+
+def _net_demand_exact(instance: DRRPInstance) -> list[Fraction]:
+    """Demand left after the initial storage serves the earliest slots.
+
+    Computed once, exactly; the float view handed to the search is
+    ``float(x)`` of these Fractions, so "has net demand" means the same
+    thing in the search and in the exact accounting (a nonzero dyadic
+    rational never rounds to 0.0).
+    """
+    net = [Fraction(float(d)) for d in instance.demand]
+    remaining = Fraction(float(instance.initial_storage))
+    for t in range(len(net)):
+        if remaining <= 0:
+            break
+        used = min(remaining, net[t])
+        net[t] -= used
+        remaining -= used
+    return net
+
+
+def _evaluate(
+    setups: list[int],
+    net: np.ndarray,
+    unit_src: np.ndarray,
+    cum_h: np.ndarray,
+    setup_cost: np.ndarray,
+) -> tuple[float, dict[int, int]] | None:
+    """Cost of the optimal assignment given a setup set (floats).
+
+    ``unit_src[a] = transfer_in[a]*phi - cum_h[a]`` so the unit cost of
+    producing at ``a`` for slot ``u`` is ``unit_src[a] + cum_h[u]``; the
+    cheapest open source is a running prefix minimum.  Returns ``(cost,
+    sources)`` with ``sources[u]`` the chosen setup per demand slot, or
+    ``None`` when some demand has no open setup at or before it.  Unused
+    setups contribute no cost (they are pruned from the final plan).
+    """
+    best_val = np.inf
+    best_slot = -1
+    j = 0
+    cost = 0.0
+    sources: dict[int, int] = {}
+    used: set[int] = set()
+    for u in range(net.shape[0]):
+        while j < len(setups) and setups[j] <= u:
+            a = setups[j]
+            if unit_src[a] < best_val:
+                best_val, best_slot = unit_src[a], a
+            j += 1
+        if net[u] > 0.0:
+            if best_slot < 0:
+                return None
+            cost += (best_val + cum_h[u]) * net[u]
+            sources[u] = best_slot
+            used.add(best_slot)
+    cost += float(setup_cost[sorted(used)].sum()) if used else 0.0
+    return cost, sources
+
+
+def _greedy(
+    net: np.ndarray,
+    avail: np.ndarray,
+    unit_src: np.ndarray,
+    cum_h: np.ndarray,
+    setup_cost: np.ndarray,
+) -> list[int]:
+    """One left-to-right pass: extend the cheapest open lot or open a new one."""
+    setups: list[int] = []
+    opened = np.zeros(net.shape[0], dtype=bool)
+    best_val = np.inf
+    best_slot = -1
+    for u in range(net.shape[0]):
+        if net[u] <= 0.0:
+            continue
+        extend = (best_val + cum_h[u]) * net[u] if best_slot >= 0 else np.inf
+        cand_slot, cand_cost = -1, np.inf
+        for a in range(u + 1):
+            if not avail[a] or opened[a]:
+                continue
+            c = setup_cost[a] + (unit_src[a] + cum_h[u]) * net[u]
+            if c < cand_cost:
+                cand_slot, cand_cost = a, c
+        if cand_slot < 0 and best_slot < 0:
+            raise HeuristicInfeasible(
+                f"demand at slot {u} has no available setup slot at or before it"
+            )
+        if cand_cost < extend:
+            setups.append(cand_slot)
+            opened[cand_slot] = True
+            if unit_src[cand_slot] < best_val:
+                best_val, best_slot = unit_src[cand_slot], cand_slot
+    return sorted(setups)
+
+
+def _local_search(
+    setups: list[int],
+    net: np.ndarray,
+    avail: np.ndarray,
+    unit_src: np.ndarray,
+    cum_h: np.ndarray,
+    setup_cost: np.ndarray,
+    max_rounds: int,
+) -> tuple[list[int], int]:
+    """First-improvement add/remove moves on the setup set until a local
+    optimum (or the round budget).  Shifts emerge as add-then-remove
+    across consecutive rounds."""
+    evaluated = _evaluate(setups, net, unit_src, cum_h, setup_cost)
+    if evaluated is None:
+        raise HeuristicInfeasible("greedy produced an infeasible setup set")
+    cost = evaluated[0]
+    rounds = 0
+    improved = True
+    while improved and rounds < max_rounds:
+        improved = False
+        rounds += 1
+        for a in list(setups):
+            trial = [s for s in setups if s != a]
+            res = _evaluate(trial, net, unit_src, cum_h, setup_cost)
+            if res is not None and res[0] < cost - _TINY:
+                setups, cost, improved = trial, res[0], True
+        open_set = set(setups)
+        for b in range(net.shape[0]):
+            if not avail[b] or b in open_set:
+                continue
+            trial = sorted(setups + [b])
+            res = _evaluate(trial, net, unit_src, cum_h, setup_cost)
+            if res is not None and res[0] < cost - _TINY:
+                setups, cost, improved = trial, res[0], True
+                open_set = set(setups)
+        # Shift moves: slide one setup a few slots.  Add/remove alone get
+        # stuck when a setup is merely misplaced (dropping it is too
+        # expensive, keeping it blocks the better neighbor).
+        for a in list(setups):
+            for b in range(max(0, a - 2), min(net.shape[0], a + 3)):
+                if b == a or not avail[b] or b in open_set:
+                    continue
+                trial = sorted([s for s in setups if s != a] + [b])
+                res = _evaluate(trial, net, unit_src, cum_h, setup_cost)
+                if res is not None and res[0] < cost - _TINY:
+                    setups, cost, improved = trial, res[0], True
+                    open_set = set(setups)
+                    break
+    return setups, rounds
+
+
+def _exact_plan(
+    instance: DRRPInstance,
+    net_exact: list[Fraction],
+    sources: dict[int, int],
+    rounds: int,
+) -> tuple[RentalPlan, Fraction]:
+    """Rebuild the chosen plan in exact Fraction arithmetic."""
+    T = instance.horizon
+    c = instance.costs
+    phi = Fraction(float(instance.phi))
+    demand = [Fraction(float(d)) for d in instance.demand]
+    holding = [Fraction(float(h)) for h in c.holding]
+    setup = [Fraction(float(s)) for s in c.compute]
+    tin = [Fraction(float(v)) for v in c.transfer_in]
+    tout = [Fraction(float(v)) for v in c.transfer_out]
+
+    alpha = [Fraction(0)] * T
+    for u, net_u in enumerate(net_exact):
+        if net_u > 0:
+            alpha[sources[u]] += net_u
+
+    beta = [Fraction(0)] * T
+    prev = Fraction(float(instance.initial_storage))
+    for t in range(T):
+        beta[t] = prev + alpha[t] - demand[t]
+        prev = beta[t]
+
+    chi = [1.0 if alpha[t] > 0 else 0.0 for t in range(T)]
+    compute_cost = sum((setup[t] for t in range(T) if chi[t] > 0.5), Fraction(0))
+    inventory_cost = sum((holding[t] * beta[t] for t in range(T)), Fraction(0))
+    tin_cost = sum((tin[t] * phi * alpha[t] for t in range(T)), Fraction(0))
+    tout_cost = sum((tout[t] * demand[t] for t in range(T)), Fraction(0))
+    objective = compute_cost + inventory_cost + tin_cost + tout_cost
+
+    plan = RentalPlan(
+        alpha=np.array([float(a) for a in alpha]),
+        beta=np.array([float(b) for b in beta]),
+        chi=np.array(chi),
+        compute_cost=float(compute_cost),
+        inventory_cost=float(inventory_cost),
+        transfer_in_cost=float(tin_cost),
+        transfer_out_cost=float(tout_cost),
+        objective=float(objective),
+        status=SolverStatus.FEASIBLE,
+        vm_name=instance.vm_name,
+        extra={
+            "scheme": "fleet-heuristic",
+            "exact_objective": str(objective),
+            "search_rounds": rounds,
+        },
+    )
+    return plan, objective
+
+
+def solve_heuristic(
+    instance: DRRPInstance, max_rounds: int = 40, tol: float = 1e-6
+) -> HeuristicResult:
+    """Plan one tenant heuristically and certify the result against the
+    Wagner–Whitin lower bound of its uncapacitated relaxation."""
+    avail = _availability(instance)
+    net_exact = _net_demand_exact(instance)
+    net = np.array([float(x) for x in net_exact])
+    if not avail.all():
+        first = int(np.argmax(net > 0.0)) if np.any(net > 0.0) else -1
+        if first >= 0 and not avail[: first + 1].any():
+            raise HeuristicInfeasible(
+                f"first net demand at slot {first} precedes every available slot"
+            )
+
+    c = instance.costs
+    unit_src = np.asarray(c.transfer_in, dtype=float) * float(instance.phi)
+    cum_h = np.concatenate([[0.0], np.cumsum(np.asarray(c.holding, dtype=float))])[:-1]
+    # unit cost of (produce at a, consume at u) = unit_src[a] - cum_h[a] + cum_h[u]
+    unit_src = unit_src - cum_h
+    setup_cost = np.asarray(c.compute, dtype=float)
+
+    setups = _greedy(net, avail, unit_src, cum_h, setup_cost)
+    setups, rounds = _local_search(
+        setups, net, avail, unit_src, cum_h, setup_cost, max_rounds
+    )
+    evaluated = _evaluate(setups, net, unit_src, cum_h, setup_cost)
+    if evaluated is None:
+        raise HeuristicInfeasible("local search lost feasibility")
+    plan, exact_objective = _exact_plan(instance, net_exact, evaluated[1], rounds)
+    try:
+        plan.validate(instance, tol=tol)
+    except AssertionError as exc:
+        raise HeuristicInfeasible(str(exc)) from exc
+    if instance.bottleneck_rate is not None:
+        lhs = float(instance.bottleneck_rate) * plan.alpha
+        if np.any(lhs > np.asarray(instance.bottleneck_capacity, dtype=float) + tol):
+            raise HeuristicInfeasible("plan violates a finite bottleneck capacity")
+
+    relaxed = (
+        instance
+        if instance.bottleneck_rate is None
+        else replace(instance, bottleneck_rate=None, bottleneck_capacity=None)
+    )
+    ww = solve_wagner_whitin(relaxed)
+    lower = float(ww.objective)
+    gap = (float(exact_objective) - lower) / max(abs(lower), 1e-9)
+    return HeuristicResult(
+        plan=plan,
+        objective=float(exact_objective),
+        exact_objective=exact_objective,
+        lower_bound=lower,
+        gap=max(gap, 0.0),
+        rounds=rounds,
+    )

@@ -1,0 +1,158 @@
+"""Shared capacity pools: the cross-tenant coupling of fleet planning.
+
+The paper plans one application against an infinitely elastic market.  A
+fleet shares finite pools — a spot allotment, an on-demand quota, a block
+of reserved instances — so per-slot *concurrent rentals* are coupled
+across tenants:
+
+    sum over tenants i in pool p of chi_i(t)  <=  capacity_p(t)
+
+``chi`` is the paper's binary rent indicator, so pool usage counts
+renting tenants per slot.  :func:`repro.fleet.planner.plan_fleet` plans
+tenants independently first, then repairs pool overloads by trimming
+renters off overloaded slots and re-solving them (see ``planner``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from repro.fleet.tenants import Tenant
+
+__all__ = [
+    "CapacityPool",
+    "uniform_pools",
+    "pool_usage",
+    "pool_excess",
+    "verify_fleet_feasible",
+    "fleet_cost",
+]
+
+
+@dataclass(frozen=True)
+class CapacityPool:
+    """Per-slot cap on concurrent rentals drawn from one pool."""
+
+    name: str
+    capacity: np.ndarray
+
+    def __post_init__(self) -> None:
+        cap = np.asarray(self.capacity, dtype=float)
+        if cap.ndim != 1 or cap.shape[0] < 1:
+            raise ValueError(f"pool {self.name!r} needs a 1-D per-slot capacity")
+        if np.any(cap < 0):
+            raise ValueError(f"pool {self.name!r} has negative capacity")
+        object.__setattr__(self, "capacity", cap)
+
+    @property
+    def horizon(self) -> int:
+        return self.capacity.shape[0]
+
+
+def uniform_pools(
+    tenants: list[Tenant], utilization: float = 0.6, floor: int = 1
+) -> dict[str, CapacityPool]:
+    """Size each pool as a fraction of its member count, per slot.
+
+    ``utilization`` scales the worst case (every member renting every
+    slot); below ~0.7 the diurnal peaks of a mixed population reliably
+    overload a few slots, which is what exercises the repair path.
+    """
+    if not tenants:
+        raise ValueError("cannot size pools for an empty fleet")
+    if not 0.0 < utilization <= 1.0:
+        raise ValueError(f"utilization must be in (0, 1], got {utilization}")
+    horizon = tenants[0].horizon
+    pools: dict[str, CapacityPool] = {}
+    for pool_name in sorted({t.pool for t in tenants}):
+        members = [t for t in tenants if t.pool == pool_name]
+        cap = max(floor, int(np.ceil(utilization * len(members))))
+        capacity = np.full(horizon, float(cap))
+        # Hard floor at slot 0: a tenant whose initial storage cannot cover
+        # its slot-0 demand has no earlier slot to produce in, so it *must*
+        # rent slot 0 — no repair can trim it.
+        forced = sum(
+            1
+            for t in members
+            if float(t.instance.demand[0]) > float(t.instance.initial_storage) + 1e-12
+        )
+        capacity[0] = max(capacity[0], float(forced))
+        pools[pool_name] = CapacityPool(name=pool_name, capacity=capacity)
+    return pools
+
+
+def pool_usage(
+    tenants: list[Tenant], plans: dict[int, "np.ndarray"], pools: dict[str, CapacityPool]
+) -> dict[str, np.ndarray]:
+    """Concurrent renters per pool per slot.  ``plans`` maps tenant id to
+    the plan's ``chi`` array (anything >0.5 counts as renting)."""
+    usage = {
+        name: np.zeros(pool.horizon, dtype=float) for name, pool in pools.items()
+    }
+    for tenant in tenants:
+        chi = plans.get(tenant.tenant_id)
+        if chi is None or tenant.pool not in usage:
+            continue
+        usage[tenant.pool] += (np.asarray(chi) > 0.5).astype(float)
+    return usage
+
+
+def pool_excess(
+    pools: dict[str, CapacityPool], usage: dict[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    """Per-slot overload (usage above capacity), clipped at zero."""
+    return {
+        name: np.maximum(usage.get(name, 0.0) - pool.capacity, 0.0)
+        for name, pool in pools.items()
+    }
+
+
+def verify_fleet_feasible(
+    tenants: list[Tenant],
+    outcomes: list,
+    pools: dict[str, CapacityPool],
+    tol: float = 1e-6,
+) -> list[str]:
+    """Check every per-tenant constraint and every pool cap; return
+    human-readable failure strings (empty = feasible).
+
+    ``outcomes`` are :class:`repro.fleet.planner.TenantOutcome` objects
+    (anything with ``tenant_id``, ``plan`` and ``instance`` works): each
+    plan is validated against the instance it was solved for — the
+    *knocked* instance when repair trimmed the tenant.
+    """
+    failures: list[str] = []
+    by_id = {t.tenant_id: t for t in tenants}
+    chi_by_id: dict[int, np.ndarray] = {}
+    for outcome in outcomes:
+        tenant = by_id.get(outcome.tenant_id)
+        if tenant is None:
+            failures.append(f"outcome for unknown tenant {outcome.tenant_id}")
+            continue
+        try:
+            outcome.plan.validate(outcome.instance, tol=tol)
+        except AssertionError as exc:
+            failures.append(f"tenant {tenant.name}: {exc}")
+        chi_by_id[tenant.tenant_id] = outcome.plan.chi
+    usage = pool_usage(tenants, chi_by_id, pools)
+    for name, excess in pool_excess(pools, usage).items():
+        bad = np.nonzero(excess > tol)[0]
+        if bad.size:
+            failures.append(
+                f"pool {name!r} over capacity at slots {bad.tolist()} "
+                f"(max excess {float(excess.max()):g})"
+            )
+    return failures
+
+
+def fleet_cost(outcomes: list) -> Fraction:
+    """Exact total fleet cost — an order-independent sum of exact
+    per-tenant objectives (see :mod:`repro.fleet.heuristic` accounting)."""
+    total = Fraction(0)
+    for outcome in outcomes:
+        exact = outcome.plan.extra.get("exact_objective")
+        total += Fraction(exact) if exact is not None else Fraction(float(outcome.plan.objective))
+    return total

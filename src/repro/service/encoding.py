@@ -3,7 +3,7 @@
 The service speaks JSON.  A submission is a dict with:
 
 ``kind``
-    ``"drrp"`` (default) or ``"srrp"``.
+    ``"drrp"`` (default), ``"srrp"``, or ``"fleet"``.
 ``instance``
     The explicit problem: ``demand`` (list), ``costs`` (five per-slot
     lists: ``compute``/``storage``/``io``/``transfer_in``/``transfer_out``),
@@ -15,6 +15,11 @@ shorthand (top level, instead of ``instance``)
     the server expands these into the same explicit instance the
     ``repro plan`` CLI would build, so a stdlib-only client can submit
     without numpy.
+fleet shorthand (``kind: "fleet"``, instead of ``instance``)
+    ``tenants`` / ``seed`` / ``horizon`` / ``utilization``: the server
+    builds the seeded multi-tenant population and shared pools itself
+    (:mod:`repro.fleet`) and returns the fleet-plan summary, so batch
+    submissions stay a few integers on the wire.
 solve options
     ``backend`` (cache-key material — different backends may return
     different-but-equally-optimal vertices), ``time_limit`` (seconds for
@@ -48,7 +53,7 @@ __all__ = [
     "plan_payload",
 ]
 
-KINDS = ("drrp", "srrp")
+KINDS = ("drrp", "srrp", "fleet")
 BACKENDS = ("auto", "simplex", "simplex+cuts", "scipy", "bb-scipy")
 OVERLOAD_MODES = ("reject", "degrade")
 
@@ -197,6 +202,34 @@ def _normalize_instance(payload: dict, kind: str) -> dict:
     return inst
 
 
+def _int(obj, name: str, *, default: int, lo: int, hi: int) -> int:
+    if obj is None:
+        return default
+    if not isinstance(obj, int) or isinstance(obj, bool) or not lo <= obj <= hi:
+        raise BadRequest(f"{name} must be an integer in [{lo}, {hi}]")
+    return obj
+
+
+def _normalize_fleet(payload: dict) -> dict:
+    """Fleet shorthand -> canonical spec (see module docstring).
+
+    The population is seeded server-side, so the spec *is* the problem:
+    two fleet submissions with the same spec digest identically.
+    """
+    utilization = _float(payload.get("utilization"), "utilization", default=0.6)
+    if not 0.0 < utilization <= 1.0:
+        raise BadRequest(f"utilization must be in (0, 1], got {utilization}")
+    seed = payload.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise BadRequest("seed must be an integer")
+    return {
+        "tenants": _int(payload.get("tenants"), "tenants", default=16, lo=1, hi=10_000),
+        "seed": seed,
+        "horizon": _int(payload.get("horizon"), "horizon", default=24, lo=2, hi=8760),
+        "utilization": utilization,
+    }
+
+
 def normalize_request(payload) -> dict:
     """Validate and canonicalize one submission (see module docstring).
 
@@ -216,22 +249,31 @@ def normalize_request(payload) -> dict:
     if on_overload not in OVERLOAD_MODES:
         raise BadRequest(f"on_overload must be one of {OVERLOAD_MODES}")
     time_limit = _float(payload.get("time_limit"), "time_limit")
-    return {
+    request = {
         "kind": kind,
-        "instance": _normalize_instance(payload, kind),
         "backend": backend,
         "time_limit": time_limit,
         "on_overload": on_overload,
     }
+    if kind == "fleet":
+        request["fleet"] = _normalize_fleet(payload)
+    else:
+        request["instance"] = _normalize_instance(payload, kind)
+    return request
 
 
 def request_digest(request: dict) -> str:
     """Content address of a normalized request (the plan-cache key).
 
-    Covers the problem (instance minus its ``vm_name`` label) and the
-    backend; excludes budgets and overload policy — a cached OPTIMAL plan
-    is valid whatever deadline the submission carried.
+    Covers the problem (instance minus its ``vm_name`` label, or the
+    seeded fleet spec) and the backend; excludes budgets and overload
+    policy — a cached OPTIMAL plan is valid whatever deadline the
+    submission carried.
     """
+    if request["kind"] == "fleet":
+        return result_digest(
+            {"kind": "fleet", "backend": request["backend"], "fleet": request["fleet"]}
+        )
     instance = {k: v for k, v in request["instance"].items() if k != "vm_name"}
     return result_digest(
         {"kind": request["kind"], "backend": request["backend"], "instance": instance}

@@ -40,8 +40,10 @@ def execute_request(
     unbounded.  Raises ``RuntimeError`` if the solver terminates without
     a usable solution.
     """
-    instance = build_instance(request)
     kind = request["kind"]
+    if kind == "fleet":
+        return _fleet_request(request, listener=listener)
+    instance = build_instance(request)
     solve_kwargs: dict = {"backend": request["backend"]}
     if listener is not None:
         solve_kwargs["listener"] = listener
@@ -61,6 +63,29 @@ def execute_request(
     return plan_payload(kind, plan)
 
 
+def _fleet_request(request: dict, listener=None, escalate: bool = True) -> dict:
+    """Plan one seeded fleet spec; returns the fleet-plan summary payload.
+
+    The fan-out inside :func:`repro.fleet.plan_fleet` respects the
+    service workers' :func:`repro.parallel.serial_guard`, so a fleet job
+    cannot fork-bomb the host from a worker thread.  ``escalate=False``
+    is the degraded path: heuristic tier only, no gap-triggered MILP.
+    """
+    from repro.fleet import FleetConfig, generate_tenants, plan_fleet, uniform_pools
+
+    spec = request["fleet"]
+    tenants = generate_tenants(
+        spec["tenants"], seed=spec["seed"], horizon=spec["horizon"]
+    )
+    pools = uniform_pools(tenants, utilization=spec["utilization"])
+    config = FleetConfig(backend=request["backend"], escalate=escalate)
+    fleet = plan_fleet(tenants, pools, config, listener=listener)
+    payload = fleet.summary(tenants)
+    if not fleet.feasible:
+        raise RuntimeError(f"fleet plan infeasible: {fleet.failures[:3]}")
+    return payload
+
+
 def _expected_stage_prices(tree_payload: dict) -> list[float]:
     """Per-slot expected compute price of a normalized tree payload."""
     prices = [float(tree_payload["root_price"])]
@@ -76,6 +101,11 @@ def degraded_request(request: dict) -> dict:
     import numpy as np
 
     from repro.core import CostSchedule, DRRPInstance, solve_noplan, solve_wagner_whitin
+
+    if request["kind"] == "fleet":
+        payload = _fleet_request(request, escalate=False)
+        payload["degraded"] = "heuristic-only"
+        return payload
 
     inst = request["instance"]
     costs = CostSchedule(**{f: np.asarray(v) for f, v in inst["costs"].items()})

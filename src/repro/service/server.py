@@ -19,6 +19,12 @@ Two layers, separable for testing:
                                        hit or degraded, 400 malformed, 429/503
                                        saturated (``Retry-After`` header)
     POST      ``/v1/plan``             submit and wait; adds 504 on wait timeout
+    POST      ``/v1/fleet``            batch multi-tenant planning: forces
+                                       ``kind: "fleet"``, then behaves like
+                                       ``/v1/plan`` (same queue, cache, and
+                                       overload policy; the body is the fleet
+                                       spec — ``tenants``/``seed``/``horizon``/
+                                       ``utilization``)
     GET       ``/v1/jobs/<id>``        job status
     GET       ``/v1/jobs/<id>/plan``   plan body; 409 while pending
     GET       ``/healthz``             liveness + queue/cache summary
@@ -499,13 +505,15 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
         service = self.server.service
         path = self.path.split("?", 1)[0].rstrip("/")
-        if path not in ("/v1/jobs", "/v1/plan"):
+        if path not in ("/v1/jobs", "/v1/plan", "/v1/fleet"):
             self._reply(404, {"error": f"no such endpoint: POST {path}"})
             return
         payload, err = self._read_json()
         if err is not None:
             self._reply(400, {"error": err})
             return
+        if path == "/v1/fleet" and isinstance(payload, dict):
+            payload = {**payload, "kind": "fleet"}
         # Missing or garbled traceparent parses to None — the job simply
         # starts a fresh trace root; propagation is never worth a 4xx/5xx.
         trace = parse_traceparent(self.headers.get(TRACEPARENT_HEADER))

@@ -13,7 +13,14 @@ Public surface:
 """
 
 from .expr import Constraint, ConstraintSense, LinExpr, Variable, VarType, lin_sum
-from .model import CompiledProblem, Model, ObjectiveSense
+from .model import (
+    CompiledProblem,
+    Model,
+    ObjectiveSense,
+    compile_cache_stats,
+    reset_compile_cache,
+    reset_compile_cache_stats,
+)
 from .result import SolverResult, SolverStatus
 from .telemetry import Deadline, EventRecorder, SolveEvent, Telemetry
 from .interface import BACKENDS, solve, solve_compiled
@@ -34,6 +41,9 @@ __all__ = [
     "CompiledProblem",
     "Model",
     "ObjectiveSense",
+    "compile_cache_stats",
+    "reset_compile_cache",
+    "reset_compile_cache_stats",
     "SolverResult",
     "SolverStatus",
     "Deadline",

@@ -19,7 +19,14 @@ import numpy as np
 
 from .expr import Constraint, ConstraintSense, LinExpr, Variable, VarType
 
-__all__ = ["ObjectiveSense", "Model", "CompiledProblem"]
+__all__ = [
+    "ObjectiveSense",
+    "Model",
+    "CompiledProblem",
+    "compile_cache_stats",
+    "reset_compile_cache",
+    "reset_compile_cache_stats",
+]
 
 #: Module-level LRU of compiled matrices keyed by structural digest, shared
 #: across Model instances so the planning service recompiles a resubmitted
@@ -28,6 +35,75 @@ __all__ = ["ObjectiveSense", "Model", "CompiledProblem"]
 _COMPILE_CACHE: "OrderedDict[str, CompiledProblem]" = OrderedDict()
 _COMPILE_CACHE_MAX = 32
 _COMPILE_CACHE_LOCK = threading.Lock()
+
+#: Second-level LRU keyed on the *shape* digest (sparsity pattern only, no
+#: coefficient values).  A fleet of tenants builds thousands of models that
+#: differ only in demands/prices; their matrices differ but the row
+#: partition and COO index arrays are identical, so a shape hit skips the
+#: per-row Python assembly and reduces compilation to value scatters.
+_SHAPE_CACHE: "OrderedDict[str, _CompiledShape]" = OrderedDict()
+_SHAPE_CACHE_MAX = 64
+
+_COMPILE_STATS = {
+    "compiles": 0,       # total compile() calls
+    "instance_hits": 0,  # unmodified model recompiled -> per-instance cache
+    "digest_hits": 0,    # identical values -> module-level compiled LRU
+    "shape_hits": 0,     # identical sparsity pattern -> index-array reuse
+    "full_builds": 0,    # cold: row partition + index arrays built from scratch
+}
+
+
+def compile_cache_stats() -> dict[str, int]:
+    """Snapshot of the compile-cache counters (see ``_COMPILE_STATS``)."""
+    with _COMPILE_CACHE_LOCK:
+        return dict(_COMPILE_STATS)
+
+
+def reset_compile_cache_stats() -> None:
+    """Zero the compile-cache counters (benchmarks call this per leg)."""
+    with _COMPILE_CACHE_LOCK:
+        for key in _COMPILE_STATS:
+            _COMPILE_STATS[key] = 0
+
+
+def reset_compile_cache() -> None:
+    """Drop the module-level digest and shape LRUs and zero the counters.
+
+    Tests that assert on cold-compile behaviour need this: the LRUs are
+    process-wide, so without it any same-shape model compiled earlier in
+    the process turns an expected ``full_build`` into a cache hit.
+    """
+    with _COMPILE_CACHE_LOCK:
+        _COMPILE_CACHE.clear()
+        _SHAPE_CACHE.clear()
+        for key in _COMPILE_STATS:
+            _COMPILE_STATS[key] = 0
+
+
+def _bump(counter: str) -> None:
+    with _COMPILE_CACHE_LOCK:
+        _COMPILE_STATS[counter] += 1
+
+
+@dataclass(frozen=True)
+class _CompiledShape:
+    """Reusable sparsity pattern of a compiled model.
+
+    ``ub_rows``/``eq_rows`` hold ``(constraint_index, row_sign)`` in block
+    order; the ``ri``/``ci`` arrays are the COO scatter indices for each
+    block; ``obj_ci`` the objective's column indices in term-iteration
+    order.  Value extraction at fill time walks the same iteration order
+    the shape digest was computed from, so columns always line up.
+    """
+
+    n: int
+    ub_rows: tuple[tuple[int, float], ...]
+    eq_rows: tuple[int, ...]
+    ub_ri: np.ndarray
+    ub_ci: np.ndarray
+    eq_ri: np.ndarray
+    eq_ci: np.ndarray
+    obj_ci: np.ndarray
 
 
 class ObjectiveSense:
@@ -224,19 +300,47 @@ class Model:
         }
         return result_digest(payload)
 
+    def _shape_digest(self) -> str:
+        """Digest of the sparsity pattern only — no coefficient values.
+
+        Covers everything :class:`_CompiledShape` encodes: variable count,
+        constraint senses in order, each row's column indices in *term
+        iteration order* (so two models digesting equal are guaranteed to
+        scatter values into the same slots), and the objective's column
+        order and sense.  Bounds, vtypes, rhs and coefficients are values
+        and are filled per model.
+        """
+        from repro.serialize import result_digest
+
+        payload = {
+            "n": len(self.variables),
+            "rows": [
+                (c.sense.value, tuple(v.index for v in c.expr.terms))
+                for c in self.constraints
+            ],
+            "objective": (self.sense, tuple(v.index for v in self.objective.terms)),
+        }
+        return result_digest(payload)
+
     def compile(self) -> CompiledProblem:
         """Compile to matrix form; maximize models get ``c`` negated.
 
-        Results are cached two ways and always returned as defensive copies
-        (callers mutate bounds in place during branching/presolve):
+        Results are cached three ways and always returned as defensive
+        copies (callers mutate bounds in place during branching/presolve):
 
         * per instance, keyed on the mutation counter, so back-to-back
           solves of an unmodified model skip matrix assembly entirely;
         * in a small module-level LRU keyed on the structural digest
           (:mod:`repro.serialize`), so rebuilding the *same* model — e.g. a
-          replan of an identical planning request — also hits.
+          replan of an identical planning request — also hits;
+        * in a module-level shape LRU keyed on the sparsity pattern alone,
+          so same-shape models with different coefficients (a fleet of
+          tenants) reuse the row partition and COO index arrays and only
+          pay for value scatters.
         """
+        _bump("compiles")
         if self._compiled is not None and self._compiled_version == self._version:
+            _bump("instance_hits")
             return self._compiled.copy(variables=self.variables)
 
         digest = self._structure_digest()
@@ -245,11 +349,28 @@ class Model:
             if cached is not None:
                 _COMPILE_CACHE.move_to_end(digest)
         if cached is not None:
+            _bump("digest_hits")
             self._compiled = cached.copy(variables=self.variables)
             self._compiled_version = self._version
             return self._compiled.copy(variables=self.variables)
 
-        compiled = self._compile_uncached()
+        shape_key = self._shape_digest()
+        with _COMPILE_CACHE_LOCK:
+            shape = _SHAPE_CACHE.get(shape_key)
+            if shape is not None:
+                _SHAPE_CACHE.move_to_end(shape_key)
+        if shape is not None:
+            _bump("shape_hits")
+        else:
+            _bump("full_builds")
+            shape = self._build_shape()
+            with _COMPILE_CACHE_LOCK:
+                _SHAPE_CACHE[shape_key] = shape
+                _SHAPE_CACHE.move_to_end(shape_key)
+                while len(_SHAPE_CACHE) > _SHAPE_CACHE_MAX:
+                    _SHAPE_CACHE.popitem(last=False)
+
+        compiled = self._compile_with_shape(shape)
         self._compiled = compiled
         self._compiled_version = self._version
         with _COMPILE_CACHE_LOCK:
@@ -260,55 +381,90 @@ class Model:
         return compiled.copy(variables=self.variables)
 
     def _compile_uncached(self) -> CompiledProblem:
+        """Cold compile with no cache participation (kept for direct use)."""
+        return self._compile_with_shape(self._build_shape())
+
+    def _build_shape(self) -> _CompiledShape:
+        """Partition rows into blocks and precompute the COO index arrays."""
         n = len(self.variables)
+        # GE rows fold into the <= block with a -1 row sign applied to the
+        # coefficient values — no negated dict copies.
+        ub_rows: list[tuple[int, float]] = []
+        eq_rows: list[int] = []
+        for idx, constr in enumerate(self.constraints):
+            if constr.sense is ConstraintSense.LE:
+                ub_rows.append((idx, 1.0))
+            elif constr.sense is ConstraintSense.GE:
+                ub_rows.append((idx, -1.0))
+            else:
+                eq_rows.append(idx)
+
+        def indices(row_ids):
+            nnz = sum(len(self.constraints[i].expr.terms) for i in row_ids)
+            ri = np.empty(nnz, dtype=np.intp)
+            ci = np.empty(nnz, dtype=np.intp)
+            k = 0
+            for row, i in enumerate(row_ids):
+                terms = self.constraints[i].expr.terms
+                t = len(terms)
+                ri[k : k + t] = row
+                ci[k : k + t] = np.fromiter((v.index for v in terms), dtype=np.intp, count=t)
+                k += t
+            return ri, ci
+
+        ub_ri, ub_ci = indices([i for i, _ in ub_rows])
+        eq_ri, eq_ci = indices(eq_rows)
+        obj_terms = self.objective.terms
+        obj_ci = np.fromiter(
+            (v.index for v in obj_terms), dtype=np.intp, count=len(obj_terms)
+        )
+        return _CompiledShape(
+            n=n, ub_rows=tuple(ub_rows), eq_rows=tuple(eq_rows),
+            ub_ri=ub_ri, ub_ci=ub_ci, eq_ri=eq_ri, eq_ci=eq_ci, obj_ci=obj_ci,
+        )
+
+    def _compile_with_shape(self, shape: _CompiledShape) -> CompiledProblem:
+        """Fill coefficient values into a (possibly shared) sparsity pattern."""
+        n = shape.n
         c = np.zeros(n)
         obj_terms = self.objective.terms
         if obj_terms:
-            c[np.fromiter((v.index for v in obj_terms), dtype=np.intp, count=len(obj_terms))] = (
-                np.fromiter(obj_terms.values(), dtype=float, count=len(obj_terms))
-            )
+            c[shape.obj_ci] = np.fromiter(obj_terms.values(), dtype=float, count=len(obj_terms))
         maximize = self.sense == ObjectiveSense.MAXIMIZE
         if maximize:
             c = -c
         c0 = -self.objective.constant if maximize else self.objective.constant
 
-        # GE rows fold into the <= block with a -1 row sign applied to the
-        # coefficient values — no negated dict copies.
-        ub_rows: list[tuple[dict[Variable, float], float, float]] = []
-        eq_rows: list[tuple[dict[Variable, float], float, float]] = []
-        for constr in self.constraints:
-            terms, rhs = constr.expr.terms, constr.rhs
-            if constr.sense is ConstraintSense.LE:
-                ub_rows.append((terms, rhs, 1.0))
-            elif constr.sense is ConstraintSense.GE:
-                ub_rows.append((terms, -rhs, -1.0))
-            else:
-                eq_rows.append((terms, rhs, 1.0))
+        A_ub = np.zeros((len(shape.ub_rows), n))
+        b_ub = np.empty(len(shape.ub_rows))
+        vals = np.empty(shape.ub_ci.shape[0])
+        k = 0
+        for row, (i, sign) in enumerate(shape.ub_rows):
+            constr = self.constraints[i]
+            terms = constr.expr.terms
+            t = len(terms)
+            vals[k : k + t] = np.fromiter(terms.values(), dtype=float, count=t)
+            if sign != 1.0:
+                vals[k : k + t] *= sign
+            b_ub[row] = constr.rhs * sign
+            k += t
+        # LinExpr terms are keyed by variable, so (row, col) pairs are
+        # unique and one fancy assignment scatters the whole COO batch.
+        A_ub[shape.ub_ri, shape.ub_ci] = vals
 
-        def build(rows):
-            A = np.zeros((len(rows), n))
-            b = np.empty(len(rows))
-            nnz = sum(len(terms) for terms, _, _ in rows)
-            ri = np.empty(nnz, dtype=np.intp)
-            ci = np.empty(nnz, dtype=np.intp)
-            vals = np.empty(nnz)
-            k = 0
-            for i, (terms, rhs, sign) in enumerate(rows):
-                b[i] = rhs
-                t = len(terms)
-                ri[k : k + t] = i
-                ci[k : k + t] = np.fromiter((v.index for v in terms), dtype=np.intp, count=t)
-                vals[k : k + t] = np.fromiter(terms.values(), dtype=float, count=t)
-                if sign != 1.0:
-                    vals[k : k + t] *= sign
-                k += t
-            # LinExpr terms are keyed by variable, so (row, col) pairs are
-            # unique and one fancy assignment scatters the whole COO batch.
-            A[ri, ci] = vals
-            return A, b
+        A_eq = np.zeros((len(shape.eq_rows), n))
+        b_eq = np.empty(len(shape.eq_rows))
+        vals = np.empty(shape.eq_ci.shape[0])
+        k = 0
+        for row, i in enumerate(shape.eq_rows):
+            constr = self.constraints[i]
+            terms = constr.expr.terms
+            t = len(terms)
+            vals[k : k + t] = np.fromiter(terms.values(), dtype=float, count=t)
+            b_eq[row] = constr.rhs
+            k += t
+        A_eq[shape.eq_ri, shape.eq_ci] = vals
 
-        A_ub, b_ub = build(ub_rows)
-        A_eq, b_eq = build(eq_rows)
         lb = np.fromiter((v.lb for v in self.variables), dtype=float, count=n)
         ub = np.fromiter((v.ub for v in self.variables), dtype=float, count=n)
         integrality = np.fromiter(

@@ -29,7 +29,7 @@ from .certify import (
     frac_sum,
 )
 from .fuzz import SMOKE_CASES, FuzzConfig, FuzzReport, run_fuzz, run_fuzz_parallel
-from .generators import FAMILIES, GeneratedCase
+from .generators import FAMILIES, FleetPoolCase, GeneratedCase, planted_fleet_pool
 from .oracle import Disagreement, cross_check_case, serialize_witness, shrink_disagreement
 from .shrink import shrink_drrp, shrink_problem
 
@@ -47,6 +47,8 @@ __all__ = [
     "audit_benders_cuts",
     "all_passed",
     "FAMILIES",
+    "FleetPoolCase",
+    "planted_fleet_pool",
     "GeneratedCase",
     "Disagreement",
     "cross_check_case",

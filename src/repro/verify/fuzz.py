@@ -42,7 +42,7 @@ from .oracle import Disagreement, cross_check_case, serialize_witness, shrink_di
 
 __all__ = ["FuzzConfig", "FuzzReport", "run_fuzz", "run_fuzz_parallel", "SMOKE_CASES"]
 
-SMOKE_CASES = 216  # 24 per family (9 families); the smoke gate requires >= 200 certified
+SMOKE_CASES = 240  # 24 per family (10 families); the smoke gate requires >= 200 certified
 
 
 @dataclass
@@ -186,6 +186,33 @@ def _certify_case(case: GeneratedCase, tol: float) -> tuple[bool, bool]:
         report = certify_srrp_plan(inst, plan, tol=tol)
         matches = case.optimum is None or abs(plan.expected_cost - case.optimum) <= tol * (1 + abs(case.optimum))
         return bool(report.ok and matches), False
+    from .generators import FleetPoolCase
+
+    if isinstance(inst, FleetPoolCase):
+        from repro.fleet import CapacityPool, FleetConfig, Tenant, plan_fleet
+
+        tenants = [
+            Tenant(tenant_id=i, name=f"fleet-{i}", vm_name=t.vm_name,
+                   profile="planted", sla="premium", pool="shared", size=1.0,
+                   instance=t)
+            for i, t in enumerate(inst.tenants)
+        ]
+        pools = {"shared": CapacityPool(name="shared", capacity=inst.capacity)}
+        fleet = plan_fleet(tenants, pools, FleetConfig(workers=1))
+        # Solver-independent: every per-tenant plan re-certified exactly
+        # against the instance it was solved for (knocked where trimmed),
+        # pool caps re-checked, and the exact total must hit the planted
+        # exchange-argument optimum.
+        certified = not fleet.failures
+        for outcome in fleet.outcomes:
+            certified = certified and certify_drrp_plan(
+                outcome.instance, outcome.plan, tol=tol
+            ).ok
+        if case.optimum is not None:
+            certified = certified and abs(
+                fleet.total_cost - case.optimum
+            ) <= tol * (1 + abs(case.optimum))
+        return bool(certified), False
     from repro.market.interruptions import BidDominanceCase, fixed_bid_outcome
 
     if isinstance(inst, BidDominanceCase):

@@ -48,12 +48,14 @@ from repro.solver.model import CompiledProblem
 
 __all__ = [
     "GeneratedCase",
+    "FleetPoolCase",
     "planted_lp",
     "planted_milp",
     "infeasible_lp",
     "planted_drrp",
     "random_drrp",
     "planted_srrp",
+    "planted_fleet_pool",
     "random_two_stage",
     "FAMILIES",
 ]
@@ -410,6 +412,99 @@ def planted_evicted_drrp(rng: np.random.Generator, T: int = 8) -> GeneratedCase:
     )
 
 
+@dataclass
+class FleetPoolCase:
+    """A planted multi-tenant fleet sharing one capacity pool.
+
+    ``tenants`` are per-tenant DRRP instances; ``capacity`` the per-slot
+    cap on concurrent renters of the shared pool; ``bind_slot`` the one
+    slot where the cap binds; ``deltas`` each tenant's exact cost of
+    giving that slot up (the exchange-argument regret).
+    """
+
+    tenants: tuple[DRRPInstance, ...]
+    capacity: np.ndarray
+    bind_slot: int
+    deltas: tuple[float, ...]
+
+
+def planted_fleet_pool(
+    rng: np.random.Generator, tenants: int = 3, T: int = 6
+) -> GeneratedCase:
+    """Fleet with a pool cap binding at exactly one slot, optimum by exchange.
+
+    Construction: every tenant is a rent-per-slot instance (integer
+    demand ``>= 1`` everywhere, holding ``h_i`` strictly above its
+    dearest setup, constant transfer-in), so each tenant's unconstrained
+    optimum rents every slot and costs
+    ``opt_i = sum(setup_i) + tin_i*phi*sum(d_i) + tout_i @ d_i``.  One
+    slot ``t* >= 1`` gets pool capacity ``K - 1`` (capacity ``K``
+    elsewhere), forcing at least one tenant off ``t*``.  By the
+    drrp-evicted exchange argument, the cheapest plan for a tenant that
+    skips ``t*`` still rents every other slot and carries ``d_i(t*)``
+    from ``t* - 1``, costing exactly
+    ``opt_i + delta_i`` with ``delta_i = h_i * d_i(t*) - setup_i(t*) >= 1``.
+    Any feasible fleet therefore costs at least
+    ``sum_i opt_i + min_i delta_i``, and trimming an argmin tenant
+    attains it — the planted optimum, exact in floating point (integer
+    data, phi = 0.5).
+
+    ``x_star`` concatenates each tenant's ``[alpha, beta, chi]`` blocks
+    in tenant order, with the first argmin-delta tenant evicted at
+    ``t*``.
+    """
+    phi = 0.5
+    K = tenants
+    bind = int(rng.integers(1, T))
+    insts: list[DRRPInstance] = []
+    opts: list[float] = []
+    deltas: list[float] = []
+    blocks: list[np.ndarray] = []
+    for i in range(K):
+        demand = rng.integers(1, 5, T).astype(float)
+        setup = rng.integers(1, 5, T).astype(float)
+        h = float(setup.max()) + 1.0
+        costs = _schedule(rng, T, np.full(T, h), setup, tin_const=True)
+        insts.append(
+            DRRPInstance(demand=demand, costs=costs, phi=phi, vm_name=f"fleet-{i}")
+        )
+        opts.append(
+            float(
+                setup.sum()
+                + (costs.transfer_in * phi * demand).sum()
+                + (costs.transfer_out * demand).sum()
+            )
+        )
+        deltas.append(h * float(demand[bind]) - float(setup[bind]))
+    trimmed = int(np.argmin(deltas))
+    for i, inst in enumerate(insts):
+        demand = inst.demand
+        alpha = demand.copy()
+        beta = np.zeros(T)
+        chi = np.ones(T)
+        if i == trimmed:
+            alpha[bind] = 0.0
+            alpha[bind - 1] += demand[bind]
+            beta[bind - 1] = demand[bind]
+            chi[bind] = 0.0
+        blocks.append(np.concatenate([alpha, beta, chi]))
+    capacity = np.full(T, float(K))
+    capacity[bind] = float(K - 1)
+    optimum = float(sum(opts) + min(deltas))
+    case = FleetPoolCase(
+        tenants=tuple(insts), capacity=capacity, bind_slot=bind,
+        deltas=tuple(deltas),
+    )
+    return GeneratedCase(
+        family="fleet-pool", instance=case, optimum=optimum,
+        x_star=np.concatenate(blocks),
+        meta={
+            "tenants": K, "bind_slot": bind, "trimmed": trimmed,
+            "per_tenant_optima": opts, "deltas": list(deltas),
+        },
+    )
+
+
 def bid_dominance(rng: np.random.Generator, T: int = 16) -> GeneratedCase:
     """Bid-dominance scenario: a higher bid weakly reduces realized cost.
 
@@ -466,4 +561,5 @@ FAMILIES = {
     "srrp": planted_srrp,
     "two-stage": random_two_stage,
     "bid-dominance": bid_dominance,
+    "fleet-pool": planted_fleet_pool,
 }

@@ -226,10 +226,79 @@ def _compare_bid_dominance(case: GeneratedCase) -> list[Disagreement]:
     return out
 
 
+def _compare_fleet_pool(case: GeneratedCase, tol: float) -> list[Disagreement]:
+    """Fleet-pool differential: per-tenant MILP + WW votes on the planted
+    per-tenant optima, a MILP vote on the trimmed tenant's eviction cost,
+    and ``plan_fleet`` attaining the planted joint optimum feasibly."""
+    from repro.fleet import CapacityPool, FleetConfig, Tenant, plan_fleet
+    from repro.fleet.planner import _knock
+
+    fc = case.instance
+    out: list[Disagreement] = []
+    per = case.meta.get("per_tenant_optima")
+    for i, inst in enumerate(fc.tenants):
+        expected = None if per is None else float(per[i])
+        if expected is None:
+            continue
+        for label, obj in (
+            ("milp", solve_compiled(build_drrp_model(inst)[0].compile(), backend="auto").objective),
+            ("ww", solve_wagner_whitin(inst).objective),
+        ):
+            if abs(float(obj) - expected) > tol * max(1.0, abs(expected)):
+                out.append(Disagreement(
+                    family="", kind="ground-truth",
+                    detail={"tenant": i, "solver": label,
+                            "objective": float(obj), "expected": expected},
+                ))
+    trimmed = case.meta.get("trimmed")
+    if per is not None and trimmed is not None:
+        knocked = _knock(fc.tenants[trimmed], (fc.bind_slot,))
+        res = solve_compiled(build_drrp_model(knocked)[0].compile(), backend="auto")
+        expected = float(per[trimmed]) + float(fc.deltas[trimmed])
+        if abs(float(res.objective) - expected) > tol * max(1.0, abs(expected)):
+            out.append(Disagreement(
+                family="", kind="ground-truth",
+                detail={"tenant": trimmed, "solver": "milp-evicted",
+                        "objective": float(res.objective), "expected": expected},
+            ))
+    tenants = [
+        Tenant(tenant_id=i, name=f"fleet-{i}", vm_name=inst.vm_name,
+               profile="planted", sla="premium", pool="shared", size=1.0,
+               instance=inst)
+        for i, inst in enumerate(fc.tenants)
+    ]
+    pools = {"shared": CapacityPool(name="shared", capacity=fc.capacity)}
+    fleet = plan_fleet(tenants, pools, FleetConfig(workers=1))
+    if fleet.failures:
+        out.append(Disagreement(
+            family="", kind="certificate",
+            detail={"failures": fleet.failures[:5]},
+        ))
+    if case.optimum is not None and abs(fleet.total_cost - case.optimum) > tol * max(
+        1.0, abs(case.optimum)
+    ):
+        out.append(Disagreement(
+            family="", kind="objective",
+            detail={"objective": fleet.total_cost, "expected": case.optimum,
+                    "escalated": fleet.escalated,
+                    "repair_rounds": fleet.repair_rounds},
+        ))
+    return out
+
+
 def cross_check_case(case: GeneratedCase, tol: float = 1e-6) -> list[Disagreement]:
     """Run the family-appropriate differential comparison for one case."""
     from repro.market.interruptions import BidDominanceCase
 
+    from .generators import FleetPoolCase
+
+    if isinstance(case.instance, FleetPoolCase):
+        found = _compare_fleet_pool(case, tol)
+        for d in found:
+            d.family = case.family
+            if d.witness is None:
+                d.witness = case.instance
+        return found
     if isinstance(case.instance, BidDominanceCase):
         found = _compare_bid_dominance(case)
         for d in found:
@@ -342,6 +411,16 @@ def serialize_witness(obj) -> dict:
         }
     from repro.market.interruptions import BidDominanceCase
 
+    from .generators import FleetPoolCase
+
+    if isinstance(obj, FleetPoolCase):
+        return {
+            "type": "FleetPoolCase",
+            "capacity": _arr(obj.capacity),
+            "bind_slot": int(obj.bind_slot),
+            "deltas": [float(d) for d in obj.deltas],
+            "tenants": [serialize_witness(t) for t in obj.tenants],
+        }
     if isinstance(obj, BidDominanceCase):
         return {
             "type": "BidDominanceCase",

@@ -1,0 +1,10 @@
+"""Shared fixtures for the fleet-planning tests."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(2012)

@@ -1,0 +1,83 @@
+"""Tenant population generator: determinism, heterogeneity, pool sizing."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    POOLS,
+    PROFILES,
+    SLAS,
+    generate_tenants,
+    uniform_pools,
+)
+
+
+class TestGenerateTenants:
+    def test_seeded_reproducibility(self):
+        a = generate_tenants(20, seed=7, horizon=12)
+        b = generate_tenants(20, seed=7, horizon=12)
+        for ta, tb in zip(a, b):
+            assert ta.pool == tb.pool and ta.sla == tb.sla
+            assert np.array_equal(ta.instance.demand, tb.instance.demand)
+            assert np.array_equal(ta.instance.costs.compute, tb.instance.costs.compute)
+
+    def test_different_seeds_differ(self):
+        a = generate_tenants(20, seed=1, horizon=12)
+        b = generate_tenants(20, seed=2, horizon=12)
+        assert any(
+            not np.array_equal(ta.instance.demand, tb.instance.demand)
+            for ta, tb in zip(a, b)
+        )
+
+    def test_population_is_heterogeneous(self):
+        tenants = generate_tenants(60, seed=0, horizon=12)
+        assert {t.pool for t in tenants} == set(POOLS)
+        assert {t.profile for t in tenants} == set(PROFILES)
+        assert {t.sla for t in tenants} == set(SLAS)
+
+    def test_shared_horizon_and_valid_instances(self):
+        tenants = generate_tenants(10, seed=3, horizon=18)
+        for t in tenants:
+            assert t.horizon == 18
+            assert np.all(t.instance.demand >= 0)
+            assert np.all(t.instance.costs.compute > 0)
+
+    def test_escalation_eligibility_follows_sla(self):
+        tenants = generate_tenants(40, seed=0, horizon=12)
+        for t in tenants:
+            assert t.escalation_eligible == np.isfinite(SLAS[t.sla].gap_tolerance)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            generate_tenants(0)
+        with pytest.raises(ValueError):
+            generate_tenants(4, horizon=0)
+
+
+class TestUniformPools:
+    def test_covers_every_pool_in_use(self):
+        tenants = generate_tenants(30, seed=0, horizon=12)
+        pools = uniform_pools(tenants)
+        assert set(pools) == {t.pool for t in tenants}
+        for pool in pools.values():
+            assert pool.horizon == 12
+            assert np.all(pool.capacity >= 1)
+
+    def test_slot0_floor_covers_forced_renters(self):
+        tenants = generate_tenants(50, seed=5, horizon=12)
+        pools = uniform_pools(tenants, utilization=0.3)
+        for name, pool in pools.items():
+            forced = sum(
+                1
+                for t in tenants
+                if t.pool == name
+                and float(t.instance.demand[0]) > float(t.instance.initial_storage) + 1e-12
+            )
+            assert pool.capacity[0] >= forced
+
+    def test_rejects_bad_utilization(self):
+        tenants = generate_tenants(4, seed=0, horizon=6)
+        with pytest.raises(ValueError):
+            uniform_pools(tenants, utilization=0.0)
+        with pytest.raises(ValueError):
+            uniform_pools([], utilization=0.5)

@@ -1,0 +1,142 @@
+"""The /v1/fleet batch endpoint: encoding, execution, degrade, caching."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.encoding import BadRequest, normalize_request, request_digest
+from repro.service.executor import degraded_request, execute_request
+from repro.service.server import PlanningService, ServiceConfig, serve
+
+
+@pytest.fixture(scope="module")
+def live():
+    """One HTTP server shared by the endpoint tests in this module."""
+    service, httpd = serve(port=0, config=ServiceConfig(workers=1), block=False)
+    yield service, httpd
+    httpd.shutdown()
+    httpd.server_close()
+    service.close()
+
+
+def _post(url, payload, timeout=120):
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestFleetEncoding:
+    def test_shorthand_normalizes_with_defaults(self):
+        req = normalize_request({"kind": "fleet"})
+        assert req["kind"] == "fleet"
+        assert req["fleet"] == {
+            "tenants": 16, "seed": 0, "horizon": 24, "utilization": 0.6,
+        }
+        assert "instance" not in req
+
+    def test_digest_covers_the_spec(self):
+        a = request_digest(normalize_request({"kind": "fleet", "tenants": 8}))
+        b = request_digest(normalize_request({"kind": "fleet", "tenants": 8}))
+        c = request_digest(normalize_request({"kind": "fleet", "tenants": 9}))
+        assert a == b and a != c
+
+    def test_digest_distinct_from_drrp(self):
+        fleet = request_digest(normalize_request({"kind": "fleet"}))
+        drrp = request_digest(normalize_request({"vm": "m1.large"}))
+        assert fleet != drrp
+
+    @pytest.mark.parametrize("payload", [
+        {"kind": "fleet", "tenants": 0},
+        {"kind": "fleet", "tenants": "many"},
+        {"kind": "fleet", "horizon": 1},
+        {"kind": "fleet", "utilization": 0.0},
+        {"kind": "fleet", "utilization": 1.5},
+        {"kind": "fleet", "seed": "x"},
+    ])
+    def test_bad_specs_rejected(self, payload):
+        with pytest.raises(BadRequest):
+            normalize_request(payload)
+
+
+class TestFleetExecution:
+    def test_execute_returns_feasible_summary(self):
+        req = normalize_request({"kind": "fleet", "tenants": 8, "horizon": 10})
+        payload = execute_request(req)
+        assert payload["kind"] == "fleet"
+        assert payload["tenants"] == 8
+        assert payload["feasible"] is True
+        assert payload["status"] == "optimal"
+        assert sum(payload["methods"].values()) == 8
+        assert len(payload["tenant_plans"]) == 8
+
+    def test_degraded_is_heuristic_only(self):
+        req = normalize_request({"kind": "fleet", "tenants": 8, "horizon": 10})
+        payload = degraded_request(req)
+        assert payload["degraded"] == "heuristic-only"
+        assert payload["feasible"] is True
+        assert all(p["escalated"] is False or p["method"] == "milp"
+                   for p in payload["tenant_plans"])
+        # No gap-triggered escalations: only infeasible-fallback MILPs.
+        full = execute_request(req)
+        assert payload["escalated"] <= full["escalated"]
+
+
+class TestFleetEndpoint:
+    def test_post_fleet_solves_and_caches(self, live):
+        service, httpd = live
+        body = {"tenants": 6, "seed": 11, "horizon": 8}
+        status, out = _post(httpd.url + "/v1/fleet", body)
+        assert status == 200
+        assert out["plan"]["kind"] == "fleet"
+        assert out["plan"]["feasible"] is True
+        status2, out2 = _post(httpd.url + "/v1/fleet", body)
+        assert status2 == 200
+        assert out2["job"]["cached"] is True
+        assert out2["plan"]["total_cost"] == out["plan"]["total_cost"]
+
+    def test_kind_is_forced_by_the_route(self, live):
+        service, httpd = live
+        status, out = _post(
+            httpd.url + "/v1/fleet",
+            {"kind": "drrp", "tenants": 4, "seed": 1, "horizon": 8},
+        )
+        assert status == 200
+        assert out["plan"]["kind"] == "fleet"
+
+    def test_fleet_also_accepted_via_jobs(self, live):
+        service, httpd = live
+        status, out = _post(
+            httpd.url + "/v1/jobs", {"kind": "fleet", "tenants": 4, "horizon": 8},
+        )
+        assert status in (200, 202)
+
+    def test_bad_fleet_spec_is_400(self, live):
+        service, httpd = live
+        status, out = _post(httpd.url + "/v1/fleet", {"tenants": -2})
+        assert status == 400
+        assert "tenants" in out["error"]
+
+
+class TestFleetOverload:
+    def test_degrade_inline_when_saturated(self):
+        service = PlanningService(ServiceConfig(workers=0, queue_size=1)).start()
+        try:
+            # Fill the queue, then force the degrade path.
+            service.submit({"kind": "fleet", "tenants": 4, "horizon": 8})
+            status, body = service.submit(
+                {"kind": "fleet", "tenants": 4, "horizon": 8, "seed": 9,
+                 "on_overload": "degrade"}
+            )
+            assert status == 200
+            assert body["plan"]["degraded"] == "heuristic-only"
+            assert body["plan"]["feasible"] is True
+        finally:
+            service.close()

@@ -176,10 +176,47 @@ class TestBidDominance:
                 assert analytic.interruptions == sim.out_of_bid_events
 
 
+class TestPlantedFleetPool:
+    def test_per_tenant_optima_match_ww(self, rng):
+        from repro.verify.generators import planted_fleet_pool
+
+        for _ in range(5):
+            case = planted_fleet_pool(rng)
+            fc = case.instance
+            for inst, opt in zip(fc.tenants, case.meta["per_tenant_optima"]):
+                assert close(solve_wagner_whitin(inst).objective, opt)
+
+    def test_fleet_optimum_is_sum_plus_min_delta(self, rng):
+        from repro.verify.generators import planted_fleet_pool
+
+        for _ in range(5):
+            case = planted_fleet_pool(rng)
+            expected = sum(case.meta["per_tenant_optima"]) + min(case.meta["deltas"])
+            assert close(case.optimum, expected)
+
+    def test_plan_fleet_attains_the_optimum(self, rng):
+        from repro.fleet import CapacityPool, FleetConfig, Tenant, plan_fleet
+        from repro.verify.generators import planted_fleet_pool
+
+        case = planted_fleet_pool(rng)
+        fc = case.instance
+        tenants = [
+            Tenant(
+                tenant_id=i, name=f"t{i}", vm_name="planted", profile="constant",
+                sla="premium", pool="shared", size=1.0, instance=inst,
+            )
+            for i, inst in enumerate(fc.tenants)
+        ]
+        pools = {"shared": CapacityPool("shared", fc.capacity)}
+        fleet = plan_fleet(tenants, pools, FleetConfig(workers=1))
+        assert fleet.feasible
+        assert close(fleet.total_cost, case.optimum)
+
+
 def test_family_registry_is_complete(rng):
     assert set(FAMILIES) == {
         "lp", "milp", "lp-infeasible", "drrp", "drrp-random", "drrp-evicted",
-        "srrp", "two-stage", "bid-dominance",
+        "srrp", "two-stage", "bid-dominance", "fleet-pool",
     }
     for gen in FAMILIES.values():
         case = gen(rng)
