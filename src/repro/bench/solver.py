@@ -14,6 +14,13 @@ Three seeded workloads, all deterministic given the config:
 * **benders** — an SRRP-style two-stage program with complete recourse,
   solved serially and with the scenario fan-out; per-scenario subproblem
   bases warm the next iteration in both modes.
+* **large** — a 200+ var / 60+ row wide multi-class DRRP allocation LP
+  (columns dominate rows, the regime production models grow into) solved
+  cold once plus a deterministic branching-style sequence of warm
+  re-solves, once per pivot engine.  The tableau/revised wall-clock ratio
+  on the *same* instance sequence and machine is hardware-independent and
+  is gated at ``LARGE_TIER_MIN_SPEEDUP`` — the revised engine must stay
+  >= 3x faster than the dense tableau it replaced.
 
 The record is written as ``BENCH_solver.json`` (``REPRO_BENCH_DIR``
 honored, like the service bench).  CI compares the **cold-normalized**
@@ -33,7 +40,7 @@ from __future__ import annotations
 import json
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 from pathlib import Path
 
 import numpy as np
@@ -57,6 +64,15 @@ __all__ = [
 #: this fraction of the committed baseline's ratio.
 REGRESSION_TOLERANCE = 0.75
 
+#: Gate: floor on the tableau/revised wall-clock ratio of the large tier.
+#: Same sequence, same machine — the ratio transfers across hosts.
+LARGE_TIER_MIN_SPEEDUP = 3.0
+#: The speedup gate only means something while the tier stays large; a
+#: record whose tier shrank below these sizes fails against a baseline
+#: whose tier was large.
+LARGE_TIER_MIN_VARS = 200
+LARGE_TIER_MIN_ROWS = 60
+
 
 @dataclass(frozen=True)
 class SolverBenchConfig:
@@ -72,6 +88,9 @@ class SolverBenchConfig:
     recourse_rows: int = 30
     recourse_vars: int = 60
     benders_workers: int | None = None  # None -> repro.parallel.default_workers()
+    large_horizon: int = 48  # periods in the large (wide) DRRP tier
+    large_classes: int = 8  # instance classes per period (2 tiers each)
+    large_resolves: int = 60  # warm re-solves per engine on the large tier
     out: str | None = "BENCH_solver.json"
 
     def __post_init__(self) -> None:
@@ -81,6 +100,10 @@ class SolverBenchConfig:
             )
         if self.bb_instances < 1 or self.bb_vars < 2 or self.bb_rows < 1:
             raise ValueError("bb workload must have >= 1 instance and a nonempty LP")
+        if self.large_horizon < 2 or self.large_classes < 1 or self.large_resolves < 1:
+            raise ValueError(
+                "large tier needs >= 2 periods, >= 1 class and >= 1 warm re-solve"
+            )
 
 
 def _random_milp(rng: np.random.Generator, n: int, m: int) -> CompiledProblem:
@@ -117,6 +140,104 @@ def _drrp_problem(cfg: SolverBenchConfig) -> tuple[CompiledProblem, np.ndarray]:
     ww = solve_wagner_whitin(inst)
     x0 = np.concatenate([ww.alpha, ww.beta, ww.chi])
     return model.compile(), x0
+
+
+def _large_problem(cfg: SolverBenchConfig) -> CompiledProblem:
+    """Wide multi-class DRRP allocation LP for the engine-ratio tier.
+
+    ``large_horizon`` periods x ``large_classes`` instance classes x two
+    rental tiers (reserved-rate, on-demand-rate): per period a coverage row
+    (weighted capacity across all classes meets demand) and a reserved-
+    market availability row.  Columns dominate rows (n = 2*K*T vs m = 2*T)
+    — the regime scaled-up DRRP portfolios live in, and the one that
+    separates the engines: dense-tableau pivots cost O(m*n) while factored
+    revised pivots cost O(m^2 + n).  All variables carry finite upper
+    bounds so at-upper statuses and bound flips are exercised.
+    """
+    rng = np.random.default_rng(cfg.seed + 101)
+    T, K = cfg.large_horizon, cfg.large_classes
+    n = 2 * K * T
+    cap = rng.uniform(1.0, 4.0, K)  # effective capacity per instance class
+    price_res = rng.uniform(0.5, 1.5, K)
+    price_od = price_res * rng.uniform(1.5, 2.5, K)  # on-demand premium
+    demand = np.maximum(rng.normal(0.4, 0.2, T), 0.05) * cap.sum() * 1.5
+    res_cap = rng.uniform(0.3, 0.8, T) * cap.sum() * 1.2
+    c = np.empty(n)
+    A_ub = np.zeros((2 * T, n))
+    b_ub = np.empty(2 * T)
+    for t in range(T):
+        base = t * 2 * K
+        c[base : base + K] = price_res
+        c[base + K : base + 2 * K] = price_od
+        # Coverage: sum_k cap_k * (res_{k,t} + od_{k,t}) >= demand_t.
+        A_ub[t, base : base + K] = -cap
+        A_ub[t, base + K : base + 2 * K] = -cap
+        b_ub[t] = -demand[t]
+        # Reserved-market availability: sum_k cap_k * res_{k,t} <= R_t.
+        A_ub[T + t, base : base + K] = cap
+        b_ub[T + t] = res_cap[t]
+    return CompiledProblem(
+        c=c, c0=0.0, A_ub=A_ub, b_ub=b_ub,
+        A_eq=np.zeros((0, n)), b_eq=np.zeros(0),
+        lb=np.zeros(n), ub=np.full(n, 3.0),
+        integrality=np.zeros(n, dtype=int), maximize=False, variables=[],
+    )
+
+
+def _large_engine_run(
+    prob: CompiledProblem,
+    engine: str,
+    resolves: int,
+    seed: int,
+    telemetry: Telemetry | None = None,
+) -> dict:
+    """One cold root solve plus a branching-style warm re-solve sequence.
+
+    The sequence (which variable's bound tightens, and which way) is fully
+    determined by ``seed``, so both engines replay the *same* LPs and their
+    wall-clock ratio isolates the engine, not the workload.  Returns the
+    leg stats plus the per-solve objectives for the cross-engine agreement
+    check (``None`` marks an infeasible child).
+    """
+    from repro.solver.simplex import solve_lp_simplex
+
+    rng = np.random.default_rng(seed)
+    t0 = time.perf_counter()
+    root = solve_lp_simplex(prob, telemetry=telemetry, engine=engine)
+    if root.status is not SolverStatus.OPTIMAL:
+        raise RuntimeError(f"large-tier root LP terminated {root.status.value} ({engine})")
+    basis = root.extra["basis"]
+    x = root.x
+    pivots = root.iterations
+    warm_used = 0
+    objectives: list[float | None] = [float(root.objective)]
+    for _ in range(resolves):
+        j = int(rng.integers(prob.num_vars))
+        lb2, ub2 = prob.lb.copy(), prob.ub.copy()
+        if rng.integers(2):
+            ub2[j] = max(prob.lb[j], x[j] * 0.5)
+        else:
+            lb2[j] = min(prob.ub[j], x[j] * 0.5 + 0.2)
+        child = dc_replace(prob, lb=lb2, ub=ub2)
+        res = solve_lp_simplex(child, warm_start=basis, telemetry=telemetry, engine=engine)
+        pivots += res.iterations
+        if res.status is SolverStatus.OPTIMAL:
+            objectives.append(float(res.objective))
+        elif res.status is SolverStatus.INFEASIBLE:
+            objectives.append(None)
+        else:
+            raise RuntimeError(
+                f"large-tier child LP terminated {res.status.value} ({engine})"
+            )
+        warm_used += int(bool((res.extra.get("warm") or {}).get("used")))
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "pivots": pivots,
+        "warm_used": warm_used,
+        "resolves": resolves,
+        "objectives": objectives,
+    }
 
 
 def _two_stage(cfg: SolverBenchConfig) -> TwoStageProblem:
@@ -238,6 +359,24 @@ def run_solver_bench(cfg: SolverBenchConfig | None = None, listener=None) -> dic
                 f"{drrp_warm['objectives']} vs {drrp_cold['objectives']}"
             )
 
+        large_prob = _large_problem(cfg)
+        with span(hub, "bench_leg[large_revised]"):
+            large_revised = _large_engine_run(
+                large_prob, "revised", cfg.large_resolves, cfg.seed + 7, telemetry=hub
+            )
+        with span(hub, "bench_leg[large_tableau]"):
+            large_tableau = _large_engine_run(
+                large_prob, "tableau", cfg.large_resolves, cfg.seed + 7, telemetry=hub
+            )
+        for o_r, o_t in zip(large_revised["objectives"], large_tableau["objectives"]):
+            if (o_r is None) != (o_t is None) or (
+                o_r is not None and abs(o_r - o_t) > 1e-6 * (1.0 + abs(o_t))
+            ):
+                raise RuntimeError(
+                    "revised and tableau engines disagree on the large tier: "
+                    f"{o_r} vs {o_t}"
+                )
+
         tsp = _two_stage(cfg)
         workers = cfg.benders_workers if cfg.benders_workers is not None else default_workers()
         with span(hub, "bench_leg[benders_serial]"):
@@ -264,6 +403,9 @@ def run_solver_bench(cfg: SolverBenchConfig | None = None, listener=None) -> dic
             "scenarios": cfg.scenarios,
             "recourse_rows": cfg.recourse_rows,
             "recourse_vars": cfg.recourse_vars,
+            "large_horizon": cfg.large_horizon,
+            "large_classes": cfg.large_classes,
+            "large_resolves": cfg.large_resolves,
         },
         "cpu_count": os.cpu_count() or 1,
         "bb": {
@@ -278,6 +420,19 @@ def run_solver_bench(cfg: SolverBenchConfig | None = None, listener=None) -> dic
             ),
         },
         "drrp": {"warm": drrp_warm, "cold": drrp_cold},
+        "large": {
+            "vars": int(large_prob.num_vars),
+            "rows": int(large_prob.A_ub.shape[0] + large_prob.A_eq.shape[0]),
+            "resolves": cfg.large_resolves,
+            "revised": {k: v for k, v in large_revised.items() if k != "objectives"},
+            "tableau": {k: v for k, v in large_tableau.items() if k != "objectives"},
+            # Same instance sequence, same machine: this ratio is the
+            # hardware-independent engine gate.
+            "speedup": (
+                large_tableau["wall_s"] / large_revised["wall_s"]
+                if large_revised["wall_s"] > 0 else 0.0
+            ),
+        },
         "benders": {
             "scenarios": cfg.scenarios,
             "serial": benders_serial,
@@ -342,13 +497,48 @@ def check_solver_regression(
             f"{record['cpu_count']}-CPU host (speedup "
             f"{record['benders']['speedup']:.2f}x)"
         )
+    large = record.get("large")
+    base_large = baseline.get("large")
+
+    def _is_big(leg: dict) -> bool:
+        return (
+            int(leg.get("vars", 0)) >= LARGE_TIER_MIN_VARS
+            and int(leg.get("rows", 0)) >= LARGE_TIER_MIN_ROWS
+        )
+
+    if large is None:
+        if base_large is not None:
+            failures.append("record is missing the large engine-ratio tier")
+    else:
+        if _is_big(large):
+            speedup = float(large["speedup"])
+            if speedup < LARGE_TIER_MIN_SPEEDUP:
+                failures.append(
+                    f"large-tier revised-engine speedup {speedup:.2f}x is below "
+                    f"the {LARGE_TIER_MIN_SPEEDUP:.1f}x floor (tableau "
+                    f"{large['tableau']['wall_s'] * 1e3:.0f} ms vs revised "
+                    f"{large['revised']['wall_s'] * 1e3:.0f} ms on "
+                    f"{large['vars']} vars / {large['rows']} rows)"
+                )
+            warm_hits = int(large["revised"]["warm_used"])
+            if warm_hits < int(large["resolves"]):
+                failures.append(
+                    f"large-tier revised warm hits {warm_hits}/"
+                    f"{large['resolves']}: warm bases are being rejected"
+                )
+        elif base_large is not None and _is_big(base_large):
+            failures.append(
+                f"large tier shrank to {large.get('vars', 0)} vars / "
+                f"{large.get('rows', 0)} rows (floor {LARGE_TIER_MIN_VARS} / "
+                f"{LARGE_TIER_MIN_ROWS}); the engine-ratio gate is meaningless"
+            )
     return failures
 
 
 def summary_lines(record: dict) -> list[str]:
     bb = record["bb"]
     bd = record["benders"]
-    return [
+    lines = [
         (
             f"bb: warm {bb['warm']['nodes_per_sec']:.0f} nodes/s "
             f"vs cold {bb['cold']['nodes_per_sec']:.0f} nodes/s "
@@ -372,3 +562,12 @@ def summary_lines(record: dict) -> list[str]:
             f"{bd['scenarios'] * bd['parallel']['iterations']}"
         ),
     ]
+    lg = record.get("large")
+    if lg is not None:
+        lines.append(
+            f"large: {lg['vars']} vars / {lg['rows']} rows, revised "
+            f"{lg['revised']['wall_s'] * 1e3:.0f} ms vs tableau "
+            f"{lg['tableau']['wall_s'] * 1e3:.0f} ms ({lg['speedup']:.2f}x), "
+            f"warm {lg['revised']['warm_used']}/{lg['resolves']}"
+        )
+    return lines

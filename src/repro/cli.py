@@ -342,6 +342,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="DRRP leg horizon in slots (default 24)")
     p_bsol.add_argument("--scenarios", type=int, default=None,
                         help="Benders scenarios, minimum 8 (default 12)")
+    p_bsol.add_argument("--large-horizon", type=int, default=None,
+                        help="large-tier DRRP periods (default 48)")
+    p_bsol.add_argument("--large-classes", type=int, default=None,
+                        help="large-tier instance classes per period (default 8)")
+    p_bsol.add_argument("--large-resolves", type=int, default=None,
+                        help="large-tier warm re-solves per engine (default 60)")
     p_bsol.add_argument("--workers", type=int, default=None,
                         help="Benders fan-out width (default: auto)")
     p_bsol.add_argument("--out", default="BENCH_solver.json", metavar="FILE",
@@ -1158,6 +1164,9 @@ def _cmd_bench_solver(args) -> int:
             ("node_limit", args.node_limit),
             ("drrp_horizon", args.drrp_horizon),
             ("scenarios", args.scenarios),
+            ("large_horizon", args.large_horizon),
+            ("large_classes", args.large_classes),
+            ("large_resolves", args.large_resolves),
         )
         if value is not None
     }

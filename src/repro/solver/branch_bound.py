@@ -17,7 +17,10 @@ built from scratch:
   repairing primal feasibility with the bounded dual simplex when the
   branching bound cut the parent vertex off.  Every LP solve emits an
   ``lp_warm`` or ``lp_cold`` telemetry event so the obs layer can report
-  the warm-hit rate.
+  the warm-hit rate.  The bases are engine-portable: under the default
+  revised engine (see :mod:`repro.solver.revised`) they additionally
+  carry the parent's basis-inverse hint, so a child re-solve skips the
+  factorization entirely.
 
 Nodes store bound vectors plus the parent basis (small index arrays), so
 memory stays linear in the number of open nodes.

@@ -16,6 +16,11 @@ with ``f_j = frac(a_ij)``, ``g(f) = f`` if ``f <= f0`` else
 ``f0 (1-f) / (1-f0)``, and ``h(a) = a`` if ``a >= 0`` else
 ``f0 a / (f0 - 1)``.
 
+Cuts read the optimal tableau through the solver result's ``extra
+["tableau"]`` object; the revised engine's
+:class:`~repro.solver.revised.RevisedTableau` materializes the dense rows
+lazily on first access, so the cost is only paid when cutting is on.
+
 Because the simplex works in shifted/slacked standard form, every
 standard-form column is an affine function of the original variables; the
 cut is translated through those affine maps.  Problems containing free

@@ -49,11 +49,32 @@ next-iteration case) without phase 1:
 The final tableau and basis are exposed (:class:`SimplexTableau`) because the
 Gomory cut generator in :mod:`repro.solver.cuts` reads fractional rows off
 the optimal tableau.
+
+Engines
+-------
+
+Two pivot engines share this module's public contract:
+
+``"revised"`` (default)
+    The factored revised simplex in :mod:`repro.solver.revised` — LU basis
+    with collapsed product-form eta updates, Devex pricing, O(m^2 + n)
+    pivots, lazy tableau materialization.  This is the production engine.
+``"tableau"``
+    The dense full-tableau loop kept in this module — O(m*n) pivots.  Kept
+    for one release as the differential oracle and escape hatch.
+
+Selection: the ``engine=`` keyword of :func:`solve_lp_simplex` wins,
+otherwise the ``REPRO_SIMPLEX`` environment variable (``revised`` |
+``tableau``), otherwise ``revised``.  Both engines produce and accept the
+same :class:`SimplexBasis` warm starts and export identical certificate
+conventions; ``result.extra["engine"]`` records which one ran.
 """
 
 from __future__ import annotations
 
 import math
+import os
+import warnings
 from dataclasses import dataclass
 from time import perf_counter
 
@@ -61,12 +82,15 @@ import numpy as np
 
 from .model import CompiledProblem
 from .result import SolverResult, SolverStatus
+from .revised import NumericalTrouble, revised_solve, warm_solve_revised
 from .telemetry import Deadline, Telemetry
 
 __all__ = [
     "StandardForm",
     "SimplexTableau",
     "SimplexBasis",
+    "SIMPLEX_ENGINES",
+    "resolve_engine",
     "standardize",
     "simplex_solve",
     "solve_lp_simplex",
@@ -78,6 +102,31 @@ _FEAS_TOL = 1e-7
 
 
 ROW_UB, ROW_EQ = 0, 1
+
+#: Pivot engines sharing the :func:`solve_lp_simplex` contract.
+SIMPLEX_ENGINES = ("revised", "tableau")
+
+
+def resolve_engine(engine: str | None = None) -> str:
+    """Resolve the pivot engine: explicit arg > ``REPRO_SIMPLEX`` > revised.
+
+    Unknown names warn (``RuntimeWarning``) and fall back to the default
+    rather than erroring, so a stale environment variable cannot take the
+    solver down.
+    """
+    if engine is None:
+        engine = os.environ.get("REPRO_SIMPLEX", "").strip().lower() or "revised"
+    else:
+        engine = engine.strip().lower()
+    if engine not in SIMPLEX_ENGINES:
+        warnings.warn(
+            f"unknown simplex engine {engine!r} (check REPRO_SIMPLEX); "
+            f"expected one of {SIMPLEX_ENGINES}, using 'revised'",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        engine = "revised"
+    return engine
 
 
 @dataclass
@@ -156,35 +205,35 @@ def standardize(problem: CompiledProblem) -> StandardForm:
     Inequality rows gain slack columns.  Rows with negative rhs are negated
     so phase 1 can start from ``b >= 0``.  Finite upper bounds become native
     column bounds — no extra rows.
+
+    The whole conversion is vectorized column-scatter assembly (no
+    Python-level loop over matrix entries): column positions come from a
+    cumulative-width scan, and the coefficient matrix lands in one fancy
+    assignment per variable class — the same COO-style batching the compile
+    path uses, carried into the solve path.
     """
     n = problem.num_vars
-    lb, ub = problem.lb, problem.ub
+    lb = np.asarray(problem.lb, dtype=float)
+    ub = np.asarray(problem.ub, dtype=float)
 
-    pos = np.zeros(n, dtype=int)
-    neg = np.full(n, -1, dtype=int)
+    fin_lb = np.isfinite(lb)
+    fin_ub = np.isfinite(ub)
+    # Mirrored: lb = -inf with finite ub, substituted as x = ub - x'.
+    mirrored = ~fin_lb & fin_ub
+    free = ~fin_lb & ~fin_ub
+
     shift = np.zeros(n)
+    shift[fin_lb] = lb[fin_lb]
+    shift[mirrored] = ub[mirrored]
     sign = np.ones(n)
-    col_bounds: list[float] = []
-    col = 0
-    for j in range(n):
-        if math.isfinite(lb[j]):
-            shift[j] = lb[j]
-            pos[j] = col
-            col_bounds.append(ub[j] - lb[j] if math.isfinite(ub[j]) else math.inf)
-            col += 1
-        elif math.isfinite(ub[j]):
-            # Mirrored: x = ub - x', x' >= 0 (unbounded above).
-            shift[j] = ub[j]
-            sign[j] = -1.0
-            pos[j] = col
-            col_bounds.append(math.inf)
-            col += 1
-        else:
-            pos[j] = col
-            neg[j] = col + 1
-            col_bounds.extend((math.inf, math.inf))
-            col += 2
-    n_structural = col
+    sign[mirrored] = -1.0
+
+    # Free variables split into two columns; everything else takes one.
+    width = np.where(free, 2, 1) if n else np.zeros(0, dtype=int)
+    offsets = np.concatenate([np.zeros(1, dtype=int), np.cumsum(width, dtype=int)])
+    pos = offsets[:-1]
+    neg = np.where(free, pos + 1, -1)
+    n_structural = int(offsets[-1])
 
     m_ub = problem.A_ub.shape[0]
     m_eq = problem.A_eq.shape[0]
@@ -194,44 +243,46 @@ def standardize(problem: CompiledProblem) -> StandardForm:
     A = np.zeros((m, n_total))
     b = np.zeros(m)
     c = np.zeros(n_total)
-    u = np.concatenate([np.asarray(col_bounds, dtype=float), np.full(m_ub, np.inf)])
+    u = np.full(n_total, np.inf)
+    both = fin_lb & fin_ub
+    u[pos[both]] = ub[both] - lb[both]
 
-    def scatter(row_src: np.ndarray, row_dst: np.ndarray) -> float:
-        """Write original-variable coefficients into standard-form columns;
-        returns the rhs adjustment from lower-bound shifting/mirroring."""
-        adjust = 0.0
-        nz = np.nonzero(row_src)[0]
-        for j in nz:
-            coef = row_src[j]
-            row_dst[pos[j]] += sign[j] * coef
-            if neg[j] >= 0:
-                row_dst[neg[j]] -= coef
-            adjust += coef * shift[j]
-        return adjust
+    remapped = bool(mirrored.any() or free.any())
+    if m:
+        b = np.concatenate(
+            [np.asarray(problem.b_ub, dtype=float), np.asarray(problem.b_eq, dtype=float)]
+        )
+        if n:
+            if m_eq == 0:
+                A_orig = problem.A_ub
+            elif m_ub == 0:
+                A_orig = problem.A_eq
+            else:
+                A_orig = np.concatenate([problem.A_ub, problem.A_eq], axis=0)
+            if remapped:
+                A[:, pos] = A_orig * sign
+                if free.any():
+                    A[:, neg[free]] = -A_orig[:, free]
+            else:
+                # All variables lb-shifted: pos is the identity map, so the
+                # coefficients land in one contiguous block copy.
+                A[:, :n] = A_orig
+            if shift.any():
+                b = b - A_orig @ shift
+        if m_ub:
+            A[np.arange(m_ub), n_structural + np.arange(m_ub)] = 1.0  # slacks
+    if n:
+        if remapped:
+            c[pos] = problem.c * sign
+            if free.any():
+                c[neg[free]] = -problem.c[free]
+        else:
+            c[:n] = problem.c
 
-    row_kind = np.zeros(m, dtype=np.int8)
-    row_ref = np.zeros(m, dtype=int)
-
-    r = 0
-    for i in range(m_ub):
-        adj = scatter(problem.A_ub[i], A[r])
-        A[r, n_structural + i] = 1.0  # slack
-        b[r] = problem.b_ub[i] - adj
-        row_kind[r], row_ref[r] = ROW_UB, i
-        r += 1
-    for i in range(m_eq):
-        adj = scatter(problem.A_eq[i], A[r])
-        b[r] = problem.b_eq[i] - adj
-        row_kind[r], row_ref[r] = ROW_EQ, i
-        r += 1
-
-    # objective
-    for j in range(n):
-        coef = problem.c[j]
-        if coef != 0.0:
-            c[pos[j]] += sign[j] * coef
-            if neg[j] >= 0:
-                c[neg[j]] -= coef
+    row_kind = np.concatenate(
+        [np.full(m_ub, ROW_UB, dtype=np.int8), np.full(m_eq, ROW_EQ, dtype=np.int8)]
+    )
+    row_ref = np.concatenate([np.arange(m_ub), np.arange(m_eq)]).astype(int)
 
     # normalize to b >= 0 for phase 1
     flip = b < 0
@@ -325,11 +376,18 @@ def _basis_from_tableau(tableau: SimplexTableau, sf: StandardForm) -> SimplexBas
         else np.zeros(n, dtype=bool)
     )
     rows = tableau.rows if tableau.rows is not None else np.arange(tableau.m)
-    return SimplexBasis(
+    sb = SimplexBasis(
         basis=tableau.basis.copy(), at_upper=at_upper, rows=rows.copy(),
         n_cols=n, m_rows=sf.A.shape[0],
         pos=sf.pos.copy(), neg=sf.neg.copy(), sign=sf.sign.copy(),
     )
+    # The revised engine exports its final basis inverse; children warm-
+    # starting from this basis adopt it (after a residual check) instead of
+    # re-running the LU.  The tableau engine has no factor to export.
+    inv = getattr(tableau, "factor_inv", None)
+    if inv is not None:
+        sb.factor_hint = inv
+    return sb
 
 
 def _pivot(T: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
@@ -701,12 +759,14 @@ def _dual_certificate(
     if tableau.rows is None or sf.row_kind is None:
         return None
     kept = tableau.rows
-    B = sf.A[kept][:, tableau.basis]
-    c_B = sf.c[tableau.basis]
-    try:
-        y_kept = np.linalg.solve(B.T, c_B)
-    except np.linalg.LinAlgError:
-        return None
+    y_kept = getattr(tableau, "y", None)
+    if y_kept is None or y_kept.shape != kept.shape:
+        B = sf.A[kept][:, tableau.basis]
+        c_B = sf.c[tableau.basis]
+        try:
+            y_kept = np.linalg.solve(B.T, c_B)
+        except np.linalg.LinAlgError:
+            return None
     y_std = np.zeros(sf.A.shape[0])
     y_std[kept] = y_kept
     return sf.map_row_duals(y_std, problem.A_ub.shape[0], problem.A_eq.shape[0])
@@ -831,6 +891,7 @@ def solve_lp_simplex(
     deadline: Deadline | None = None,
     telemetry: Telemetry | None = None,
     warm_start: SimplexBasis | None = None,
+    engine: str | None = None,
 ) -> SolverResult:
     """Solve the LP relaxation of a compiled problem with the pure simplex.
 
@@ -839,27 +900,43 @@ def solve_lp_simplex(
     feed the Gomory cut generator.  An expired ``deadline`` unwinds the
     pivot loop and surfaces as ``SolverStatus.TIME_LIMIT``.
 
+    Engines: ``engine`` picks the pivot engine (``"revised"`` |
+    ``"tableau"``); ``None`` defers to ``REPRO_SIMPLEX`` and then the
+    revised default (see :func:`resolve_engine`).  ``extra['engine']``
+    records the choice.  A revised-engine numerical failure degrades loudly
+    (``backend_degraded`` event) to the dense tableau — never to a wrong
+    answer.
+
     Warm starts: pass a previous result's ``extra['basis']`` as
     ``warm_start`` to attempt a phase-2-only re-solve (see
-    :func:`_warm_solve`); ``extra['warm']`` on the result records whether
-    the warm path was used (``{"used": bool, "mode": "primal"|"dual",
-    "reason": ...}``).  An ``OPTIMAL`` result always carries a fresh
-    ``extra['basis']`` for the next re-solve in the chain.
+    :func:`_warm_solve` / :func:`repro.solver.revised.warm_solve_revised`);
+    ``extra['warm']`` on the result records whether the warm path was used
+    (``{"used": bool, "mode": "primal"|"dual", "reason": ...}``).  A warm
+    basis that is rejected — layout mismatch after standardization, or a
+    failed repair — falls back to a cold solve *loudly*: a
+    ``warm_start_rejected`` telemetry event (``where="simplex"``) carries
+    the reason alongside the ``extra['warm']`` record.  An ``OPTIMAL``
+    result always carries a fresh ``extra['basis']`` for the next re-solve
+    in the chain; bases are engine-portable in both directions.
 
     Certificates: an ``OPTIMAL`` result carries
     ``extra['dual_certificate']`` (``y_ub``/``y_eq`` multipliers of the
     original rows) and an ``INFEASIBLE`` one carries
     ``extra['farkas_certificate']`` — both in the exact convention checked
-    by :func:`repro.verify.certify_result`.
+    by :func:`repro.verify.certify_result`, identically for both engines.
     """
-    # Standard-form conversion builds the full tableau matrix — a real cost
-    # on large instances, so it gets its own phase in the event stream.
+    engine = resolve_engine(engine)
+    # Standard-form conversion builds the full constraint matrix — a real
+    # cost on large instances, so it gets its own phase in the event stream.
     if telemetry:
         with telemetry.phase("standard_form") as info:
             sf = standardize(problem)
             info["rows"], info["cols"] = sf.A.shape
     else:
         sf = standardize(problem)
+    # The factored engine needs at least one row; the no-row LP is a trivial
+    # bound inspection that the tableau path answers without pivoting.
+    use_revised = engine == "revised" and sf.A.shape[0] > 0
 
     warm_info: dict = {"used": False, "reason": "no_warm_start"}
     outcome = None
@@ -867,21 +944,22 @@ def solve_lp_simplex(
         # Crossed bounds (lb > ub): trivially infeasible, no row certificate.
         return SolverResult(
             status=SolverStatus.INFEASIBLE, iterations=0,
-            extra={"warm": warm_info},
+            extra={"warm": warm_info, "engine": engine},
         )
     if warm_start is not None:
         if warm_start.matches(sf):
+            warm_fn = warm_solve_revised if use_revised else _warm_solve
             if telemetry:
-                with telemetry.phase("simplex_warm") as info:
+                with telemetry.phase("simplex_warm", engine=engine) as info:
                     breakdown: dict = {}
-                    attempt = _warm_solve(
+                    attempt = warm_fn(
                         sf, warm_start, max_iter, deadline, breakdown=breakdown
                     )
                     info["pivots"] = attempt[3] if attempt is not None else 0
                     info["accepted"] = attempt is not None
                     info["breakdown"] = breakdown
             else:
-                attempt = _warm_solve(sf, warm_start, max_iter, deadline)
+                attempt = warm_fn(sf, warm_start, max_iter, deadline)
             if attempt is not None:
                 status, x_std, obj_std, iters, tableau, mode = attempt
                 outcome = (status, x_std, obj_std, iters, tableau)
@@ -890,12 +968,33 @@ def solve_lp_simplex(
                 warm_info = {"used": False, "reason": "repair_failed"}
         else:
             warm_info = {"used": False, "reason": "layout_mismatch"}
+        if not warm_info["used"] and telemetry:
+            # Loud cold fallback: a basis that survived presolve/standardize
+            # mapping but was rejected here must be visible in the event
+            # stream, not silently re-densified.
+            telemetry.emit(
+                "warm_start_rejected", where="simplex", engine=engine,
+                reason=warm_info["reason"],
+            )
 
     if outcome is None:
-        outcome = simplex_solve(
-            sf.A, sf.b, sf.c, max_iter=max_iter, deadline=deadline,
-            telemetry=telemetry, u=sf.u,
-        )
+        if use_revised:
+            try:
+                outcome = revised_solve(
+                    sf, max_iter=max_iter, deadline=deadline, telemetry=telemetry
+                )
+            except NumericalTrouble as exc:
+                if telemetry:
+                    telemetry.emit(
+                        "backend_degraded", backend="simplex-revised",
+                        fallback="simplex-tableau", reason=str(exc),
+                    )
+                outcome = None
+        if outcome is None:
+            outcome = simplex_solve(
+                sf.A, sf.b, sf.c, max_iter=max_iter, deadline=deadline,
+                telemetry=telemetry, u=sf.u,
+            )
     status, x_std, obj_std, iters, tableau = outcome
 
     if status == "optimal":
@@ -906,6 +1005,7 @@ def solve_lp_simplex(
             "tableau": tableau,
             "standard_form": sf,
             "warm": warm_info,
+            "engine": engine,
             "basis": _basis_from_tableau(tableau, sf),
         }
         cert = _dual_certificate(problem, sf, tableau)
@@ -916,7 +1016,7 @@ def solve_lp_simplex(
             iterations=iters, extra=extra,
         )
     if status == "infeasible":
-        extra = {"warm": warm_info}
+        extra = {"warm": warm_info, "engine": engine}
         if tableau is not None and tableau.farkas is not None:
             extra["farkas_certificate"] = sf.map_row_duals(
                 tableau.farkas, problem.A_ub.shape[0], problem.A_eq.shape[0]
@@ -924,14 +1024,17 @@ def solve_lp_simplex(
         return SolverResult(status=SolverStatus.INFEASIBLE, iterations=iters, extra=extra)
     if status == "unbounded":
         return SolverResult(
-            status=SolverStatus.UNBOUNDED, iterations=iters, extra={"warm": warm_info}
+            status=SolverStatus.UNBOUNDED, iterations=iters,
+            extra={"warm": warm_info, "engine": engine},
         )
     if status == "deadline":
         if telemetry:
             telemetry.emit("deadline_exceeded", where="simplex", pivots=iters)
         return SolverResult(
-            status=SolverStatus.TIME_LIMIT, iterations=iters, extra={"warm": warm_info}
+            status=SolverStatus.TIME_LIMIT, iterations=iters,
+            extra={"warm": warm_info, "engine": engine},
         )
     return SolverResult(
-        status=SolverStatus.ITERATION_LIMIT, iterations=iters, extra={"warm": warm_info}
+        status=SolverStatus.ITERATION_LIMIT, iterations=iters,
+        extra={"warm": warm_info, "engine": engine},
     )

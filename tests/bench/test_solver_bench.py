@@ -25,7 +25,8 @@ def record(tmp_path_factory, request):
     cfg = SolverBenchConfig(
         seed=1, bb_instances=1, bb_vars=8, bb_rows=6, node_limit=300,
         drrp_horizon=6, scenarios=8, recourse_rows=8, recourse_vars=12,
-        benders_workers=2, out="BENCH_test.json",
+        benders_workers=2, large_horizon=6, large_classes=2, large_resolves=6,
+        out="BENCH_test.json",
     )
     return run_solver_bench(cfg), out_dir
 
@@ -45,6 +46,11 @@ class TestRunSolverBench:
         assert rec["benders"]["serial"]["objective"] == pytest.approx(
             rec["benders"]["parallel"]["objective"], rel=1e-6
         )
+        lg = rec["large"]
+        assert lg["vars"] >= 1 and lg["rows"] >= 1
+        assert lg["speedup"] > 0
+        assert lg["revised"]["resolves"] == lg["resolves"]
+        assert 0 <= lg["revised"]["warm_used"] <= lg["resolves"]
 
     def test_record_written_and_parses(self, record):
         rec, out_dir = record
@@ -57,9 +63,10 @@ class TestRunSolverBench:
     def test_summary_lines(self, record):
         rec, _ = record
         lines = summary_lines(rec)
-        assert len(lines) == 3
+        assert len(lines) == 4
         assert lines[0].startswith("bb:")
         assert lines[2].startswith("benders:")
+        assert lines[3].startswith("large:")
 
     def test_scenarios_floor_enforced(self):
         with pytest.raises(ValueError, match=">= 8 scenarios"):
@@ -97,3 +104,42 @@ class TestRegressionGate:
         )
         slow["cpu_count"] = 8
         assert any("Benders" in f for f in check_solver_regression(slow, rec))
+
+    @staticmethod
+    def _as_big(rec):
+        # Inflate the fixture's tiny tier to gate-eligible dimensions so the
+        # machine-independent checks fire without paying for a real 768-var
+        # run inside the test suite.
+        big = copy.deepcopy(rec)
+        big["large"]["vars"] = 768
+        big["large"]["rows"] = 96
+        return big
+
+    def test_large_speedup_below_floor_fails(self, record):
+        rec, _ = record
+        base = self._as_big(rec)
+        bad = copy.deepcopy(base)
+        bad["large"]["speedup"] = 1.0
+        failures = check_solver_regression(bad, base)
+        assert any("speedup 1.00x is below" in f for f in failures)
+
+    def test_large_warm_rejection_fails(self, record):
+        rec, _ = record
+        base = self._as_big(rec)
+        bad = copy.deepcopy(base)
+        bad["large"]["revised"]["warm_used"] = 0
+        failures = check_solver_regression(bad, base)
+        assert any("warm bases are being rejected" in f for f in failures)
+
+    def test_missing_large_tier_fails(self, record):
+        rec, _ = record
+        bad = copy.deepcopy(rec)
+        del bad["large"]
+        failures = check_solver_regression(bad, rec)
+        assert any("missing the large" in f for f in failures)
+
+    def test_shrunken_large_tier_fails(self, record):
+        rec, _ = record
+        base = self._as_big(rec)
+        failures = check_solver_regression(rec, base)
+        assert any("shrank" in f for f in failures)
